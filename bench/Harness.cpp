@@ -1,0 +1,84 @@
+//===- Harness.cpp - Shared experiment harness -----------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "core/Report.h"
+#include "support/Statistics.h"
+
+using namespace djx;
+
+RunResult djx::runNative(const VmConfig &Config,
+                         const std::function<void(JavaVm &)> &Fn) {
+  JavaVm Vm(Config);
+  Fn(Vm);
+  RunResult R;
+  R.Cycles = Vm.totalCycles();
+  R.PeakHeapBytes = Vm.peakHeapBytes();
+  R.Machine = Vm.machine().stats();
+  return R;
+}
+
+RunResult djx::runProfiled(const VmConfig &Config,
+                           const DjxPerfConfig &Agent,
+                           const std::function<void(JavaVm &)> &Fn,
+                           std::string *ObjectReport,
+                           std::string *CodeReport,
+                           MergedProfile *ProfileOut) {
+  JavaVm Vm(Config);
+  DjxPerf Profiler(Vm, Agent);
+  Profiler.start();
+  Fn(Vm);
+  Profiler.stop();
+
+  RunResult R;
+  R.Cycles = Vm.totalCycles() + Profiler.auxOverheadCycles();
+  R.PeakHeapBytes = Vm.peakHeapBytes();
+  R.ProfilerBytes = Profiler.memoryFootprint();
+  R.Samples = Profiler.samplesHandled();
+  R.AllocationCallbacks = Profiler.allocationCallbacks();
+  R.Machine = Vm.machine().stats();
+
+  if (ObjectReport || CodeReport || ProfileOut) {
+    MergedProfile P = Profiler.analyze();
+    if (ObjectReport)
+      *ObjectReport = renderObjectCentric(P, Vm.methods());
+    if (CodeReport)
+      *CodeReport = renderCodeCentric(P, Vm.methods());
+    if (ProfileOut)
+      *ProfileOut = std::move(P);
+  }
+  return R;
+}
+
+std::pair<double, double> djx::measureSpeedup(const CaseStudy &C, int Reps) {
+  std::vector<double> Speedups;
+  for (int I = 0; I < Reps; ++I) {
+    RunResult Base = runNative(C.Config, C.Baseline);
+    RunResult Opt = runNative(C.Config, C.Optimized);
+    Speedups.push_back(static_cast<double>(Base.Cycles) /
+                       static_cast<double>(Opt.Cycles));
+  }
+  SampleStats S = summarize(Speedups);
+  return {S.Mean, S.Ci95};
+}
+
+OverheadResult djx::measureOverhead(const VmConfig &Config,
+                                    const DjxPerfConfig &Agent,
+                                    const std::function<void(JavaVm &)> &Fn) {
+  OverheadResult R;
+  R.Native = runNative(Config, Fn);
+  R.Profiled = runProfiled(Config, Agent, Fn);
+  R.RuntimeOverhead = static_cast<double>(R.Profiled.Cycles) /
+                      static_cast<double>(R.Native.Cycles);
+  uint64_t NativeMem = R.Native.PeakHeapBytes;
+  uint64_t ProfiledMem = R.Profiled.PeakHeapBytes + R.Profiled.ProfilerBytes;
+  R.MemoryOverhead = NativeMem
+                         ? static_cast<double>(ProfiledMem) /
+                               static_cast<double>(NativeMem)
+                         : 1.0;
+  return R;
+}

@@ -1,0 +1,68 @@
+//===- Harness.h - Shared experiment harness --------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure reproduction binaries: run a
+/// workload on a fresh VM natively or under DJXPerf, report simulated
+/// cycles (the runtime metric), peak heap + profiler footprint (the memory
+/// metric), and repeat-with-seed-jitter to produce mean +- 95% CI rows the
+/// way the paper reports results (§7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_BENCH_HARNESS_H
+#define DJX_BENCH_HARNESS_H
+
+#include "core/DjxPerf.h"
+#include "workloads/CaseStudies.h"
+
+#include <functional>
+#include <optional>
+
+namespace djx {
+
+/// Outcome of one workload execution.
+struct RunResult {
+  /// Simulated runtime: thread cycles plus profiler auxiliary work.
+  uint64_t Cycles = 0;
+  uint64_t PeakHeapBytes = 0;
+  /// Profiler data-structure footprint (0 for native runs).
+  size_t ProfilerBytes = 0;
+  uint64_t Samples = 0;
+  uint64_t AllocationCallbacks = 0;
+  HierarchyStats Machine;
+};
+
+/// Runs \p Fn on a fresh VM without any profiler.
+RunResult runNative(const VmConfig &Config,
+                    const std::function<void(JavaVm &)> &Fn);
+
+/// Runs \p Fn on a fresh VM under DJXPerf; optionally returns the merged
+/// profile and the report rendered against the VM's method registry.
+RunResult runProfiled(const VmConfig &Config, const DjxPerfConfig &Agent,
+                      const std::function<void(JavaVm &)> &Fn,
+                      std::string *ObjectReport = nullptr,
+                      std::string *CodeReport = nullptr,
+                      MergedProfile *ProfileOut = nullptr);
+
+/// Baseline-vs-optimized speedup for one case study, averaged over
+/// \p Reps repetitions. Returns {meanSpeedup, ci95HalfWidth}.
+std::pair<double, double> measureSpeedup(const CaseStudy &C, int Reps = 3);
+
+/// Convenience: measured runtime and memory overheads of profiling \p Fn.
+struct OverheadResult {
+  double RuntimeOverhead = 1.0;
+  double MemoryOverhead = 1.0;
+  RunResult Native;
+  RunResult Profiled;
+};
+OverheadResult measureOverhead(const VmConfig &Config,
+                               const DjxPerfConfig &Agent,
+                               const std::function<void(JavaVm &)> &Fn);
+
+} // namespace djx
+
+#endif // DJX_BENCH_HARNESS_H

@@ -1,0 +1,80 @@
+//===- ablation_event_kinds.cpp - Footnote 1: other precise events ----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper presets L1 misses but notes (§1.1 footnote, §4.1) that any
+/// memory-related precise event works — L3 misses, TLB misses, load
+/// latency. This ablation profiles the FFT case study under each event
+/// kind and shows the diagnosis (the data array's allocation context on
+/// top) is stable across metrics, while the metric mix itself shifts as
+/// expected (strided access inflates TLB misses most).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "core/Report.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  std::printf("=== Ablation: alternative precise events (paper footnote:"
+              " \"we can measure myriad other events\") ===\n\n");
+
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "SPECjvm2008: Scimark.fft.large");
+  std::string Expect = C.ExpectClass + "." + C.ExpectMethod;
+
+  struct Row {
+    PerfEventKind Kind;
+    uint64_t Period;
+  };
+  const Row Rows[] = {
+      {PerfEventKind::L1Miss, 64},
+      {PerfEventKind::L2Miss, 32},
+      {PerfEventKind::L3Miss, 32},
+      {PerfEventKind::TlbMiss, 16},
+      {PerfEventKind::LoadLatency, 64},
+  };
+
+  TextTable T({"event", "samples", "top object", "share", "stable"});
+  bool AllStable = true;
+  for (const Row &R : Rows) {
+    DjxPerfConfig Agent;
+    Agent.Events = {PerfEventAttr{R.Kind, R.Period, 64}};
+    JavaVm Vm(C.Config);
+    DjxPerf Prof(Vm, Agent);
+    Prof.start();
+    C.Baseline(Vm);
+    Prof.stop();
+    MergedProfile M = Prof.analyze();
+    auto Sorted = M.groupsByMetric(R.Kind);
+    std::string Top = "-";
+    double Share = 0.0;
+    if (!Sorted.empty() && Sorted[0]->Metrics.get(R.Kind) > 0) {
+      auto Path = M.Tree.path(Sorted[0]->AllocNode);
+      if (!Path.empty())
+        Top = Vm.methods().qualifiedName(Path.back().Method);
+      Share = M.shareOf(*Sorted[0], R.Kind);
+    }
+    bool Stable = Top == Expect;
+    AllStable &= Stable;
+    T.addRow({perfEventName(R.Kind), std::to_string(Prof.samplesHandled()),
+              Top, TextTable::fmtPercent(Share), Stable ? "yes" : "NO"});
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  T.print();
+  std::printf("\n%s\n",
+              AllStable
+                  ? "the diagnosis is metric-independent: every precise "
+                    "event points at the same object"
+                  : "WARNING: diagnosis varies across events");
+  return AllStable ? 0 : 1;
+}

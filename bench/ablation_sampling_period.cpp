@@ -1,0 +1,68 @@
+//===- ablation_sampling_period.cpp - Section 5.1 period trade-off ----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.1: "a high sampling rate brings high overhead, and a low sampling
+/// rate obtains insufficient samples". Sweeps the L1-miss sampling period
+/// over the ObjectLayout case study and reports overhead, sample volume,
+/// and attribution accuracy (share of the profile pointing at the true
+/// problematic object).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "core/Report.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  std::printf("=== Ablation: PMU sampling period (paper uses 5M on real"
+              " hardware, targeting 20-200 samples/s/thread) ===\n\n");
+
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "ObjectLayout 1.0.5");
+  std::string Expect = C.ExpectClass + "." + C.ExpectMethod;
+
+  TextTable T({"period", "runtime-ov", "samples", "top object",
+               "bug share"});
+  for (uint64_t Period : {8ULL, 32ULL, 128ULL, 512ULL, 2048ULL, 8192ULL}) {
+    DjxPerfConfig Agent;
+    Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, Period, 64}};
+    OverheadResult R = measureOverhead(C.Config, Agent, C.Baseline);
+
+    JavaVm Vm(C.Config);
+    DjxPerf Prof(Vm, Agent);
+    Prof.start();
+    C.Baseline(Vm);
+    Prof.stop();
+    MergedProfile M = Prof.analyze();
+    auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+    std::string Top = "-";
+    double Share = 0.0;
+    if (!Sorted.empty()) {
+      auto Path = M.Tree.path(Sorted[0]->AllocNode);
+      if (!Path.empty())
+        Top = Vm.methods().qualifiedName(Path.back().Method);
+      Share = M.shareOf(*Sorted[0], PerfEventKind::L1Miss);
+    }
+    T.addRow({std::to_string(Period), TextTable::fmt(R.RuntimeOverhead),
+              std::to_string(R.Profiled.Samples),
+              Top == Expect ? Top + " (correct)" : Top,
+              TextTable::fmtPercent(Share)});
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  T.print();
+  std::printf("\nexpected shape: short periods inflate overhead; very long"
+              " periods starve the profile of samples, but the top object"
+              " stays stable over a wide middle band (statistical"
+              " robustness of PMU sampling).\n");
+  return 0;
+}

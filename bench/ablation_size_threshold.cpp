@@ -1,0 +1,64 @@
+//===- ablation_size_threshold.cpp - Section 6 "S" sweep --------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.1/§6: the size filter S trades overhead for coverage. The paper's
+/// extreme S=0 (monitor every allocation) costs 1.8x-3.6x on Renaissance;
+/// the default S=1 KiB keeps the typical ~8%. This sweep measures runtime
+/// overhead and tracked-object counts at S in {0, 256, 1024, 4096} over
+/// the callback-heavy Renaissance entries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/TextTable.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  std::printf("=== Ablation: size filter S (paper: S=0 costs 1.8x-3.6x on"
+              " Renaissance; S=1KiB is the default trade-off) ===\n\n");
+
+  const uint64_t Thresholds[] = {0, 256, 1024, 4096};
+  TextTable T({"benchmark", "S", "runtime-ov", "tracked-allocs",
+               "profiler-KiB"});
+  // Callback-heavy Renaissance entries stress S the most.
+  const char *Names[] = {"akka-uct", "mnemonics", "par-mnemonics",
+                         "scrabble", "db-shootout"};
+  for (const char *Name : Names) {
+    for (const SuiteEntry &E : figure4Suites()) {
+      if (E.Name != Name || E.Suite != "Renaissance")
+        continue;
+      for (uint64_t S : Thresholds) {
+        DjxPerfConfig Agent;
+        Agent.MinObjectSize = S;
+        OverheadResult R = measureOverhead(
+            E.Config, Agent, [&E](JavaVm &Vm) { runSuiteEntry(Vm, E); });
+        // Tracked count comes from a direct profiled run.
+        JavaVm Vm(E.Config);
+        DjxPerf Prof(Vm, Agent);
+        Prof.start();
+        runSuiteEntry(Vm, E);
+        Prof.stop();
+        T.addRow({Name, std::to_string(S),
+                  TextTable::fmt(R.RuntimeOverhead),
+                  std::to_string(Prof.allocationsTracked()),
+                  std::to_string(Prof.memoryFootprint() / 1024)});
+      }
+      T.addSeparator();
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+  T.print();
+  std::printf("\nexpected shape: overhead rises sharply as S drops to 0 "
+              "while insight (see §6) barely improves.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- calibrate.cpp - Developer utility: check experiment shapes ---------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints measured vs paper numbers for every experiment family in one
+/// quick pass. Used to calibrate workload parameters; the real
+/// reproduction binaries live next to this file (one per table/figure).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/TextTable.h"
+#include "workloads/Insignificant.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  (void)Quick;
+
+  std::printf("== Table 1 case studies ==\n");
+  TextTable T1({"application", "paper", "measured"});
+  for (const CaseStudy &C : table1CaseStudies()) {
+    auto [S, Ci] = measureSpeedup(C, 1);
+    T1.addRow({C.Application, TextTable::fmt(C.PaperSpeedup),
+               TextTable::fmtPlusMinus(S, Ci)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  T1.print();
+
+  std::printf("\n== Table 2 insignificant ==\n");
+  TextTable T2({"application", "paper", "measured"});
+  for (const InsignificantCase &IC : table2InsignificantCases()) {
+    auto [S, Ci] = measureSpeedup(IC.Study, 1);
+    T2.addRow({IC.Study.Application, TextTable::fmt(IC.Study.PaperSpeedup),
+               TextTable::fmtPlusMinus(S, Ci)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  T2.print();
+
+  std::printf("\n== Figure 4 suites (subset) ==\n");
+  TextTable T4({"bench", "paper-rt", "meas-rt", "paper-mem", "meas-mem"});
+  DjxPerfConfig Agent;
+  int Count = 0;
+  for (const SuiteEntry &E : figure4Suites()) {
+    if (++Count % 5 != 1)
+      continue; // Subset for speed.
+    OverheadResult R = measureOverhead(
+        E.Config, Agent, [&E](JavaVm &Vm) { runSuiteEntry(Vm, E); });
+    T4.addRow({E.Name, TextTable::fmt(E.PaperRuntimeOverhead),
+               TextTable::fmt(R.RuntimeOverhead),
+               TextTable::fmt(E.PaperMemoryOverhead),
+               TextTable::fmt(R.MemoryOverhead)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  T4.print();
+  return 0;
+}

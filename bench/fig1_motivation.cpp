@@ -1,0 +1,68 @@
+//===- fig1_motivation.cpp - Reproduces Figure 1 ---------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 1: code-centric vs object-centric profiling of the same access
+/// timeline. Prints both views plus the per-object aggregation table the
+/// figure shows (O1 50%, O2 26%, O3 24% with per-instruction breakdowns).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "core/Report.h"
+#include "support/TextTable.h"
+#include "workloads/Figure1.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  std::printf("=== Figure 1: code-centric vs object-centric profiling ===\n"
+              "paper: Ic tops the code view (24%%); O1 tops the object view"
+              " (50%% vs O2 26%%, O3 24%%)\n\n");
+
+  VmConfig Cfg;
+  Cfg.HeapBytes = 8 << 20;
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 16, 64}};
+
+  JavaVm Vm(Cfg);
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  runFigure1Workload(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+
+  ReportOptions Opts;
+  Opts.TopGroups = 3;
+  Opts.TopAccessContexts = 6;
+  Opts.ShowNuma = false;
+  std::fputs(renderCodeCentric(M, Vm.methods(), Opts).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(renderObjectCentric(M, Vm.methods(), Opts).c_str(), stdout);
+
+  // The figure's aggregation table.
+  TextTable T({"object", "measured share", "paper share"});
+  const char *Paper[] = {"50%", "26%", "24%"};
+  int I = 0;
+  for (const MergedGroup *G : M.groupsByMetric(PerfEventKind::L1Miss)) {
+    if (I >= 3)
+      break;
+    auto Path = M.Tree.path(G->AllocNode);
+    std::string Name = Path.empty()
+                           ? "<?>"
+                           : Vm.methods().qualifiedName(Path.back().Method);
+    T.addRow({Name, TextTable::fmtPercent(
+                        M.shareOf(*G, PerfEventKind::L1Miss)),
+              Paper[I]});
+    ++I;
+  }
+  std::printf("\n");
+  T.print();
+  return 0;
+}

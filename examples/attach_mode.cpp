@@ -1,0 +1,83 @@
+//===- attach_mode.cpp - Attach/detach to a running service ------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.1: "DJXPerf can attach and detach to any running Java program ...
+/// particularly useful to monitor long-running programs such as web
+/// servers". A "service" loop runs request batches; the profiler attaches
+/// for a measurement window mid-run, detaches, and the report covers only
+/// the window. Objects allocated before attach are untracked, and objects
+/// the GC moves while attached are picked up from their move records.
+///
+/// Run: ./build/examples/attach_mode
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+namespace {
+
+/// One batch of "requests": each request allocates a response buffer and
+/// fills it.
+void serveBatch(JavaVm &Vm, JavaThread &T, MethodId Handler, int Requests) {
+  RootScope Roots(Vm);
+  TypeId LongArr = Vm.types().longArray();
+  for (int R = 0; R < Requests; ++R) {
+    FrameScope F(T, Handler, 0);
+    ObjectRef Buf = Vm.allocateArray(T, LongArr, 512); // 4 KiB response.
+    for (int I = 0; I < 512; ++I)
+      Vm.writeWord(T, Buf, static_cast<uint64_t>(I) * 8, R + I);
+  }
+}
+
+} // namespace
+
+int main() {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 1 << 20; // Small heap: GC churn while attached.
+  JavaVm Vm(Cfg);
+  MethodId Handler =
+      Vm.methods().getOrRegister("RequestHandler", "handle", {{0, 88}});
+  JavaThread &Service = Vm.startThread("service-worker", 2);
+
+  // The service has been running for a while before anyone profiles it.
+  std::printf("service warming up (no profiler attached)...\n");
+  serveBatch(Vm, Service, Handler, 300);
+
+  // Ops engineer attaches DJXPerf to the live process.
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 32, 64}};
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  std::printf("attached; sampling a measurement window...\n");
+  serveBatch(Vm, Service, Handler, 300);
+  Prof.stop();
+  std::printf("detached; service keeps running unperturbed...\n");
+  serveBatch(Vm, Service, Handler, 300);
+  Vm.endThread(Service);
+
+  std::printf("\nwindow stats: %llu allocation callbacks, %llu tracked,"
+              " %llu samples\n",
+              (unsigned long long)Prof.allocationCallbacks(),
+              (unsigned long long)Prof.allocationsTracked(),
+              (unsigned long long)Prof.samplesHandled());
+
+  ReportOptions Opts;
+  Opts.TopGroups = 3;
+  Opts.ShowNuma = false;
+  std::fputs(
+      renderObjectCentric(Prof.analyze(), Vm.methods(), Opts).c_str(),
+      stdout);
+  std::printf("only the middle 300 requests were measured — overhead is"
+              " paid solely during the window (§6: attach mode on"
+              " production services).\n");
+  return 0;
+}

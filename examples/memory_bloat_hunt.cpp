@@ -1,0 +1,91 @@
+//===- memory_bloat_hunt.cpp - Find and fix a memory-bloat bug ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks the full Listing 1 story (Dacapo batik, §1.1): profile the
+/// makeRoom loop, see DJXPerf point at the nvals allocation site with a
+/// large miss share, apply the singleton-pattern fix, and measure the
+/// speedup plus peak-heap reduction.
+///
+/// Run: ./build/examples/memory_bloat_hunt
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "workloads/Kernels.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 2 << 20;
+
+  BloatParams Batik;
+  Batik.ClassName = "ExtendedGeneralPath";
+  Batik.MethodName = "makeRoom";
+  Batik.AllocLine = 743;
+  Batik.CallerClass = "PathParser";
+  Batik.CallerMethod = "parsePath";
+  Batik.CallLine = 310;
+  Batik.Iterations = 2478; // The paper's batik allocation count.
+  Batik.ObjectBytes = 4096;
+  Batik.AccessesPerObject = 512;
+
+  std::printf("step 1: profile the suspicious run\n");
+  std::printf("-----------------------------------\n");
+  uint64_t BaselineCycles, BaselinePeak;
+  {
+    JavaVm Vm(Cfg);
+    DjxPerfConfig Agent;
+    Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+    DjxPerf Prof(Vm, Agent);
+    Prof.start();
+    JavaThread &T = Vm.startThread("main", 0);
+    runBloatKernel(Vm, T, Batik);
+    Vm.endThread(T);
+    Prof.stop();
+    BaselineCycles = Vm.totalCycles();
+    BaselinePeak = Vm.peakHeapBytes();
+    ReportOptions Opts;
+    Opts.TopGroups = 3;
+    Opts.ShowNuma = false;
+    std::fputs(renderObjectCentric(Prof.analyze(), Vm.methods(), Opts)
+                   .c_str(),
+               stdout);
+  }
+
+  std::printf("step 2: apply the fix DJXPerf suggests (hoist the"
+              " allocation: singleton pattern)\n");
+  std::printf("--------------------------------------------------------"
+              "-----------------------\n");
+  BloatParams Fixed = Batik;
+  Fixed.Hoist = true;
+  uint64_t FixedCycles, FixedPeak;
+  {
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("main", 0);
+    runBloatKernel(Vm, T, Fixed);
+    Vm.endThread(T);
+    FixedCycles = Vm.totalCycles();
+    FixedPeak = Vm.peakHeapBytes();
+  }
+
+  std::printf("\nbaseline : %12llu cycles, peak heap %7llu KiB\n",
+              (unsigned long long)BaselineCycles,
+              (unsigned long long)(BaselinePeak / 1024));
+  std::printf("fixed    : %12llu cycles, peak heap %7llu KiB\n",
+              (unsigned long long)FixedCycles,
+              (unsigned long long)(FixedPeak / 1024));
+  std::printf("speedup  : %.2fx   (paper's batik fix: 1.15x +- 0.03)\n",
+              static_cast<double>(BaselineCycles) /
+                  static_cast<double>(FixedCycles));
+  std::printf("note the peak-heap drop too — FindBugs' fix halved memory"
+              " (1.8 GB -> 0.9 GB) in the paper.\n");
+  return 0;
+}

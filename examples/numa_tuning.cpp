@@ -1,0 +1,95 @@
+//===- numa_tuning.cpp - Diagnose and fix NUMA remote accesses ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7.6 Apache Druid story: a bitmap is built by one thread (all its
+/// pages land on that thread's node) and scanned by workers on every
+/// node. DJXPerf's NUMA diagnosis (§4.3: move_pages + PERF_SAMPLE_CPU)
+/// flags the remote-access rate; parallelizing allocation/initialisation
+/// fixes it.
+///
+/// Run: ./build/examples/numa_tuning
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "workloads/Kernels.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+static void profileOnce(const char *Label, const VmConfig &Cfg,
+                        const NumaParams &P, uint64_t &CyclesOut) {
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  runNumaKernel(Vm, P);
+  Prof.stop();
+  CyclesOut = Vm.totalCycles();
+
+  MergedProfile M = Prof.analyze();
+  auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+  std::printf("%s\n", Label);
+  if (!Sorted.empty()) {
+    const MergedGroup &G = *Sorted[0];
+    auto Path = M.Tree.path(G.AllocNode);
+    std::printf("  hottest object: %s (%s)\n",
+                Path.empty() ? "<?>"
+                             : Vm.methods()
+                                   .qualifiedName(Path.back().Method)
+                                   .c_str(),
+                G.TypeName.c_str());
+    double Remote = G.AddressSamples
+                        ? static_cast<double>(G.RemoteSamples) /
+                              static_cast<double>(G.AddressSamples)
+                        : 0.0;
+    std::printf("  NUMA remote accesses: %.1f%%  (%llu of %llu sampled)\n",
+                Remote * 100.0, (unsigned long long)G.RemoteSamples,
+                (unsigned long long)G.AddressSamples);
+  }
+  std::printf("  run cycles: %llu\n\n", (unsigned long long)CyclesOut);
+}
+
+int main() {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 64ULL << 20;
+  Cfg.Machine.L3 = CacheConfig{512 * 1024, 64, 16};
+
+  NumaParams Druid;
+  Druid.ArrayBytes = 8ULL << 20;
+  Druid.Workers = 8;
+  Druid.ReadsPerWorker = 1 << 17;
+
+  std::printf("=== NUMA tuning with DJXPerf (the Apache Druid story) ==="
+              "\n\n");
+  uint64_t Before = 0, After = 0;
+  Druid.Place = NumaParams::Placement::MasterFirstTouch;
+  profileOnce("BEFORE: constructor thread first-touches every page", Cfg,
+              Druid, Before);
+
+  Druid.Place = NumaParams::Placement::WorkerPartitions;
+  profileOnce("AFTER: parallel allocation+init (per-thread first touch)",
+              Cfg, Druid, After);
+
+  std::printf("throughput improvement: %.2fx  (paper: 1.75x +- 0.05,"
+              " remote accesses -47%%)\n",
+              static_cast<double>(Before) / static_cast<double>(After));
+
+  std::printf("\nalternative fix (NPB SP, §7): numa_alloc_interleaved\n");
+  Druid.Place = NumaParams::Placement::Interleaved;
+  uint64_t Interleaved = 0;
+  profileOnce("AFTER (interleaved): pages spread round-robin", Cfg, Druid,
+              Interleaved);
+  std::printf("interleaving improvement: %.2fx — remote rate stays ~50%%"
+              " but both memory controllers share the load.\n",
+              static_cast<double>(Before) /
+                  static_cast<double>(Interleaved));
+  return 0;
+}

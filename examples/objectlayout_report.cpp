@@ -1,0 +1,67 @@
+//===- objectlayout_report.cpp - The Figure 5 GUI view -----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Figure 5 presentation: the ObjectLayout case study's
+/// object-centric view — the problematic intAddressableElements array's
+/// allocation site, its full allocation call path, all access call paths
+/// ordered by contribution, and the metrics pane — rendered as text
+/// instead of the paper's Python GUI. Also writes the per-thread profile
+/// files the offline analyzer consumes (Figure 3's workflow).
+///
+/// Run: ./build/examples/objectlayout_report [profile-output-dir]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "workloads/CaseStudies.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main(int Argc, char **Argv) {
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "ObjectLayout 1.0.5");
+
+  JavaVm Vm(C.Config);
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  C.Baseline(Vm);
+  Prof.stop();
+
+  // Figure 3 workflow: collector emits one profile file per thread; the
+  // offline analyzer merges them.
+  std::string Dir = Argc > 1 ? Argv[1] : "/tmp/djxperf_objectlayout";
+  unsigned Files = Prof.writeProfiles(Dir);
+  std::printf("collector wrote %u per-thread profile file(s) to %s\n",
+              Files, Dir.c_str());
+
+  auto Merged = mergeProfileDir(Dir);
+  if (!Merged) {
+    std::fprintf(stderr, "error: no profiles found in %s\n", Dir.c_str());
+    return 1;
+  }
+
+  std::printf("\n=== DJXPerf top-down view (paper Figure 5) ===\n"
+              "paper: the intAddressableElements allocation at\n"
+              "AbstractStructuredArrayBase.allocateInternalStorage:292"
+              " accounts for ~30%% of L1 misses;\nfour such objects cover"
+              " 84%% of the program's misses.\n\n");
+  ReportOptions Opts;
+  Opts.TopGroups = 4;
+  Opts.TopAccessContexts = 6;
+  std::fputs(renderObjectCentric(*Merged, Vm.methods(), Opts).c_str(),
+             stdout);
+
+  std::printf("=== the same data, code-centric (what perf shows) ===\n\n");
+  std::fputs(renderCodeCentric(*Merged, Vm.methods(), Opts).c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- quickstart.cpp - Five-minute DJXPerf tour -----------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build a tiny workload on the MiniJVM, profile it with
+/// DJXPerf, and print the object-centric report. The workload allocates
+/// two arrays; one is accessed with terrible locality (random strides),
+/// one sequentially — the report ranks the former first.
+///
+/// Run: ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+int main() {
+  // 1. Bring up a VM (heap, simulated caches/NUMA, PMU).
+  JavaVm Vm;
+
+  // 2. Construct the profiler (launch mode: before the workload) and
+  //    start it. Default config: L1-miss sampling, S = 1 KiB.
+  DjxPerfConfig Config;
+  Config.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  DjxPerf Profiler(Vm, Config);
+  Profiler.start();
+
+  // 3. The "Java program": two allocation sites, two access patterns.
+  JavaThread &Main = Vm.startThread("main", 0);
+  MethodRegistry &MR = Vm.methods();
+  MethodId MakeCold = MR.getOrRegister("Demo", "makeColdBuffer", {{0, 12}});
+  MethodId MakeWarm = MR.getOrRegister("Demo", "makeWarmBuffer", {{0, 17}});
+  MethodId Work = MR.getOrRegister("Demo", "work", {{0, 25}, {1, 26}});
+
+  RootScope Roots(Vm);
+  constexpr uint64_t kElems = 1 << 16; // 512 KiB each.
+  ObjectRef &Cold = Roots.add();
+  ObjectRef &Warm = Roots.add();
+  {
+    FrameScope F(Main, MakeCold, 0);
+    Cold = Vm.allocateArray(Main, Vm.types().longArray(), kElems);
+  }
+  {
+    FrameScope F(Main, MakeWarm, 0);
+    Warm = Vm.allocateArray(Main, Vm.types().longArray(), kElems);
+  }
+  {
+    FrameScope F(Main, Work, 0);
+    Random Rng(7);
+    uint64_t Acc = 0;
+    for (int I = 0; I < 60000; ++I) {
+      F.setBci(0); // line 25: random strides -> every access misses.
+      Acc += Vm.readWord(Main, Cold, Rng.nextBelow(kElems) * 8);
+      F.setBci(1); // line 26: sequential -> mostly L1 hits.
+      Acc += Vm.readWord(Main, Warm,
+                         (static_cast<uint64_t>(I) % kElems) * 8);
+    }
+    (void)Acc;
+  }
+  Vm.endThread(Main);
+
+  // 4. Stop, analyze (merges per-thread profiles), report.
+  Profiler.stop();
+  MergedProfile Profile = Profiler.analyze();
+  ReportOptions Opts;
+  Opts.TopGroups = 5;
+  std::fputs(renderObjectCentric(Profile, Vm.methods(), Opts).c_str(),
+             stdout);
+
+  std::printf("note: both buffers are the same size and receive the same"
+              " number of reads;\nonly the *locality* differs — which is"
+              " exactly what the PMU metrics expose.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- Disassembler.cpp - Human-readable bytecode listings -----------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+
+#include <sstream>
+
+using namespace djx;
+
+std::string djx::disassemble(const BytecodeMethod &M) {
+  std::ostringstream OS;
+  OS << M.qualifiedName() << " (args=" << M.NumArgs
+     << ", locals=" << M.NumLocals << ")\n";
+  size_t LineIdx = 0;
+  for (size_t Bci = 0; Bci < M.Code.size(); ++Bci) {
+    while (LineIdx < M.LineTable.size() && M.LineTable[LineIdx].Bci == Bci) {
+      OS << "  // line " << M.LineTable[LineIdx].Line << "\n";
+      ++LineIdx;
+    }
+    const Instruction &I = M.Code[Bci];
+    OS << "  " << Bci << ": " << opcodeName(I.Op);
+    switch (I.Op) {
+    case Opcode::Nop:
+    case Opcode::Pop:
+    case Opcode::Dup:
+    case Opcode::Swap:
+    case Opcode::IAdd:
+    case Opcode::ISub:
+    case Opcode::IMul:
+    case Opcode::IDiv:
+    case Opcode::IRem:
+    case Opcode::INeg:
+    case Opcode::IAnd:
+    case Opcode::IOr:
+    case Opcode::IXor:
+    case Opcode::IShl:
+    case Opcode::IShr:
+    case Opcode::PALoad:
+    case Opcode::PAStore:
+    case Opcode::AALoad:
+    case Opcode::AAStore:
+    case Opcode::ArrayLength:
+    case Opcode::Return:
+    case Opcode::IReturn:
+    case Opcode::AReturn:
+      break;
+    case Opcode::Invoke:
+      if (M.RegistryId == kInvalidMethod &&
+          static_cast<size_t>(I.A) < M.CalleeRefs.size())
+        OS << " " << M.CalleeRefs[I.A];
+      else
+        OS << " #" << I.A;
+      OS << " args=" << I.B;
+      break;
+    case Opcode::GetField:
+    case Opcode::PutField:
+      OS << " off=" << I.A << " width=" << I.B;
+      break;
+    case Opcode::GetRefField:
+    case Opcode::PutRefField:
+      OS << " off=" << I.A;
+      break;
+    case Opcode::MultiANewArray:
+      OS << " leaf-type=" << I.A << " dims=" << I.B;
+      break;
+    default:
+      OS << " " << I.A;
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,28 @@
+//===- Disassembler.h - Human-readable bytecode listings --------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders bytecode as text (one instruction per line, with BCIs, source
+/// lines and callee names). Used by the instrumentation example to show the
+/// before/after of allocation-site rewriting, as ASM's Textifier would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_BYTECODE_DISASSEMBLER_H
+#define DJX_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/ClassFile.h"
+
+#include <string>
+
+namespace djx {
+
+/// Renders one method as a text listing.
+std::string disassemble(const BytecodeMethod &M);
+
+} // namespace djx
+
+#endif // DJX_BYTECODE_DISASSEMBLER_H

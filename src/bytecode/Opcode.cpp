@@ -1,0 +1,152 @@
+//===- Opcode.cpp - MiniJVM bytecode instruction set -----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+using namespace djx;
+
+std::string djx::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::ILoad:
+    return "iload";
+  case Opcode::IStore:
+    return "istore";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Swap:
+    return "swap";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IRem:
+    return "irem";
+  case Opcode::INeg:
+    return "ineg";
+  case Opcode::IAnd:
+    return "iand";
+  case Opcode::IOr:
+    return "ior";
+  case Opcode::IXor:
+    return "ixor";
+  case Opcode::IShl:
+    return "ishl";
+  case Opcode::IShr:
+    return "ishr";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfEq:
+    return "ifeq";
+  case Opcode::IfNe:
+    return "ifne";
+  case Opcode::IfLt:
+    return "iflt";
+  case Opcode::IfGe:
+    return "ifge";
+  case Opcode::IfICmpEq:
+    return "if_icmpeq";
+  case Opcode::IfICmpNe:
+    return "if_icmpne";
+  case Opcode::IfICmpLt:
+    return "if_icmplt";
+  case Opcode::IfICmpGe:
+    return "if_icmpge";
+  case Opcode::IfICmpGt:
+    return "if_icmpgt";
+  case Opcode::IfICmpLe:
+    return "if_icmple";
+  case Opcode::IfNull:
+    return "ifnull";
+  case Opcode::IfNonNull:
+    return "ifnonnull";
+  case Opcode::New:
+    return "new";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ANewArray:
+    return "anewarray";
+  case Opcode::MultiANewArray:
+    return "multianewarray";
+  case Opcode::PALoad:
+    return "paload";
+  case Opcode::PAStore:
+    return "pastore";
+  case Opcode::AALoad:
+    return "aaload";
+  case Opcode::AAStore:
+    return "aastore";
+  case Opcode::ArrayLength:
+    return "arraylength";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetRefField:
+    return "getreffield";
+  case Opcode::PutRefField:
+    return "putreffield";
+  case Opcode::Invoke:
+    return "invoke";
+  case Opcode::Return:
+    return "return";
+  case Opcode::IReturn:
+    return "ireturn";
+  case Opcode::AReturn:
+    return "areturn";
+  case Opcode::AllocHookPre:
+    return "allochook_pre";
+  case Opcode::AllocHookPost:
+    return "allochook_post";
+  }
+  return "bad";
+}
+
+bool djx::isBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool djx::isAllocation(Opcode Op) {
+  switch (Op) {
+  case Opcode::New:
+  case Opcode::NewArray:
+  case Opcode::ANewArray:
+  case Opcode::MultiANewArray:
+    return true;
+  default:
+    return false;
+  }
+}

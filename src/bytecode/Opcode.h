@@ -1,0 +1,135 @@
+//===- Opcode.h - MiniJVM bytecode instruction set --------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack-machine instruction set executed by the interpreter. It is a
+/// compact subset of JVM bytecode sufficient for the paper's workload
+/// kernels, and crucially contains the four object-allocation opcodes the
+/// Java agent instruments (§4.1): New, NewArray, ANewArray and
+/// MultiANewArray. AllocHookPre/AllocHookPost are the pseudo-instructions
+/// the ASM-style instrumenter inserts around them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_BYTECODE_OPCODE_H
+#define DJX_BYTECODE_OPCODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace djx {
+
+/// Bytecode operation codes. Operand meaning is listed per opcode; A and B
+/// are the two immediate slots of Instruction.
+enum class Opcode : uint8_t {
+  Nop,
+  /// Push constant A.
+  IConst,
+  /// Push local[A] (integer slot).
+  ILoad,
+  /// local[A] = pop (integer slot).
+  IStore,
+  /// Push local[A] (reference slot).
+  ALoad,
+  /// local[A] = pop (reference slot).
+  AStore,
+  Pop,
+  Dup,
+  Swap,
+  // Integer arithmetic on the top of stack.
+  IAdd,
+  ISub,
+  IMul,
+  IDiv,
+  IRem,
+  INeg,
+  IAnd,
+  IOr,
+  IXor,
+  IShl,
+  IShr,
+  /// Unconditional jump to BCI A.
+  Goto,
+  /// Pop V; jump to A when V == 0.
+  IfEq,
+  /// Pop V; jump to A when V != 0.
+  IfNe,
+  /// Pop V; jump to A when V < 0.
+  IfLt,
+  /// Pop V; jump to A when V >= 0.
+  IfGe,
+  // Pop R then L; jump to A on the comparison L <op> R.
+  IfICmpEq,
+  IfICmpNe,
+  IfICmpLt,
+  IfICmpGe,
+  IfICmpGt,
+  IfICmpLe,
+  /// Pop ref; jump to A when null.
+  IfNull,
+  /// Pop ref; jump to A when non-null.
+  IfNonNull,
+  /// Allocate instance of type A; push ref.
+  New,
+  /// Pop length; allocate primitive array of type A; push ref.
+  NewArray,
+  /// Pop length; allocate reference array of type A; push ref.
+  ANewArray,
+  /// Pop B dimension lengths (outermost pushed first); allocate nested
+  /// arrays with leaf array type A; push ref.
+  MultiANewArray,
+  /// Pop index, pop array ref; push element (width = array elem size).
+  PALoad,
+  /// Pop value, pop index, pop array ref; store element.
+  PAStore,
+  /// Pop index, pop array ref; push reference element.
+  AALoad,
+  /// Pop ref value, pop index, pop array ref; store reference element.
+  AAStore,
+  /// Pop array ref; push its length.
+  ArrayLength,
+  /// Pop obj ref; push B-byte field at offset A.
+  GetField,
+  /// Pop value, pop obj ref; store B-byte field at offset A.
+  PutField,
+  /// Pop obj ref; push reference field at offset A.
+  GetRefField,
+  /// Pop ref value, pop obj ref; store reference field at offset A.
+  PutRefField,
+  /// Call method (linked index A) with B arguments popped right-to-left.
+  Invoke,
+  Return,
+  /// Pop V; return V to the caller's stack.
+  IReturn,
+  /// Pop ref; return it to the caller's stack.
+  AReturn,
+  /// Instrumentation hook before an allocation site (site id A).
+  AllocHookPre,
+  /// Instrumentation hook after an allocation site (site id A); peeks the
+  /// freshly allocated reference on top of the stack.
+  AllocHookPost,
+};
+
+/// Printable mnemonic for \p Op.
+std::string opcodeName(Opcode Op);
+
+/// True for opcodes whose A operand is a branch-target BCI (needed by the
+/// instrumentation framework when it remaps code).
+bool isBranch(Opcode Op);
+
+/// True for the four allocation opcodes the Java agent instruments.
+bool isAllocation(Opcode Op);
+
+/// One decoded instruction.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_BYTECODE_OPCODE_H

@@ -1,0 +1,78 @@
+//===- Verifier.cpp - Structural bytecode checks ---------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+
+#include <cstdio>
+
+using namespace djx;
+
+static void addError(VerifyResult &R, size_t Bci, const std::string &Msg) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "bci %zu: ", Bci);
+  R.Errors.push_back(Buf + Msg);
+}
+
+VerifyResult djx::verifyMethod(const BytecodeMethod &M) {
+  VerifyResult R;
+  if (M.Code.empty()) {
+    R.Errors.push_back("empty code");
+    return R;
+  }
+  size_t N = M.Code.size();
+  for (size_t I = 0; I < N; ++I) {
+    const Instruction &Inst = M.Code[I];
+    if (isBranch(Inst.Op)) {
+      if (Inst.A < 0 || static_cast<size_t>(Inst.A) >= N)
+        addError(R, I, "branch target out of range");
+    }
+    switch (Inst.Op) {
+    case Opcode::ILoad:
+    case Opcode::IStore:
+    case Opcode::ALoad:
+    case Opcode::AStore:
+      if (Inst.A < 0 || static_cast<size_t>(Inst.A) >= M.NumLocals)
+        addError(R, I, "local slot out of range");
+      break;
+    case Opcode::Invoke:
+      if (Inst.B < 0)
+        addError(R, I, "negative argument count");
+      // Unlinked methods index the callee table; linked ones index the
+      // program, which the interpreter checks at call time.
+      if (M.RegistryId == kInvalidMethod &&
+          (Inst.A < 0 || static_cast<size_t>(Inst.A) >= M.CalleeRefs.size()))
+        addError(R, I, "callee table index out of range");
+      break;
+    case Opcode::MultiANewArray:
+      if (Inst.B < 1)
+        addError(R, I, "multianewarray needs >= 1 dimension");
+      break;
+    default:
+      break;
+    }
+  }
+  Opcode LastOp = M.Code.back().Op;
+  if (LastOp != Opcode::Return && LastOp != Opcode::IReturn &&
+      LastOp != Opcode::AReturn && LastOp != Opcode::Goto)
+    R.Errors.push_back("code does not end with a return or goto");
+  for (size_t I = 1; I < M.LineTable.size(); ++I)
+    if (M.LineTable[I - 1].Bci >= M.LineTable[I].Bci)
+      R.Errors.push_back("line table not sorted by BCI");
+  return R;
+}
+
+VerifyResult djx::verifyProgram(const BytecodeProgram &P) {
+  // Walk classes directly so unloaded programs can be verified before
+  // linking, like a class-load-time verifier.
+  VerifyResult All;
+  for (const ClassFile &C : P.classes())
+    for (const BytecodeMethod &M : C.Methods) {
+      VerifyResult R = verifyMethod(M);
+      for (const std::string &E : R.Errors)
+        All.Errors.push_back(M.qualifiedName() + ": " + E);
+    }
+  return All;
+}

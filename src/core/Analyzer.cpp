@@ -1,0 +1,107 @@
+//===- Analyzer.cpp - Offline profile merging -------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+using namespace djx;
+
+std::vector<const MergedGroup *>
+MergedProfile::groupsByMetric(PerfEventKind Kind) const {
+  std::vector<const MergedGroup *> Out;
+  Out.reserve(Groups.size());
+  for (const auto &[Node, G] : Groups) {
+    (void)Node;
+    Out.push_back(&G);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [Kind](const MergedGroup *A, const MergedGroup *B) {
+                     return A->Metrics.get(Kind) > B->Metrics.get(Kind);
+                   });
+  return Out;
+}
+
+double MergedProfile::shareOf(const MergedGroup &G,
+                              PerfEventKind Kind) const {
+  uint64_t Total = Totals.get(Kind);
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(G.Metrics.get(Kind)) /
+         static_cast<double>(Total);
+}
+
+MergedProfile
+djx::mergeProfiles(const std::vector<const ThreadProfile *> &Parts) {
+  MergedProfile Out;
+  Out.ThreadsMerged = Parts.size();
+
+  // Index profiles by thread so allocation identities resolve.
+  std::unordered_map<uint64_t, const ThreadProfile *> ByThread;
+  for (const ThreadProfile *P : Parts)
+    ByThread.emplace(P->threadId(), P);
+
+  // Resolves an AllocKey to a leaf node in the merged tree by replaying
+  // the allocating thread's call path — the "merge call paths top-down"
+  // step of §5.2.
+  auto ResolveAllocNode = [&](const AllocKey &Key) -> CctNodeId {
+    auto It = ByThread.find(Key.AllocThread);
+    if (It == ByThread.end() || Key.AllocNode == kCctRoot)
+      return kCctRoot; // Unknown provenance.
+    return Out.Tree.insertPath(It->second->cct().path(Key.AllocNode));
+  };
+
+  for (const ThreadProfile *P : Parts) {
+    // Per-thread access contexts remap through the merged tree.
+    auto Remap = [&](CctNodeId Node) {
+      return Out.Tree.insertPath(P->cct().path(Node));
+    };
+
+    for (const auto &[Key, G] : P->groups()) {
+      CctNodeId AllocNode = ResolveAllocNode(Key);
+      MergedGroup &M = Out.Groups[AllocNode];
+      M.AllocNode = AllocNode;
+      if (M.TypeName.empty())
+        M.TypeName = G.TypeName;
+      M.AllocCount += G.AllocCount;
+      M.AllocBytes += G.AllocBytes;
+      M.Metrics += G.Metrics;
+      M.RemoteSamples += G.RemoteSamples;
+      M.AddressSamples += G.AddressSamples;
+      for (const auto &[Node, Counts] : G.AccessBreakdown)
+        M.AccessBreakdown[Remap(Node)] += Counts;
+    }
+    for (const auto &[Node, Counts] : P->codeCentric())
+      Out.CodeCentric[Remap(Node)] += Counts;
+    Out.Totals += P->totals();
+    Out.UnattributedSamples += P->unattributedSamples();
+  }
+  return Out;
+}
+
+std::optional<MergedProfile> djx::mergeProfileDir(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<ThreadProfile> Loaded;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    if (Entry.path().extension() != ".djxprof")
+      continue;
+    std::ifstream In(Entry.path());
+    ThreadProfile P;
+    if (In && P.readFrom(In))
+      Loaded.push_back(std::move(P));
+  }
+  if (Loaded.empty())
+    return std::nullopt;
+  std::vector<const ThreadProfile *> Ptrs;
+  Ptrs.reserve(Loaded.size());
+  for (const ThreadProfile &P : Loaded)
+    Ptrs.push_back(&P);
+  return mergeProfiles(Ptrs);
+}

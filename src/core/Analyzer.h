@@ -1,0 +1,70 @@
+//===- Analyzer.h - Offline profile merging ---------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DJXPerf's offline analyzer (§5.2): merges the per-thread profiles into
+/// one view. CCTs are coalesced top-down — call paths equal across threads
+/// share merged nodes and their metrics sum — and object groups whose
+/// allocation call paths are identical are combined even when different
+/// threads allocated or accessed them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_CORE_ANALYZER_H
+#define DJX_CORE_ANALYZER_H
+
+#include "core/ThreadProfile.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One object group after cross-thread merging.
+struct MergedGroup {
+  /// Leaf of the allocation call path in the merged CCT.
+  CctNodeId AllocNode = kCctRoot;
+  std::string TypeName;
+  uint64_t AllocCount = 0;
+  uint64_t AllocBytes = 0;
+  MetricCounts Metrics;
+  uint64_t RemoteSamples = 0;
+  uint64_t AddressSamples = 0;
+  /// Access contexts in the merged CCT.
+  std::map<CctNodeId, MetricCounts> AccessBreakdown;
+};
+
+/// The analyzer's output: one merged CCT plus merged tables.
+struct MergedProfile {
+  Cct Tree;
+  /// Keyed by merged allocation node.
+  std::map<CctNodeId, MergedGroup> Groups;
+  std::map<CctNodeId, MetricCounts> CodeCentric;
+  MetricCounts Totals;
+  uint64_t UnattributedSamples = 0;
+  uint64_t ThreadsMerged = 0;
+
+  /// Groups sorted descending by \p Kind (poor locality first) — the
+  /// presentation order of the paper's GUI.
+  std::vector<const MergedGroup *> groupsByMetric(PerfEventKind Kind) const;
+
+  /// Fraction of all samples of \p Kind attributed to \p G.
+  double shareOf(const MergedGroup &G, PerfEventKind Kind) const;
+};
+
+/// Merges per-thread profiles. Allocation identities referring to a thread
+/// whose profile is missing degrade to an "unknown context" group under
+/// the merged root.
+MergedProfile mergeProfiles(const std::vector<const ThreadProfile *> &Parts);
+
+/// Convenience: loads every "*.djxprof" file in \p Dir and merges.
+/// \returns nullopt when the directory holds no readable profiles.
+std::optional<MergedProfile> mergeProfileDir(const std::string &Dir);
+
+} // namespace djx
+
+#endif // DJX_CORE_ANALYZER_H

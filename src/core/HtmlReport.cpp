@@ -1,0 +1,193 @@
+//===- HtmlReport.cpp - Self-contained HTML profile view -------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace djx;
+
+static std::string escapeHtml(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '&':
+      Out += "&amp;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+static std::string fmtPct(double F) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", F * 100.0);
+  return Buf;
+}
+
+/// Renders a call path as nested list items, root first (the GUI's
+/// top-down tree pane).
+static void emitPath(std::ostringstream &OS, const Cct &Tree,
+                     CctNodeId Leaf, const MethodRegistry &Methods,
+                     const char *CssClass) {
+  if (Leaf == kCctRoot) {
+    OS << "<div class=\"" << CssClass
+       << "\">&lt;unknown allocation context&gt;</div>\n";
+    return;
+  }
+  std::vector<StackFrame> Frames = Tree.path(Leaf);
+  OS << "<div class=\"" << CssClass << "\">";
+  for (size_t I = 0; I < Frames.size(); ++I) {
+    const StackFrame &F = Frames[I];
+    if (I)
+      OS << "<span class=\"arrow\"> &rarr; </span>";
+    OS << escapeHtml(Methods.qualifiedName(F.Method)) << ":"
+       << Methods.lineForBci(F.Method, F.Bci);
+  }
+  OS << "</div>\n";
+}
+
+std::string djx::renderHtmlReport(const MergedProfile &P,
+                                  const MethodRegistry &Methods,
+                                  const ReportOptions &Opts,
+                                  const std::string &Title) {
+  PerfEventKind Kind = Opts.SortKind;
+  uint64_t Total = P.Totals.get(Kind);
+  std::ostringstream OS;
+  OS << "<!doctype html><html><head><meta charset=\"utf-8\">\n"
+     << "<title>" << escapeHtml(Title) << "</title>\n<style>\n"
+     << "body{font:14px/1.45 -apple-system,Segoe UI,sans-serif;margin:2em;"
+        "max-width:70em}\n"
+     << "h1{font-size:1.4em} .meta{color:#555}\n"
+     << ".group{border:1px solid #ddd;border-radius:6px;margin:1em 0;"
+        "padding:.8em 1em}\n"
+     << ".bar{background:#e8eefc;height:1.1em;border-radius:3px;"
+        "position:relative;margin:.3em 0}\n"
+     << ".bar>span{background:#4a7bd8;display:block;height:100%;"
+        "border-radius:3px}\n"
+     << ".alloc{color:#b03030;font-family:monospace;margin:.2em 0}\n"
+     << ".access{color:#2050a0;font-family:monospace;margin:.15em 0 "
+        ".15em 1.5em}\n"
+     << ".arrow{color:#999} .pct{font-weight:600}\n"
+     << "table{border-collapse:collapse;margin-top:.5em}\n"
+     << "td,th{border:1px solid #ddd;padding:.25em .6em;text-align:left;"
+        "font-family:monospace}\n"
+     << "</style></head><body>\n";
+  OS << "<h1>" << escapeHtml(Title) << "</h1>\n";
+  OS << "<p class=\"meta\">sorted by " << perfEventName(Kind) << " &middot; "
+     << Total << " samples &middot; " << P.ThreadsMerged
+     << " thread(s) merged &middot; " << P.UnattributedSamples
+     << " unattributed</p>\n";
+
+  unsigned Shown = 0;
+  for (const MergedGroup *G : P.groupsByMetric(Kind)) {
+    if (Shown >= Opts.TopGroups || G->Metrics.get(Kind) == 0)
+      break;
+    double Share = P.shareOf(*G, Kind);
+    if (Share < Opts.MinShare)
+      break;
+    ++Shown;
+    OS << "<div class=\"group\">\n<b>#" << Shown << " "
+       << escapeHtml(G->TypeName) << "</b> <span class=\"pct\">"
+       << fmtPct(Share) << "</span> (" << G->Metrics.get(Kind)
+       << " samples), allocated " << G->AllocCount << " time(s), "
+       << G->AllocBytes << " bytes total";
+    if (Opts.ShowNuma && G->AddressSamples)
+      OS << ", NUMA remote "
+         << fmtPct(static_cast<double>(G->RemoteSamples) /
+                   static_cast<double>(G->AddressSamples));
+    OS << "\n<div class=\"bar\"><span style=\"width:"
+       << fmtPct(Share) << "\"></span></div>\n";
+    emitPath(OS, P.Tree, G->AllocNode, Methods, "alloc");
+
+    std::vector<std::pair<CctNodeId, uint64_t>> Accesses;
+    for (const auto &[Node, M] : G->AccessBreakdown)
+      if (M.get(Kind))
+        Accesses.emplace_back(Node, M.get(Kind));
+    std::stable_sort(Accesses.begin(), Accesses.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
+    unsigned AShown = 0;
+    for (const auto &[Node, Count] : Accesses) {
+      if (AShown++ >= Opts.TopAccessContexts)
+        break;
+      double AShare = static_cast<double>(Count) /
+                      static_cast<double>(G->Metrics.get(Kind));
+      OS << "<div class=\"access\">[" << fmtPct(AShare) << "] ";
+      std::vector<StackFrame> Frames = P.Tree.path(Node);
+      for (size_t I = 0; I < Frames.size(); ++I) {
+        if (I)
+          OS << "<span class=\"arrow\"> &rarr; </span>";
+        OS << escapeHtml(Methods.qualifiedName(Frames[I].Method)) << ":"
+           << Methods.lineForBci(Frames[I].Method, Frames[I].Bci);
+      }
+      OS << "</div>\n";
+    }
+    OS << "</div>\n";
+  }
+  if (Shown == 0)
+    OS << "<p>(no object groups with " << perfEventName(Kind)
+       << " samples)</p>\n";
+
+  // Flat code-centric comparison table.
+  OS << "<h1>code-centric view (perf-style)</h1>\n<table>\n"
+     << "<tr><th>share</th><th>samples</th><th>context</th></tr>\n";
+  std::vector<std::pair<CctNodeId, uint64_t>> Rows;
+  for (const auto &[Node, M] : P.CodeCentric)
+    if (M.get(Kind))
+      Rows.emplace_back(Node, M.get(Kind));
+  std::stable_sort(
+      Rows.begin(), Rows.end(),
+      [](const auto &A, const auto &B) { return A.second > B.second; });
+  unsigned CShown = 0;
+  for (const auto &[Node, Count] : Rows) {
+    if (CShown++ >= Opts.TopGroups)
+      break;
+    OS << "<tr><td>"
+       << fmtPct(Total ? static_cast<double>(Count) /
+                             static_cast<double>(Total)
+                       : 0.0)
+       << "</td><td>" << Count << "</td><td>";
+    std::vector<StackFrame> Frames = P.Tree.path(Node);
+    for (size_t I = 0; I < Frames.size(); ++I) {
+      if (I)
+        OS << " &rarr; ";
+      OS << escapeHtml(Methods.qualifiedName(Frames[I].Method)) << ":"
+         << Methods.lineForBci(Frames[I].Method, Frames[I].Bci);
+    }
+    OS << "</td></tr>\n";
+  }
+  OS << "</table>\n</body></html>\n";
+  return OS.str();
+}
+
+bool djx::writeHtmlReport(const MergedProfile &P,
+                          const MethodRegistry &Methods,
+                          const std::string &Path,
+                          const ReportOptions &Opts,
+                          const std::string &Title) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << renderHtmlReport(P, Methods, Opts, Title);
+  return static_cast<bool>(Out);
+}

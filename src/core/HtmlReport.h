@@ -1,0 +1,40 @@
+//===- HtmlReport.h - Self-contained HTML profile view ---------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HTML analogue of the paper's Python GUI (Figure 5): one self-contained
+/// page with the top object groups, expandable allocation/access call
+/// paths, per-group metric bars, NUMA remote-access percentages, and the
+/// flat code-centric table for comparison. No external assets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_CORE_HTMLREPORT_H
+#define DJX_CORE_HTMLREPORT_H
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "jvm/MethodRegistry.h"
+
+#include <string>
+
+namespace djx {
+
+/// Renders \p P as a self-contained HTML document.
+std::string renderHtmlReport(const MergedProfile &P,
+                             const MethodRegistry &Methods,
+                             const ReportOptions &Opts = ReportOptions(),
+                             const std::string &Title = "DJXPerf profile");
+
+/// Renders and writes to \p Path. \returns false on I/O failure.
+bool writeHtmlReport(const MergedProfile &P, const MethodRegistry &Methods,
+                     const std::string &Path,
+                     const ReportOptions &Opts = ReportOptions(),
+                     const std::string &Title = "DJXPerf profile");
+
+} // namespace djx
+
+#endif // DJX_CORE_HTMLREPORT_H

@@ -1,0 +1,86 @@
+//===- LiveObjectIndex.cpp - Shared object interval index -----------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LiveObjectIndex.h"
+
+using namespace djx;
+
+void LiveObjectIndex::insert(uint64_t Addr, uint64_t Size,
+                             const LiveObject &Obj) {
+  SpinLockGuard G(Lock);
+  Tree.insert(Addr, Size, Obj);
+  ++Inserts;
+}
+
+std::optional<LiveObject> LiveObjectIndex::lookup(uint64_t Addr) {
+  SpinLockGuard G(Lock);
+  ++Lookups;
+  auto E = Tree.lookup(Addr);
+  if (!E) {
+    ++LookupMisses;
+    return std::nullopt;
+  }
+  return E->Value;
+}
+
+bool LiveObjectIndex::erase(uint64_t Addr) {
+  SpinLockGuard G(Lock);
+  ++Erases;
+  return Tree.removeAt(Addr);
+}
+
+void LiveObjectIndex::recordMove(uint64_t OldAddr, uint64_t NewAddr,
+                                 uint64_t Size) {
+  SpinLockGuard G(Lock);
+  // If the object moved earlier in the same GC epoch (it cannot under a
+  // single sliding pass, but a future collector might), the latest move
+  // wins for its original key.
+  RelocationMap[OldAddr] = Relocation{NewAddr, Size};
+}
+
+unsigned LiveObjectIndex::applyRelocations(const LiveObject &Unknown) {
+  SpinLockGuard G(Lock);
+  // Two phases: first detach every moving interval, then re-insert at the
+  // new addresses. A one-pass relocate would be order-sensitive, because a
+  // new range may overlap the *old* range of an object whose relocation
+  // has not been applied yet.
+  struct Pending {
+    uint64_t NewAddr;
+    uint64_t Size;
+    LiveObject Obj;
+  };
+  std::vector<Pending> Moves;
+  Moves.reserve(RelocationMap.size());
+  for (const auto &[OldAddr, R] : RelocationMap) {
+    auto E = Tree.lookup(OldAddr);
+    if (E && E->Start == OldAddr) {
+      Tree.removeAt(OldAddr);
+      Moves.push_back(Pending{R.NewAddr, R.Size, E->Value});
+    } else {
+      // Attach mode missed this allocation: insert the new interval
+      // directly so future samples at least map to the object (§4.5).
+      LiveObject O = Unknown;
+      O.Size = R.Size;
+      Moves.push_back(Pending{R.NewAddr, R.Size, O});
+    }
+  }
+  for (const Pending &P : Moves)
+    Tree.insert(P.NewAddr, P.Size, P.Obj);
+  unsigned Applied = static_cast<unsigned>(Moves.size());
+  RelocationMap.clear();
+  return Applied;
+}
+
+size_t LiveObjectIndex::liveCount() {
+  SpinLockGuard G(Lock);
+  return Tree.size();
+}
+
+size_t LiveObjectIndex::memoryFootprint() {
+  SpinLockGuard G(Lock);
+  return Tree.memoryFootprint() +
+         RelocationMap.size() * (sizeof(uint64_t) + sizeof(Relocation) + 16);
+}

@@ -1,0 +1,94 @@
+//===- LiveObjectIndex.h - Shared object interval index ---------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiler's only cross-thread data structure (§5.1): an interval
+/// splay tree mapping live object address ranges to their allocation
+/// identity, guarded by a spin lock. Also owns the GC relocation map of
+/// §4.5: moves recorded per memmove interposition are applied to the tree
+/// in one batch when the GC-finish (MXBean) notification arrives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_CORE_LIVEOBJECTINDEX_H
+#define DJX_CORE_LIVEOBJECTINDEX_H
+
+#include "core/Cct.h"
+#include "jvm/ObjectModel.h"
+#include "support/IntervalSplayTree.h"
+#include "support/SpinLock.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace djx {
+
+/// Allocation identity of a tracked object: which thread allocated it, at
+/// which context (a node of that thread's CCT), and what it is.
+struct LiveObject {
+  uint64_t AllocThread = 0;
+  CctNodeId AllocNode = kCctRoot;
+  TypeId Type = 0;
+  uint64_t Size = 0;
+};
+
+/// Thread-shared splay-tree index of live monitored objects.
+class LiveObjectIndex {
+public:
+  /// Tracks a freshly allocated object.
+  void insert(uint64_t Addr, uint64_t Size, const LiveObject &Obj);
+
+  /// Splay lookup by sampled effective address.
+  std::optional<LiveObject> lookup(uint64_t Addr);
+
+  /// Object reclaimed (finalize interposition): drop its interval.
+  /// \returns true when the address was tracked.
+  bool erase(uint64_t Addr);
+
+  /// memmove interposition: records a move into the relocation map; the
+  /// tree is not touched until applyRelocations().
+  void recordMove(uint64_t OldAddr, uint64_t NewAddr, uint64_t Size);
+
+  /// GC-finish notification: applies the batched relocation map. Objects
+  /// missing from the tree (allocations the attach mode missed, §4.5) are
+  /// inserted fresh with \p UnknownIdentity.
+  /// \returns the number of relocations applied.
+  unsigned applyRelocations(const LiveObject &UnknownIdentity);
+
+  /// Drops any pending relocations without applying (ablation support).
+  void discardRelocations() { RelocationMap.clear(); }
+
+  size_t liveCount();
+  size_t pendingRelocations() const { return RelocationMap.size(); }
+  size_t memoryFootprint();
+
+  /// Total operations, for the overhead model and ablation benches.
+  uint64_t inserts() const { return Inserts; }
+  uint64_t lookups() const { return Lookups; }
+  uint64_t lookupMisses() const { return LookupMisses; }
+  uint64_t erases() const { return Erases; }
+  uint64_t lockAcquisitions() const { return Lock.acquisitions(); }
+
+private:
+  struct Relocation {
+    uint64_t NewAddr;
+    uint64_t Size;
+  };
+
+  SpinLock Lock;
+  IntervalSplayTree<LiveObject> Tree;
+  std::unordered_map<uint64_t, Relocation> RelocationMap;
+  uint64_t Inserts = 0;
+  uint64_t Lookups = 0;
+  uint64_t LookupMisses = 0;
+  uint64_t Erases = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_CORE_LIVEOBJECTINDEX_H

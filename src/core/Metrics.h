@@ -1,0 +1,52 @@
+//===- Metrics.h - Per-event metric counters --------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size counter block indexed by PerfEventKind, attached to CCT
+/// nodes, object groups and code-centric entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_CORE_METRICS_H
+#define DJX_CORE_METRICS_H
+
+#include "pmu/PerfEvent.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace djx {
+
+/// Number of PerfEventKind enumerators.
+constexpr size_t kNumPerfEventKinds = 7;
+
+/// One counter per event kind.
+struct MetricCounts {
+  std::array<uint64_t, kNumPerfEventKinds> Counts{};
+
+  void add(PerfEventKind Kind, uint64_t N = 1) {
+    Counts[static_cast<size_t>(Kind)] += N;
+  }
+  uint64_t get(PerfEventKind Kind) const {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+  MetricCounts &operator+=(const MetricCounts &O) {
+    for (size_t I = 0; I < kNumPerfEventKinds; ++I)
+      Counts[I] += O.Counts[I];
+    return *this;
+  }
+  bool empty() const {
+    for (uint64_t C : Counts)
+      if (C)
+        return false;
+    return true;
+  }
+};
+
+} // namespace djx
+
+#endif // DJX_CORE_METRICS_H

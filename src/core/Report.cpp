@@ -1,0 +1,127 @@
+//===- Report.cpp - Object-centric and code-centric report text -----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace djx;
+
+std::string djx::renderPath(const Cct &Tree, CctNodeId Leaf,
+                            const MethodRegistry &Methods) {
+  if (Leaf == kCctRoot)
+    return "<unknown allocation context>";
+  std::vector<StackFrame> Frames = Tree.path(Leaf);
+  std::ostringstream OS;
+  for (size_t I = Frames.size(); I-- > 0;) {
+    const StackFrame &F = Frames[I];
+    OS << Methods.qualifiedName(F.Method) << ":"
+       << Methods.lineForBci(F.Method, F.Bci);
+    if (I != 0)
+      OS << " <- ";
+  }
+  return OS.str();
+}
+
+static std::string pct(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return Buf;
+}
+
+std::string djx::renderObjectCentric(const MergedProfile &P,
+                                     const MethodRegistry &Methods,
+                                     const ReportOptions &Opts) {
+  std::ostringstream OS;
+  PerfEventKind Kind = Opts.SortKind;
+  OS << "=== DJXPerf object-centric profile ===\n";
+  OS << "sorted by " << perfEventName(Kind) << "; total "
+     << P.Totals.get(Kind) << " samples across " << P.ThreadsMerged
+     << " thread(s); " << P.UnattributedSamples
+     << " unattributed sample(s)\n\n";
+
+  unsigned Shown = 0;
+  for (const MergedGroup *G : P.groupsByMetric(Kind)) {
+    if (Shown >= Opts.TopGroups)
+      break;
+    double Share = P.shareOf(*G, Kind);
+    if (G->Metrics.get(Kind) == 0 || Share < Opts.MinShare)
+      break;
+    ++Shown;
+    OS << "#" << Shown << " object " << G->TypeName << "  [" << pct(Share)
+       << " of " << perfEventName(Kind) << ", " << G->Metrics.get(Kind)
+       << " samples]\n";
+    OS << "   allocated " << G->AllocCount << " time(s), " << G->AllocBytes
+       << " bytes total\n";
+    if (Opts.ShowNuma && G->AddressSamples > 0) {
+      double Remote = static_cast<double>(G->RemoteSamples) /
+                      static_cast<double>(G->AddressSamples);
+      OS << "   NUMA: " << pct(Remote) << " remote accesses ("
+         << G->RemoteSamples << "/" << G->AddressSamples << ")\n";
+    }
+    OS << "   alloc ctx: " << renderPath(P.Tree, G->AllocNode, Methods)
+       << "\n";
+
+    // Access contexts ordered by contribution to this group.
+    std::vector<std::pair<CctNodeId, uint64_t>> Accesses;
+    for (const auto &[Node, M] : G->AccessBreakdown)
+      if (M.get(Kind) > 0)
+        Accesses.emplace_back(Node, M.get(Kind));
+    std::stable_sort(Accesses.begin(), Accesses.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
+    unsigned AShown = 0;
+    for (const auto &[Node, Count] : Accesses) {
+      if (AShown++ >= Opts.TopAccessContexts)
+        break;
+      double AShare = G->Metrics.get(Kind)
+                          ? static_cast<double>(Count) /
+                                static_cast<double>(G->Metrics.get(Kind))
+                          : 0.0;
+      OS << "     access [" << pct(AShare) << "] "
+         << renderPath(P.Tree, Node, Methods) << "\n";
+    }
+    OS << "\n";
+  }
+  if (Shown == 0)
+    OS << "(no object groups with " << perfEventName(Kind) << " samples)\n";
+  return OS.str();
+}
+
+std::string djx::renderCodeCentric(const MergedProfile &P,
+                                   const MethodRegistry &Methods,
+                                   const ReportOptions &Opts) {
+  std::ostringstream OS;
+  PerfEventKind Kind = Opts.SortKind;
+  OS << "=== code-centric profile (perf-style) ===\n";
+  OS << "sorted by " << perfEventName(Kind) << "; total "
+     << P.Totals.get(Kind) << " samples\n\n";
+
+  std::vector<std::pair<CctNodeId, uint64_t>> Rows;
+  for (const auto &[Node, M] : P.CodeCentric)
+    if (M.get(Kind) > 0)
+      Rows.emplace_back(Node, M.get(Kind));
+  std::stable_sort(
+      Rows.begin(), Rows.end(),
+      [](const auto &A, const auto &B) { return A.second > B.second; });
+
+  uint64_t Total = P.Totals.get(Kind);
+  unsigned Shown = 0;
+  for (const auto &[Node, Count] : Rows) {
+    if (Shown++ >= Opts.TopGroups)
+      break;
+    double Share =
+        Total ? static_cast<double>(Count) / static_cast<double>(Total) : 0.0;
+    OS << "  [" << pct(Share) << ", " << Count << "] "
+       << renderPath(P.Tree, Node, Methods) << "\n";
+  }
+  if (Shown == 0)
+    OS << "(no samples)\n";
+  return OS.str();
+}

@@ -1,0 +1,57 @@
+//===- Report.h - Object-centric and code-centric report text --*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text renderers for merged profiles. renderObjectCentric produces the
+/// top-down view of the paper's GUI (Figure 5): each problematic object's
+/// allocation site and full allocation call path, followed by the access
+/// call paths ordered by their contribution, with metrics alongside.
+/// renderCodeCentric is the Linux-perf-style flat view used as the Figure 1
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_CORE_REPORT_H
+#define DJX_CORE_REPORT_H
+
+#include "core/Analyzer.h"
+#include "jvm/MethodRegistry.h"
+
+#include <string>
+
+namespace djx {
+
+/// Presentation options.
+struct ReportOptions {
+  /// Metric to order by (poorest locality first).
+  PerfEventKind SortKind = PerfEventKind::L1Miss;
+  /// Maximum object groups shown.
+  unsigned TopGroups = 10;
+  /// Maximum access contexts shown per group.
+  unsigned TopAccessContexts = 5;
+  /// Hide groups below this share of total samples.
+  double MinShare = 0.0;
+  /// Include NUMA remote-access percentages.
+  bool ShowNuma = true;
+};
+
+/// Renders one call path as "Class.method:line <- ..." (leaf first).
+std::string renderPath(const Cct &Tree, CctNodeId Leaf,
+                       const MethodRegistry &Methods);
+
+/// Renders the object-centric view.
+std::string renderObjectCentric(const MergedProfile &P,
+                                const MethodRegistry &Methods,
+                                const ReportOptions &Opts = ReportOptions());
+
+/// Renders the flat code-centric view (what perf/VTune would report).
+std::string renderCodeCentric(const MergedProfile &P,
+                              const MethodRegistry &Methods,
+                              const ReportOptions &Opts = ReportOptions());
+
+} // namespace djx
+
+#endif // DJX_CORE_REPORT_H

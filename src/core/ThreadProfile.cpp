@@ -1,0 +1,183 @@
+//===- ThreadProfile.cpp - Per-thread object-centric profile --------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadProfile.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace djx;
+
+void ThreadProfile::recordAllocation(CctNodeId AllocNode,
+                                     const std::string &TypeName,
+                                     uint64_t Bytes) {
+  AllocKey Key{ThreadId, AllocNode};
+  ObjectGroupStats &G = Groups[Key];
+  if (G.TypeName.empty())
+    G.TypeName = TypeName;
+  ++G.AllocCount;
+  G.AllocBytes += Bytes;
+}
+
+void ThreadProfile::recordObjectSample(const AllocKey &Key,
+                                       const std::string &TypeName,
+                                       PerfEventKind Kind,
+                                       CctNodeId AccessNode, bool Remote) {
+  ObjectGroupStats &G = Groups[Key];
+  if (G.TypeName.empty())
+    G.TypeName = TypeName;
+  G.Metrics.add(Kind);
+  G.AccessBreakdown[AccessNode].add(Kind);
+  ++G.AddressSamples;
+  if (Remote)
+    ++G.RemoteSamples;
+  Totals.add(Kind);
+}
+
+void ThreadProfile::recordCodeSample(CctNodeId AccessNode,
+                                     PerfEventKind Kind) {
+  CodeCentric[AccessNode].add(Kind);
+}
+
+void ThreadProfile::recordUnattributed(PerfEventKind Kind) {
+  Totals.add(Kind);
+  ++Unattributed;
+}
+
+size_t ThreadProfile::memoryFootprint() const {
+  size_t Bytes = Tree.memoryFootprint();
+  for (const auto &[Key, G] : Groups) {
+    (void)Key;
+    Bytes += sizeof(AllocKey) + sizeof(ObjectGroupStats) +
+             G.TypeName.size() +
+             G.AccessBreakdown.size() *
+                 (sizeof(CctNodeId) + sizeof(MetricCounts) + 32);
+  }
+  Bytes += CodeCentric.size() *
+           (sizeof(CctNodeId) + sizeof(MetricCounts) + 32);
+  return Bytes;
+}
+
+// --- Serialisation ---------------------------------------------------------
+
+static void writeMetrics(std::ostream &OS, const MetricCounts &M) {
+  for (size_t I = 0; I < kNumPerfEventKinds; ++I)
+    OS << ' ' << M.Counts[I];
+}
+
+static bool readMetrics(std::istringstream &IS, MetricCounts &M) {
+  for (size_t I = 0; I < kNumPerfEventKinds; ++I)
+    if (!(IS >> M.Counts[I]))
+      return false;
+  return true;
+}
+
+void ThreadProfile::writeTo(std::ostream &OS) const {
+  OS << "djxprofile v1\n";
+  OS << "thread " << ThreadId << ' ' << ThreadName << '\n';
+  OS << "cct " << Tree.size() << '\n';
+  for (CctNodeId N = 1; N < Tree.size(); ++N)
+    OS << "node " << N << ' ' << Tree.parentOf(N) << ' ' << Tree.methodOf(N)
+       << ' ' << Tree.bciOf(N) << '\n';
+  for (const auto &[Key, G] : Groups) {
+    OS << "group " << Key.AllocThread << ' ' << Key.AllocNode << ' '
+       << (G.TypeName.empty() ? "?" : G.TypeName) << ' ' << G.AllocCount
+       << ' ' << G.AllocBytes << ' ' << G.RemoteSamples << ' '
+       << G.AddressSamples;
+    writeMetrics(OS, G.Metrics);
+    OS << '\n';
+    for (const auto &[Node, M] : G.AccessBreakdown) {
+      OS << "access " << Key.AllocThread << ' ' << Key.AllocNode << ' '
+         << Node;
+      writeMetrics(OS, M);
+      OS << '\n';
+    }
+  }
+  for (const auto &[Node, M] : CodeCentric) {
+    OS << "code " << Node;
+    writeMetrics(OS, M);
+    OS << '\n';
+  }
+  OS << "totals";
+  writeMetrics(OS, Totals);
+  OS << '\n';
+  OS << "unattributed " << Unattributed << '\n';
+  OS << "end\n";
+}
+
+bool ThreadProfile::readFrom(std::istream &IS) {
+  *this = ThreadProfile();
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "djxprofile v1")
+    return false;
+  bool SawEnd = false;
+  while (std::getline(IS, Line)) {
+    std::istringstream LS(Line);
+    std::string Tag;
+    if (!(LS >> Tag))
+      continue;
+    if (Tag == "thread") {
+      if (!(LS >> ThreadId >> ThreadName))
+        return false;
+    } else if (Tag == "cct") {
+      uint64_t N;
+      if (!(LS >> N))
+        return false;
+    } else if (Tag == "node") {
+      CctNodeId Id, Parent;
+      MethodId Method;
+      uint32_t Bci;
+      if (!(LS >> Id >> Parent >> Method >> Bci))
+        return false;
+      CctNodeId Got = Tree.child(Parent, Method, Bci);
+      if (Got != Id)
+        return false; // Nodes must arrive in id order.
+    } else if (Tag == "group") {
+      AllocKey Key;
+      ObjectGroupStats G;
+      if (!(LS >> Key.AllocThread >> Key.AllocNode >> G.TypeName >>
+            G.AllocCount >> G.AllocBytes >> G.RemoteSamples >>
+            G.AddressSamples))
+        return false;
+      if (!readMetrics(LS, G.Metrics))
+        return false;
+      if (G.TypeName == "?")
+        G.TypeName.clear();
+      Groups[Key] = std::move(G);
+    } else if (Tag == "access") {
+      AllocKey Key;
+      CctNodeId Node;
+      MetricCounts M;
+      if (!(LS >> Key.AllocThread >> Key.AllocNode >> Node))
+        return false;
+      if (!readMetrics(LS, M))
+        return false;
+      Groups[Key].AccessBreakdown[Node] = M;
+    } else if (Tag == "code") {
+      CctNodeId Node;
+      MetricCounts M;
+      if (!(LS >> Node))
+        return false;
+      if (!readMetrics(LS, M))
+        return false;
+      CodeCentric[Node] = M;
+    } else if (Tag == "totals") {
+      if (!readMetrics(LS, Totals))
+        return false;
+    } else if (Tag == "unattributed") {
+      if (!(LS >> Unattributed))
+        return false;
+    } else if (Tag == "end") {
+      SawEnd = true;
+      break;
+    } else {
+      return false;
+    }
+  }
+  return SawEnd;
+}

@@ -1,0 +1,70 @@
+//===- AllocationInstrumenter.h - Java-agent bytecode rewriting -*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode-rewriting half of DJXPerf's Java agent (§4.1): scans
+/// methods and wraps the four allocation opcodes — new, newarray,
+/// anewarray, multianewarray — with pre-/post-allocation hooks. Each
+/// rewritten site is recorded in an AllocationSiteTable carrying the
+/// method, original BCI and source line, so the runtime hooks can report
+/// exactly which site allocated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_INSTRUMENT_ALLOCATIONINSTRUMENTER_H
+#define DJX_INSTRUMENT_ALLOCATIONINSTRUMENTER_H
+
+#include "bytecode/ClassFile.h"
+#include "instrument/MethodTransformer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace djx {
+
+/// One instrumented allocation site.
+struct AllocationSite {
+  uint64_t SiteId = 0;
+  MethodId Method = kInvalidMethod;
+  uint32_t OriginalBci = 0;
+  uint32_t Line = 0;
+  Opcode AllocOp = Opcode::New;
+  /// The allocated type (leaf type for multianewarray).
+  int64_t TypeOperand = 0;
+};
+
+/// Registry of all sites discovered by instrumentation.
+class AllocationSiteTable {
+public:
+  uint64_t addSite(AllocationSite Site) {
+    Site.SiteId = Sites.size();
+    Sites.push_back(Site);
+    return Site.SiteId;
+  }
+
+  const AllocationSite &get(uint64_t SiteId) const {
+    assert(SiteId < Sites.size() && "bad site id");
+    return Sites[SiteId];
+  }
+
+  size_t size() const { return Sites.size(); }
+  const std::vector<AllocationSite> &sites() const { return Sites; }
+
+private:
+  std::vector<AllocationSite> Sites;
+};
+
+/// Rewrites one method; records new sites into \p Table.
+/// \returns the number of allocation sites instrumented.
+unsigned instrumentAllocations(BytecodeMethod &M, AllocationSiteTable &Table);
+
+/// Rewrites every method of a loaded program.
+/// \returns total sites instrumented.
+unsigned instrumentProgram(BytecodeProgram &P, AllocationSiteTable &Table);
+
+} // namespace djx
+
+#endif // DJX_INSTRUMENT_ALLOCATIONINSTRUMENTER_H

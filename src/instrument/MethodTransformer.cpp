@@ -1,0 +1,48 @@
+//===- MethodTransformer.cpp - ASM-style bytecode rewriting ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/MethodTransformer.h"
+
+#include <cassert>
+
+using namespace djx;
+
+int64_t djx::transformMethod(BytecodeMethod &M,
+                             const InstructionVisitor &Visitor) {
+  std::vector<Instruction> NewCode;
+  NewCode.reserve(M.Code.size());
+  std::vector<uint32_t> OldToNew(M.Code.size() + 1, 0);
+
+  for (size_t OldBci = 0; OldBci < M.Code.size(); ++OldBci) {
+    OldToNew[OldBci] = static_cast<uint32_t>(NewCode.size());
+    size_t Before = NewCode.size();
+    Visitor(M.Code[OldBci], static_cast<uint32_t>(OldBci), NewCode);
+    assert(NewCode.size() > Before &&
+           "visitor must emit at least one instruction");
+    (void)Before;
+  }
+  OldToNew[M.Code.size()] = static_cast<uint32_t>(NewCode.size());
+
+  // Remap branch targets. Branch operands in NewCode still hold old BCIs.
+  for (Instruction &I : NewCode) {
+    if (!isBranch(I.Op))
+      continue;
+    assert(I.A >= 0 && static_cast<size_t>(I.A) < OldToNew.size() &&
+           "branch target out of range before remap");
+    I.A = OldToNew[static_cast<size_t>(I.A)];
+  }
+
+  // Remap the line table.
+  for (LineEntry &E : M.LineTable) {
+    assert(E.Bci < OldToNew.size() && "line entry beyond code");
+    E.Bci = OldToNew[E.Bci];
+  }
+
+  int64_t Added = static_cast<int64_t>(NewCode.size()) -
+                  static_cast<int64_t>(M.Code.size());
+  M.Code = std::move(NewCode);
+  return Added;
+}

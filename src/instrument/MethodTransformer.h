@@ -1,0 +1,40 @@
+//===- MethodTransformer.h - ASM-style bytecode rewriting ------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic bytecode rewriting framework in the spirit of the ASM library
+/// (§3): a transformer visits every instruction of a method and may expand
+/// it into a replacement sequence; the framework rebuilds branch targets
+/// and the line-number table against the new code layout. DJXPerf's Java
+/// agent is one client (AllocationInstrumenter); tests exercise others.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_INSTRUMENT_METHODTRANSFORMER_H
+#define DJX_INSTRUMENT_METHODTRANSFORMER_H
+
+#include "bytecode/ClassFile.h"
+
+#include <functional>
+#include <vector>
+
+namespace djx {
+
+/// Callback deciding how one instruction is rewritten. It receives the
+/// original instruction and its original BCI and appends the replacement
+/// sequence to \p Out (append the instruction itself for a no-op visit).
+using InstructionVisitor = std::function<void(
+    const Instruction &I, uint32_t OldBci, std::vector<Instruction> &Out)>;
+
+/// Rewrites \p M in place through \p Visitor, remapping branch targets and
+/// line-table entries. A branch to old BCI b lands on the first
+/// replacement instruction emitted for b.
+/// \returns the number of instructions added (new size - old size).
+int64_t transformMethod(BytecodeMethod &M, const InstructionVisitor &Visitor);
+
+} // namespace djx
+
+#endif // DJX_INSTRUMENT_METHODTRANSFORMER_H

@@ -1,0 +1,413 @@
+//===- Interpreter.cpp - Bytecode interpreter ------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+
+using namespace djx;
+
+Interpreter::Interpreter(JavaVm &Vm, BytecodeProgram &Program,
+                         JavaThread &Thread)
+    : Vm(Vm), Program(Program), Thread(Thread) {
+  assert(Program.isLoaded() && "program must be linked before execution");
+  RootToken = Vm.addRootProvider(
+      [this](std::vector<ObjectRef *> &Slots) { collectRoots(Slots); });
+}
+
+Interpreter::~Interpreter() { Vm.removeRootProvider(RootToken); }
+
+void Interpreter::setPublishVmAllocationEvents(bool On) {
+  Vm.setAllocationEventsEnabled(On);
+}
+
+void Interpreter::collectRoots(std::vector<ObjectRef *> &Slots) {
+  for (Frame &F : CallStack) {
+    for (Value &V : F.Locals)
+      if (V.IsRef && V.Bits != kNullRef)
+        Slots.push_back(&V.Bits);
+    for (Value &V : F.Stack)
+      if (V.IsRef && V.Bits != kNullRef)
+        Slots.push_back(&V.Bits);
+  }
+}
+
+Value Interpreter::pop(Frame &F) {
+  assert(!F.Stack.empty() && "operand stack underflow");
+  Value V = F.Stack.back();
+  F.Stack.pop_back();
+  return V;
+}
+
+Value &Interpreter::peek(Frame &F) {
+  assert(!F.Stack.empty() && "operand stack underflow");
+  return F.Stack.back();
+}
+
+void Interpreter::push(Frame &F, Value V) { F.Stack.push_back(V); }
+
+std::optional<Value> Interpreter::run(const std::string &QualifiedName,
+                                      const std::vector<Value> &Args) {
+  return execute(Program.methodIndex(QualifiedName), Args);
+}
+
+std::optional<Value> Interpreter::execute(size_t MethodIndex,
+                                          const std::vector<Value> &Args) {
+  const BytecodeMethod &M = Program.method(MethodIndex);
+  assert(Args.size() == M.NumArgs && "argument count mismatch");
+
+  CallStack.emplace_back();
+  size_t FrameIdx = CallStack.size() - 1;
+  {
+    Frame &F = CallStack.back();
+    F.MethodIndex = MethodIndex;
+    F.M = &M;
+    F.Locals.resize(M.NumLocals);
+    for (size_t I = 0; I < Args.size(); ++I)
+      F.Locals[I] = Args[I];
+  }
+  Thread.pushFrame(M.RegistryId, 0);
+
+  while (CallStack[FrameIdx].Pc < M.Code.size()) {
+    // Re-fetch each iteration: a recursive execute() inside Invoke may
+    // reallocate CallStack and invalidate frame references.
+    Frame &F = CallStack[FrameIdx];
+    assert(++Steps <= StepLimit && "interpreter step limit exceeded");
+    const Instruction &I = M.Code[F.Pc];
+    Thread.setBci(static_cast<uint32_t>(F.Pc));
+    Vm.tick(Thread, 1);
+    size_t NextPc = F.Pc + 1;
+
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::IConst:
+      push(F, Value::fromInt(I.A));
+      break;
+    case Opcode::ILoad:
+      assert(!F.Locals[I.A].IsRef && "iload of a reference slot");
+      push(F, F.Locals[I.A]);
+      break;
+    case Opcode::IStore: {
+      Value V = pop(F);
+      assert(!V.IsRef && "istore of a reference");
+      F.Locals[I.A] = V;
+      break;
+    }
+    case Opcode::ALoad:
+      assert((F.Locals[I.A].IsRef || F.Locals[I.A].Bits == kNullRef) &&
+             "aload of a non-reference slot");
+      push(F, Value::fromRef(F.Locals[I.A].Bits));
+      break;
+    case Opcode::AStore: {
+      Value V = pop(F);
+      assert(V.IsRef && "astore of a non-reference");
+      F.Locals[I.A] = V;
+      break;
+    }
+    case Opcode::Pop:
+      pop(F);
+      break;
+    case Opcode::Dup:
+      push(F, peek(F));
+      break;
+    case Opcode::Swap: {
+      Value B = pop(F), A = pop(F);
+      push(F, B);
+      push(F, A);
+      break;
+    }
+    case Opcode::IAdd:
+    case Opcode::ISub:
+    case Opcode::IMul:
+    case Opcode::IDiv:
+    case Opcode::IRem:
+    case Opcode::IAnd:
+    case Opcode::IOr:
+    case Opcode::IXor:
+    case Opcode::IShl:
+    case Opcode::IShr: {
+      int64_t B = pop(F).asInt();
+      int64_t A = pop(F).asInt();
+      int64_t R = 0;
+      switch (I.Op) {
+      case Opcode::IAdd:
+        R = A + B;
+        break;
+      case Opcode::ISub:
+        R = A - B;
+        break;
+      case Opcode::IMul:
+        R = A * B;
+        break;
+      case Opcode::IDiv:
+        assert(B != 0 && "division by zero");
+        R = A / B;
+        break;
+      case Opcode::IRem:
+        assert(B != 0 && "remainder by zero");
+        R = A % B;
+        break;
+      case Opcode::IAnd:
+        R = A & B;
+        break;
+      case Opcode::IOr:
+        R = A | B;
+        break;
+      case Opcode::IXor:
+        R = A ^ B;
+        break;
+      case Opcode::IShl:
+        R = A << (B & 63);
+        break;
+      case Opcode::IShr:
+        R = A >> (B & 63);
+        break;
+      default:
+        assert(false && "unreachable");
+      }
+      push(F, Value::fromInt(R));
+      break;
+    }
+    case Opcode::INeg:
+      push(F, Value::fromInt(-pop(F).asInt()));
+      break;
+    case Opcode::Goto:
+      NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfEq:
+      if (pop(F).asInt() == 0)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfNe:
+      if (pop(F).asInt() != 0)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfLt:
+      if (pop(F).asInt() < 0)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfGe:
+      if (pop(F).asInt() >= 0)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfICmpEq:
+    case Opcode::IfICmpNe:
+    case Opcode::IfICmpLt:
+    case Opcode::IfICmpGe:
+    case Opcode::IfICmpGt:
+    case Opcode::IfICmpLe: {
+      int64_t B = pop(F).asInt();
+      int64_t A = pop(F).asInt();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::IfICmpEq:
+        Taken = A == B;
+        break;
+      case Opcode::IfICmpNe:
+        Taken = A != B;
+        break;
+      case Opcode::IfICmpLt:
+        Taken = A < B;
+        break;
+      case Opcode::IfICmpGe:
+        Taken = A >= B;
+        break;
+      case Opcode::IfICmpGt:
+        Taken = A > B;
+        break;
+      case Opcode::IfICmpLe:
+        Taken = A <= B;
+        break;
+      default:
+        assert(false && "unreachable");
+      }
+      if (Taken)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    }
+    case Opcode::IfNull:
+      if (pop(F).asRef() == kNullRef)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::IfNonNull:
+      if (pop(F).asRef() != kNullRef)
+        NextPc = static_cast<size_t>(I.A);
+      break;
+    case Opcode::New:
+      push(F, Value::fromRef(Vm.allocateObject(
+                 Thread, static_cast<TypeId>(I.A))));
+      break;
+    case Opcode::NewArray:
+    case Opcode::ANewArray: {
+      int64_t Len = pop(F).asInt();
+      assert(Len >= 0 && "negative array length");
+      push(F, Value::fromRef(Vm.allocateArray(
+                 Thread, static_cast<TypeId>(I.A),
+                 static_cast<uint64_t>(Len))));
+      break;
+    }
+    case Opcode::MultiANewArray: {
+      std::vector<uint64_t> Dims(static_cast<size_t>(I.B));
+      for (size_t D = Dims.size(); D-- > 0;) {
+        int64_t Len = pop(F).asInt();
+        assert(Len >= 0 && "negative array length");
+        Dims[D] = static_cast<uint64_t>(Len);
+      }
+      push(F, Value::fromRef(Vm.allocateMultiArray(
+                 Thread, static_cast<TypeId>(I.A), Dims)));
+      break;
+    }
+    case Opcode::PALoad: {
+      int64_t Idx = pop(F).asInt();
+      ObjectRef Arr = pop(F).asRef();
+      const ObjectInfo &Info = Vm.heap().info(Arr);
+      const TypeDescriptor &Desc = Vm.types().get(Info.Type);
+      assert(Desc.IsArray && !Desc.ElemIsRef && "paload needs a prim array");
+      assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
+             "array index out of bounds");
+      uint64_t Off = static_cast<uint64_t>(Idx) * Desc.ElemSize;
+      uint64_t V = 0;
+      if (Desc.ElemSize == 1)
+        V = Vm.readU8(Thread, Arr, Off);
+      else if (Desc.ElemSize == 4)
+        V = Vm.readU32(Thread, Arr, Off);
+      else
+        V = Vm.readWord(Thread, Arr, Off);
+      push(F, Value::fromInt(static_cast<int64_t>(V)));
+      break;
+    }
+    case Opcode::PAStore: {
+      uint64_t V = static_cast<uint64_t>(pop(F).asInt());
+      int64_t Idx = pop(F).asInt();
+      ObjectRef Arr = pop(F).asRef();
+      const ObjectInfo &Info = Vm.heap().info(Arr);
+      const TypeDescriptor &Desc = Vm.types().get(Info.Type);
+      assert(Desc.IsArray && !Desc.ElemIsRef && "pastore needs a prim array");
+      assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
+             "array index out of bounds");
+      uint64_t Off = static_cast<uint64_t>(Idx) * Desc.ElemSize;
+      if (Desc.ElemSize == 1)
+        Vm.writeU8(Thread, Arr, Off, static_cast<uint8_t>(V));
+      else if (Desc.ElemSize == 4)
+        Vm.writeU32(Thread, Arr, Off, static_cast<uint32_t>(V));
+      else
+        Vm.writeWord(Thread, Arr, Off, V);
+      break;
+    }
+    case Opcode::AALoad: {
+      int64_t Idx = pop(F).asInt();
+      ObjectRef Arr = pop(F).asRef();
+      const ObjectInfo &Info = Vm.heap().info(Arr);
+      assert(Vm.types().get(Info.Type).ElemIsRef && "aaload needs ref array");
+      assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
+             "array index out of bounds");
+      push(F, Value::fromRef(
+                 Vm.readRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8)));
+      break;
+    }
+    case Opcode::AAStore: {
+      ObjectRef V = pop(F).asRef();
+      int64_t Idx = pop(F).asInt();
+      ObjectRef Arr = pop(F).asRef();
+      const ObjectInfo &Info = Vm.heap().info(Arr);
+      assert(Vm.types().get(Info.Type).ElemIsRef &&
+             "aastore needs ref array");
+      assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
+             "array index out of bounds");
+      Vm.writeRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8, V);
+      break;
+    }
+    case Opcode::ArrayLength: {
+      ObjectRef Arr = pop(F).asRef();
+      // Length lives in the header word; touching it is a real access.
+      Vm.readWord(Thread, Arr, 0);
+      push(F, Value::fromInt(
+                 static_cast<int64_t>(Vm.heap().info(Arr).Length)));
+      break;
+    }
+    case Opcode::GetField: {
+      ObjectRef Obj = pop(F).asRef();
+      uint64_t V = I.B == 4
+                       ? Vm.readU32(Thread, Obj, static_cast<uint64_t>(I.A))
+                       : Vm.readWord(Thread, Obj, static_cast<uint64_t>(I.A));
+      push(F, Value::fromInt(static_cast<int64_t>(V)));
+      break;
+    }
+    case Opcode::PutField: {
+      uint64_t V = static_cast<uint64_t>(pop(F).asInt());
+      ObjectRef Obj = pop(F).asRef();
+      if (I.B == 4)
+        Vm.writeU32(Thread, Obj, static_cast<uint64_t>(I.A),
+                    static_cast<uint32_t>(V));
+      else
+        Vm.writeWord(Thread, Obj, static_cast<uint64_t>(I.A), V);
+      break;
+    }
+    case Opcode::GetRefField: {
+      ObjectRef Obj = pop(F).asRef();
+      push(F, Value::fromRef(
+                 Vm.readRef(Thread, Obj, static_cast<uint64_t>(I.A))));
+      break;
+    }
+    case Opcode::PutRefField: {
+      ObjectRef V = pop(F).asRef();
+      ObjectRef Obj = pop(F).asRef();
+      Vm.writeRef(Thread, Obj, static_cast<uint64_t>(I.A), V);
+      break;
+    }
+    case Opcode::Invoke: {
+      size_t Callee = static_cast<size_t>(I.A);
+      const BytecodeMethod &CM = Program.method(Callee);
+      assert(static_cast<uint32_t>(I.B) == CM.NumArgs &&
+             "invoke argument count mismatch");
+      std::vector<Value> CallArgs(CM.NumArgs);
+      for (size_t AI = CallArgs.size(); AI-- > 0;)
+        CallArgs[AI] = pop(F);
+      // `F` dangles across execute() (CallStack may reallocate); use the
+      // stable index to touch our frame afterwards.
+      std::optional<Value> RV = execute(Callee, CallArgs);
+      Frame &Self = CallStack[FrameIdx];
+      if (RV)
+        push(Self, *RV);
+      Self.Pc = NextPc;
+      continue;
+    }
+    case Opcode::Return:
+      Thread.popFrame();
+      CallStack.pop_back();
+      return std::nullopt;
+    case Opcode::IReturn: {
+      Value V = pop(F);
+      assert(!V.IsRef && "ireturn of a reference");
+      Thread.popFrame();
+      CallStack.pop_back();
+      return V;
+    }
+    case Opcode::AReturn: {
+      Value V = pop(F);
+      assert(V.IsRef && "areturn of a non-reference");
+      Thread.popFrame();
+      CallStack.pop_back();
+      return V;
+    }
+    case Opcode::AllocHookPre:
+      if (Hooks.Pre)
+        Hooks.Pre(static_cast<uint64_t>(I.A));
+      break;
+    case Opcode::AllocHookPost:
+      if (Hooks.Post) {
+        Value &Top = peek(F);
+        assert(Top.IsRef && "allochook_post expects the fresh ref on TOS");
+        Hooks.Post(static_cast<uint64_t>(I.A), Top.asRef());
+      }
+      break;
+    }
+    F.Pc = NextPc;
+  }
+  assert(false && "fell off the end of a method (verifier should catch)");
+  return std::nullopt;
+}

@@ -1,0 +1,117 @@
+//===- Interpreter.h - Bytecode interpreter ---------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stack interpreter executing BytecodeProgram methods on a MiniJVM
+/// thread. Every array/field access is a simulated memory access (cache,
+/// TLB, NUMA, PMU), every instruction burns a cycle, and the thread's
+/// shadow stack tracks (method, BCI) so AsyncGetCallTrace sees exact
+/// positions. Interpreter frames are GC roots via a root provider, so a
+/// collection triggered mid-execution relocates live operands correctly.
+///
+/// The AllocHookPre/AllocHookPost pseudo-instructions inserted by the
+/// instrumenter dispatch to registered hooks — the runtime half of the
+/// paper's ASM-based Java agent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_INTERP_INTERPRETER_H
+#define DJX_INTERP_INTERPRETER_H
+
+#include "bytecode/ClassFile.h"
+#include "jvm/JavaVm.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace djx {
+
+/// One operand-stack / local slot. References are tagged so the GC root
+/// provider can distinguish them.
+struct Value {
+  uint64_t Bits = 0;
+  bool IsRef = false;
+
+  static Value fromInt(int64_t V) {
+    return Value{static_cast<uint64_t>(V), false};
+  }
+  static Value fromRef(ObjectRef R) { return Value{R, true}; }
+  int64_t asInt() const { return static_cast<int64_t>(Bits); }
+  ObjectRef asRef() const { return Bits; }
+};
+
+/// Hooks called by the AllocHook pseudo-instructions; the DJXPerf Java
+/// agent installs these when it instruments a program.
+struct AllocationHooks {
+  /// Before the allocation executes.
+  std::function<void(uint64_t SiteId)> Pre;
+  /// After the allocation; \p Obj is the fresh object.
+  std::function<void(uint64_t SiteId, ObjectRef Obj)> Post;
+};
+
+/// Executes bytecode on one JavaThread.
+class Interpreter {
+public:
+  Interpreter(JavaVm &Vm, BytecodeProgram &Program, JavaThread &Thread);
+  ~Interpreter();
+
+  Interpreter(const Interpreter &) = delete;
+  Interpreter &operator=(const Interpreter &) = delete;
+
+  /// Installs instrumentation hooks (may be empty functions).
+  void setAllocationHooks(AllocationHooks Hooks) {
+    this->Hooks = std::move(Hooks);
+  }
+
+  /// When false (default true), the VM-level allocation event is the Java
+  /// agent's information channel; instrumented programs set this to false
+  /// so the bytecode hooks are the only channel (no double counting).
+  void setPublishVmAllocationEvents(bool On);
+
+  /// Runs "Class.method" with \p Args; returns the method's return value,
+  /// or std::nullopt for void methods.
+  std::optional<Value> run(const std::string &QualifiedName,
+                           const std::vector<Value> &Args = {});
+
+  /// Upper bound on executed instructions per run() (runaway-loop guard).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+  uint64_t stepsExecuted() const { return Steps; }
+
+  JavaThread &thread() { return Thread; }
+  JavaVm &vm() { return Vm; }
+
+private:
+  struct Frame {
+    size_t MethodIndex = 0;
+    const BytecodeMethod *M = nullptr;
+    std::vector<Value> Locals;
+    std::vector<Value> Stack;
+    size_t Pc = 0;
+  };
+
+  std::optional<Value> execute(size_t MethodIndex,
+                               const std::vector<Value> &Args);
+  void collectRoots(std::vector<ObjectRef *> &Slots);
+
+  Value pop(Frame &F);
+  Value &peek(Frame &F);
+  void push(Frame &F, Value V);
+
+  JavaVm &Vm;
+  BytecodeProgram &Program;
+  JavaThread &Thread;
+  AllocationHooks Hooks;
+  std::vector<Frame> CallStack;
+  uint64_t RootToken = 0;
+  uint64_t StepLimit = 1ULL << 32;
+  uint64_t Steps = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_INTERP_INTERPRETER_H

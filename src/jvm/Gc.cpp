@@ -1,0 +1,149 @@
+//===- Gc.cpp - Stop-the-world mark-compact collector ----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Gc.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace djx;
+
+void MarkCompactCollector::traceObject(ObjectRef Obj,
+                                       std::vector<ObjectRef> &Worklist) {
+  const ObjectInfo &Info = TheHeap.info(Obj);
+  const TypeDescriptor &Desc = Types.get(Info.Type);
+  auto Visit = [&](uint64_t SlotAddr) {
+    ObjectRef Child = TheHeap.rawReadWord(SlotAddr);
+    if (Child == kNullRef)
+      return;
+    assert(TheHeap.isObjectStart(Child) && "ref slot holds a bad pointer");
+    ObjectInfo &ChildInfo = TheHeap.info(Child);
+    if (ChildInfo.Marked)
+      return;
+    ChildInfo.Marked = true;
+    Worklist.push_back(Child);
+  };
+  if (Desc.IsArray) {
+    if (Desc.ElemIsRef)
+      for (uint64_t I = 0; I < Info.Length; ++I)
+        Visit(Obj + I * 8);
+    return;
+  }
+  for (uint64_t Off : Desc.RefOffsets)
+    Visit(Obj + Off);
+}
+
+void MarkCompactCollector::mark(const std::vector<ObjectRef *> &RootSlots) {
+  std::vector<ObjectRef> Worklist;
+  for (ObjectRef *Slot : RootSlots) {
+    ObjectRef Obj = *Slot;
+    if (Obj == kNullRef)
+      continue;
+    assert(TheHeap.isObjectStart(Obj) && "root slot holds a bad pointer");
+    ObjectInfo &Info = TheHeap.info(Obj);
+    if (Info.Marked)
+      continue;
+    Info.Marked = true;
+    Worklist.push_back(Obj);
+  }
+  while (!Worklist.empty()) {
+    ObjectRef Obj = Worklist.back();
+    Worklist.pop_back();
+    traceObject(Obj, Worklist);
+  }
+}
+
+static uint64_t alignUp(uint64_t V, uint64_t A) {
+  return (V + A - 1) & ~(A - 1);
+}
+
+GcStats MarkCompactCollector::collect(
+    const std::vector<ObjectRef *> &RootSlots) {
+  Jvmti.publishGcStart();
+  GcStats Round;
+  Round.Collections = 1;
+
+  mark(RootSlots);
+
+  // Plan the slide: assign each marked object its compacted address, in
+  // ascending address order so every move is leftward (memmove-safe).
+  std::unordered_map<ObjectRef, ObjectRef> Forward;
+  uint64_t Cursor = Heap::kArenaBase;
+  auto &Objects = TheHeap.objects();
+  for (const auto &[Addr, Info] : Objects) {
+    if (!Info.Marked)
+      continue;
+    Forward.emplace(Addr, Cursor);
+    Cursor += alignUp(Info.Size, 8);
+  }
+
+  // Publish frees for the dead (finalize interposition) before their bytes
+  // can be overwritten by the slide.
+  for (const auto &[Addr, Info] : Objects) {
+    if (Info.Marked)
+      continue;
+    Jvmti.publishObjectFree(ObjectFreeEvent{Addr, Info.Size});
+    ++Round.ObjectsFreed;
+    Round.BytesFreed += Info.Size;
+  }
+
+  // Rewrite every reference (heap slots first, then roots) through the
+  // forwarding table, while objects still sit at their old addresses.
+  auto ForwardRef = [&](uint64_t SlotAddr) {
+    ObjectRef Child = TheHeap.rawReadWord(SlotAddr);
+    if (Child == kNullRef)
+      return;
+    auto It = Forward.find(Child);
+    assert(It != Forward.end() && "live object points at a dead one");
+    if (It->second != Child)
+      TheHeap.rawWriteWord(SlotAddr, It->second);
+  };
+  for (const auto &[Addr, Info] : Objects) {
+    if (!Info.Marked)
+      continue;
+    const TypeDescriptor &Desc = Types.get(Info.Type);
+    if (Desc.IsArray) {
+      if (Desc.ElemIsRef)
+        for (uint64_t I = 0; I < Info.Length; ++I)
+          ForwardRef(Addr + I * 8);
+    } else {
+      for (uint64_t Off : Desc.RefOffsets)
+        ForwardRef(Addr + Off);
+    }
+  }
+  for (ObjectRef *Slot : RootSlots) {
+    if (*Slot == kNullRef)
+      continue;
+    auto It = Forward.find(*Slot);
+    assert(It != Forward.end() && "root points at a dead object");
+    *Slot = It->second;
+  }
+
+  // Slide the survivors left and rebuild the side table. Each physical
+  // move is announced through the memmove interposition point.
+  std::map<ObjectRef, ObjectInfo> NewObjects;
+  for (auto &[Addr, Info] : Objects) {
+    if (!Info.Marked)
+      continue;
+    ObjectRef NewAddr = Forward.at(Addr);
+    if (NewAddr != Addr) {
+      TheHeap.rawMemmove(NewAddr, Addr, Info.Size);
+      Jvmti.publishObjectMove(ObjectMoveEvent{Addr, NewAddr, Info.Size});
+      ++Round.ObjectsMoved;
+    }
+    Info.Marked = false;
+    NewObjects.emplace(NewAddr, Info);
+  }
+  Objects = std::move(NewObjects);
+  TheHeap.setBumpTop(Cursor);
+
+  Totals.Collections += Round.Collections;
+  Totals.ObjectsMoved += Round.ObjectsMoved;
+  Totals.ObjectsFreed += Round.ObjectsFreed;
+  Totals.BytesFreed += Round.BytesFreed;
+  Jvmti.publishGcFinish(Round);
+  return Round;
+}

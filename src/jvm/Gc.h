@@ -1,0 +1,56 @@
+//===- Gc.h - Stop-the-world mark-compact collector --------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sliding mark-compact garbage collector. It produces exactly the two
+/// hazards DJXPerf's §4.5 exists to handle: (a) live objects *move* —
+/// surfaced per-object through JvmtiEnv::publishObjectMove, the analogue of
+/// interposing on HotSpot's memmove; and (b) dead objects are *reclaimed*
+/// and their addresses recycled — surfaced through publishObjectFree, the
+/// analogue of interposing on finalize. A GC-finish notification (the
+/// GarbageCollectorMXBean analogue) fires after all moves complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_GC_H
+#define DJX_JVM_GC_H
+
+#include "jvm/Heap.h"
+#include "jvm/Jvmti.h"
+#include "jvm/TypeRegistry.h"
+
+#include <vector>
+
+namespace djx {
+
+/// Stop-the-world sliding compactor over a Heap.
+class MarkCompactCollector {
+public:
+  MarkCompactCollector(Heap &H, const TypeRegistry &Types, JvmtiEnv &Jvmti)
+      : TheHeap(H), Types(Types), Jvmti(Jvmti) {}
+
+  /// Runs one full collection. \p RootSlots are the addresses of every
+  /// live reference outside the heap (workload variables, interpreter
+  /// frames); the collector updates them in place when their referents
+  /// move. \returns per-collection statistics.
+  GcStats collect(const std::vector<ObjectRef *> &RootSlots);
+
+  /// Cumulative statistics across all collections.
+  const GcStats &totals() const { return Totals; }
+
+private:
+  void mark(const std::vector<ObjectRef *> &RootSlots);
+  void traceObject(ObjectRef Obj, std::vector<ObjectRef> &Worklist);
+
+  Heap &TheHeap;
+  const TypeRegistry &Types;
+  JvmtiEnv &Jvmti;
+  GcStats Totals;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_GC_H

@@ -1,0 +1,110 @@
+//===- Heap.cpp - Bump-allocated, compactable heap arena -------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Heap.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace djx;
+
+Heap::Heap(uint64_t CapacityBytes) : Capacity(CapacityBytes) {
+  assert(Capacity > kArenaBase && "heap too small");
+  Arena.resize(Capacity, 0);
+}
+
+static uint64_t alignUp(uint64_t V, uint64_t A) {
+  return (V + A - 1) & ~(A - 1);
+}
+
+ObjectRef Heap::allocate(TypeId Type, uint64_t Size, uint64_t Length) {
+  assert(Size > 0 && "zero-sized object");
+  uint64_t Aligned = alignUp(Size, 8);
+  if (Top + Aligned > Capacity)
+    return kNullRef;
+  ObjectRef Obj = Top;
+  Top += Aligned;
+  if (Top > PeakTop)
+    PeakTop = Top;
+  std::memset(&Arena[Obj], 0, Aligned);
+  ObjectInfo Info;
+  Info.Type = Type;
+  Info.Size = Size;
+  Info.Length = Length;
+  Info.AllocId = NextAllocId++;
+  Objects.emplace(Obj, Info);
+  return Obj;
+}
+
+const ObjectInfo &Heap::info(ObjectRef Obj) const {
+  auto It = Objects.find(Obj);
+  assert(It != Objects.end() && "not a live object");
+  return It->second;
+}
+
+ObjectInfo &Heap::info(ObjectRef Obj) {
+  auto It = Objects.find(Obj);
+  assert(It != Objects.end() && "not a live object");
+  return It->second;
+}
+
+bool Heap::isObjectStart(ObjectRef Obj) const {
+  return Objects.count(Obj) != 0;
+}
+
+ObjectRef Heap::objectContaining(uint64_t Addr) const {
+  auto It = Objects.upper_bound(Addr);
+  if (It == Objects.begin())
+    return kNullRef;
+  --It;
+  if (Addr < It->first + It->second.Size)
+    return It->first;
+  return kNullRef;
+}
+
+uint64_t Heap::rawReadWord(uint64_t Addr) const {
+  assert(Addr + 8 <= Capacity && "read out of arena");
+  uint64_t V;
+  std::memcpy(&V, &Arena[Addr], 8);
+  return V;
+}
+
+void Heap::rawWriteWord(uint64_t Addr, uint64_t Value) {
+  assert(Addr + 8 <= Capacity && "write out of arena");
+  std::memcpy(&Arena[Addr], &Value, 8);
+}
+
+uint32_t Heap::rawReadU32(uint64_t Addr) const {
+  assert(Addr + 4 <= Capacity && "read out of arena");
+  uint32_t V;
+  std::memcpy(&V, &Arena[Addr], 4);
+  return V;
+}
+
+void Heap::rawWriteU32(uint64_t Addr, uint32_t Value) {
+  assert(Addr + 4 <= Capacity && "write out of arena");
+  std::memcpy(&Arena[Addr], &Value, 4);
+}
+
+void Heap::rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size) {
+  assert(Dst + Size <= Capacity && Src + Size <= Capacity &&
+         "memmove out of arena");
+  std::memmove(&Arena[Dst], &Arena[Src], Size);
+}
+
+void Heap::setBumpTop(uint64_t NewTop) {
+  assert(NewTop >= kArenaBase && NewTop <= Capacity && "bad bump top");
+  Top = NewTop;
+}
+
+uint64_t Heap::liveBytes() const {
+  uint64_t Sum = 0;
+  for (const auto &[Addr, Info] : Objects) {
+    (void)Addr;
+    Sum += Info.Size;
+  }
+  return Sum;
+}

@@ -1,0 +1,86 @@
+//===- Heap.h - Bump-allocated, compactable heap arena ----------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJVM heap: a flat byte arena with bump allocation and a side
+/// table of object metadata ordered by address (so the collector can walk
+/// objects in address order for sliding compaction). The heap knows nothing
+/// about profiling; allocation/GC events are surfaced by JavaVm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_HEAP_H
+#define DJX_JVM_HEAP_H
+
+#include "jvm/ObjectModel.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace djx {
+
+/// Flat-arena heap with a bump pointer and per-object side table.
+class Heap {
+public:
+  explicit Heap(uint64_t CapacityBytes);
+
+  /// Allocates \p Size payload bytes (8-byte aligned, zero-filled).
+  /// \returns the new object's address, or kNullRef when the arena is full
+  /// (the caller runs a GC and retries).
+  ObjectRef allocate(TypeId Type, uint64_t Size, uint64_t Length);
+
+  /// Object metadata; \p Obj must be a live object start address.
+  const ObjectInfo &info(ObjectRef Obj) const;
+  ObjectInfo &info(ObjectRef Obj);
+
+  /// True when \p Obj is the start address of a live object.
+  bool isObjectStart(ObjectRef Obj) const;
+
+  /// Object whose payload encloses \p Addr, or kNullRef.
+  ObjectRef objectContaining(uint64_t Addr) const;
+
+  /// Raw (unsimulated) little-endian word access into the arena. The
+  /// simulated access path lives in JavaVm; these are used by the GC and by
+  /// value plumbing after the access has been charged.
+  uint64_t rawReadWord(uint64_t Addr) const;
+  void rawWriteWord(uint64_t Addr, uint64_t Value);
+  uint32_t rawReadU32(uint64_t Addr) const;
+  void rawWriteU32(uint64_t Addr, uint32_t Value);
+
+  /// memmove within the arena; the GC's object-move primitive.
+  void rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size);
+
+  /// Accessors the collector uses to rewrite the object table wholesale.
+  std::map<ObjectRef, ObjectInfo> &objects() { return Objects; }
+  const std::map<ObjectRef, ObjectInfo> &objects() const { return Objects; }
+
+  /// Resets the bump pointer after compaction.
+  void setBumpTop(uint64_t Top);
+  uint64_t bumpTop() const { return Top; }
+
+  uint64_t capacity() const { return Capacity; }
+  uint64_t usedBytes() const { return Top - kArenaBase; }
+  uint64_t peakUsedBytes() const { return PeakTop - kArenaBase; }
+  uint64_t liveBytes() const;
+  size_t numObjects() const { return Objects.size(); }
+  uint64_t allocationsCount() const { return NextAllocId; }
+
+  /// First usable address; 0..kArenaBase-1 are reserved so 0 can be null.
+  static constexpr uint64_t kArenaBase = 64;
+
+private:
+  uint64_t Capacity;
+  uint64_t Top = kArenaBase;
+  uint64_t PeakTop = kArenaBase;
+  uint64_t NextAllocId = 0;
+  std::vector<uint8_t> Arena;
+  std::map<ObjectRef, ObjectInfo> Objects;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_HEAP_H

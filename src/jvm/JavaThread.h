@@ -1,0 +1,83 @@
+//===- JavaThread.h - MiniJVM thread state ----------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread state: identity, pinned CPU, the shadow call stack that
+/// AsyncGetCallTrace walks, the thread's virtualised PMU context, and the
+/// cycle accumulator used as the simulated clock. Threads are cooperatively
+/// scheduled (deterministic), but carry distinct CPUs so NUMA placement and
+/// per-thread profiles behave as on a real multicore.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_JAVATHREAD_H
+#define DJX_JVM_JAVATHREAD_H
+
+#include "jvm/MethodRegistry.h"
+#include "pmu/Pmu.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One call-stack frame: which method, and the bytecode index currently
+/// executing inside it.
+struct StackFrame {
+  MethodId Method = kInvalidMethod;
+  uint32_t Bci = 0;
+};
+
+/// A MiniJVM thread.
+class JavaThread {
+public:
+  JavaThread(uint64_t Id, std::string Name, uint32_t Cpu)
+      : Id(Id), Name(std::move(Name)), Cpu(Cpu), Pmu(Id) {}
+
+  uint64_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+  uint32_t cpu() const { return Cpu; }
+
+  /// Shadow call stack manipulation (caller-maintained, like the
+  /// interpreter's frame pointer chain a real AsyncGetCallTrace walks).
+  void pushFrame(MethodId Method, uint32_t Bci = 0) {
+    Frames.push_back(StackFrame{Method, Bci});
+  }
+  void popFrame() {
+    assert(!Frames.empty() && "pop of empty stack");
+    Frames.pop_back();
+  }
+  void setBci(uint32_t Bci) {
+    assert(!Frames.empty() && "no current frame");
+    Frames.back().Bci = Bci;
+  }
+  const std::vector<StackFrame> &frames() const { return Frames; }
+  size_t stackDepth() const { return Frames.size(); }
+
+  /// Simulated clock: cycles this thread has burned.
+  void addCycles(uint64_t N) { Cycles += N; }
+  uint64_t cycles() const { return Cycles; }
+
+  PmuContext &pmu() { return Pmu; }
+  const PmuContext &pmu() const { return Pmu; }
+
+  bool isAlive() const { return Alive; }
+  void markDead() { Alive = false; }
+
+private:
+  uint64_t Id;
+  std::string Name;
+  uint32_t Cpu;
+  std::vector<StackFrame> Frames;
+  uint64_t Cycles = 0;
+  PmuContext Pmu;
+  bool Alive = true;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_JAVATHREAD_H

@@ -1,0 +1,270 @@
+//===- JavaVm.cpp - MiniJVM facade -----------------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/JavaVm.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace djx;
+
+JavaVm::JavaVm(const VmConfig &Cfg)
+    : Config(Cfg), Machine(Cfg.Machine), TheHeap(Cfg.HeapBytes),
+      Collector(TheHeap, Types, Jvmti) {}
+
+JavaThread &JavaVm::startThread(const std::string &Name, uint32_t Cpu) {
+  if (Cpu == kAnyCpu) {
+    Cpu = NextCpu;
+    NextCpu = (NextCpu + 1) % Machine.numCpus();
+  }
+  assert(Cpu < Machine.numCpus() && "CPU id out of range");
+  Threads.emplace_back(NextThreadId++, Name, Cpu);
+  JavaThread &T = Threads.back();
+  Jvmti.publishThreadStart(T);
+  return T;
+}
+
+void JavaVm::endThread(JavaThread &T) {
+  assert(T.isAlive() && "ending a dead thread");
+  Jvmti.publishThreadEnd(T);
+  T.markDead();
+}
+
+std::vector<JavaThread *> JavaVm::allThreads() {
+  std::vector<JavaThread *> Out;
+  Out.reserve(Threads.size());
+  for (JavaThread &T : Threads)
+    Out.push_back(&T);
+  return Out;
+}
+
+void JavaVm::simulateAccess(JavaThread &T, uint64_t Addr) {
+  AccessResult R = Machine.accessMemory(T.cpu(), Addr);
+  T.addCycles(1 + R.LatencyCycles);
+  T.pmu().observeAccess(T.cpu(), Addr, R);
+}
+
+void JavaVm::checkAccess(const JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                         uint64_t Width) const {
+  (void)T;
+  (void)Obj;
+  (void)Offset;
+  (void)Width;
+  assert(Obj != kNullRef && "null dereference");
+  assert(TheHeap.isObjectStart(Obj) && "access to a non-object");
+  assert(Offset + Width <= TheHeap.info(Obj).Size &&
+         "access beyond object bounds");
+}
+
+uint8_t JavaVm::readU8(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+  checkAccess(T, Obj, Offset, 1);
+  simulateAccess(T, Obj + Offset);
+  return static_cast<uint8_t>(TheHeap.rawReadU32((Obj + Offset) & ~3ULL) >>
+                              (((Obj + Offset) & 3) * 8));
+}
+
+void JavaVm::writeU8(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                     uint8_t Value) {
+  checkAccess(T, Obj, Offset, 1);
+  simulateAccess(T, Obj + Offset);
+  uint64_t Addr = (Obj + Offset) & ~3ULL;
+  uint32_t Shift = static_cast<uint32_t>(((Obj + Offset) & 3) * 8);
+  uint32_t Old = TheHeap.rawReadU32(Addr);
+  uint32_t New = (Old & ~(0xFFU << Shift)) |
+                 (static_cast<uint32_t>(Value) << Shift);
+  TheHeap.rawWriteU32(Addr, New);
+}
+
+uint64_t JavaVm::readWord(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+  checkAccess(T, Obj, Offset, 8);
+  simulateAccess(T, Obj + Offset);
+  return TheHeap.rawReadWord(Obj + Offset);
+}
+
+void JavaVm::writeWord(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                       uint64_t Value) {
+  checkAccess(T, Obj, Offset, 8);
+  simulateAccess(T, Obj + Offset);
+  TheHeap.rawWriteWord(Obj + Offset, Value);
+}
+
+uint32_t JavaVm::readU32(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+  checkAccess(T, Obj, Offset, 4);
+  simulateAccess(T, Obj + Offset);
+  return TheHeap.rawReadU32(Obj + Offset);
+}
+
+void JavaVm::writeU32(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                      uint32_t Value) {
+  checkAccess(T, Obj, Offset, 4);
+  simulateAccess(T, Obj + Offset);
+  TheHeap.rawWriteU32(Obj + Offset, Value);
+}
+
+double JavaVm::readDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+  uint64_t Bits = readWord(T, Obj, Offset);
+  double V;
+  std::memcpy(&V, &Bits, 8);
+  return V;
+}
+
+void JavaVm::writeDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                         double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, 8);
+  writeWord(T, Obj, Offset, Bits);
+}
+
+ObjectRef JavaVm::readRef(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+  return readWord(T, Obj, Offset);
+}
+
+void JavaVm::writeRef(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                      ObjectRef Value) {
+  assert((Value == kNullRef || TheHeap.isObjectStart(Value)) &&
+         "storing a bad reference");
+  writeWord(T, Obj, Offset, Value);
+}
+
+void JavaVm::arrayCopy(JavaThread &T, ObjectRef Src, uint64_t SrcOff,
+                       ObjectRef Dst, uint64_t DstOff, uint64_t Bytes) {
+  assert(Bytes % 8 == 0 && "arrayCopy is word-granular");
+  checkAccess(T, Src, SrcOff, Bytes);
+  checkAccess(T, Dst, DstOff, Bytes);
+  for (uint64_t I = 0; I < Bytes; I += 8) {
+    simulateAccess(T, Src + SrcOff + I);
+    uint64_t V = TheHeap.rawReadWord(Src + SrcOff + I);
+    simulateAccess(T, Dst + DstOff + I);
+    TheHeap.rawWriteWord(Dst + DstOff + I, V);
+  }
+}
+
+void JavaVm::touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size) {
+  uint32_t Line = Machine.config().L1.LineBytes;
+  uint64_t First = Obj / Line;
+  uint64_t Last = (Obj + Size - 1) / Line;
+  for (uint64_t L = First; L <= Last; ++L)
+    simulateAccess(T, L * Line >= Obj ? L * Line : Obj);
+}
+
+ObjectRef JavaVm::allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
+                              uint64_t Length) {
+  ObjectRef Obj = TheHeap.allocate(Type, Size, Length);
+  if (Obj == kNullRef && Config.AutoGc) {
+    GcStats S = requestGc();
+    T.addCycles(Config.GcPauseBaseCycles +
+                Config.GcPausePerObjectCycles *
+                    (S.ObjectsMoved + S.ObjectsFreed));
+    Obj = TheHeap.allocate(Type, Size, Length);
+  }
+  if (Obj == kNullRef) {
+    std::fprintf(stderr,
+                 "djx: OutOfMemoryError: %llu bytes requested, %llu live\n",
+                 static_cast<unsigned long long>(Size),
+                 static_cast<unsigned long long>(TheHeap.liveBytes()));
+    std::abort();
+  }
+  // Zero-fill stores: the allocating thread first-touches every line.
+  touchNewObject(T, Obj, Size);
+  if (!AllocationEventsOn)
+    return Obj;
+  AllocationEvent E;
+  E.Thread = &T;
+  E.Object = Obj;
+  E.Type = Type;
+  E.TypeName = Types.get(Type).Name;
+  E.Size = Size;
+  E.Length = Length;
+  Jvmti.publishAllocation(E);
+  return Obj;
+}
+
+ObjectRef JavaVm::allocateObject(JavaThread &T, TypeId Type) {
+  const TypeDescriptor &Desc = Types.get(Type);
+  assert(!Desc.IsArray && "use allocateArray for arrays");
+  assert(Desc.InstanceSize > 0 && "class with zero instance size");
+  return allocateRaw(T, Type, Desc.InstanceSize, 0);
+}
+
+ObjectRef JavaVm::allocateArray(JavaThread &T, TypeId ArrayType,
+                                uint64_t Length) {
+  const TypeDescriptor &Desc = Types.get(ArrayType);
+  assert(Desc.IsArray && "use allocateObject for instances");
+  uint64_t Size = Desc.ElemSize * Length;
+  if (Size == 0)
+    Size = 8; // Zero-length arrays still occupy a slot.
+  return allocateRaw(T, ArrayType, Size, Length);
+}
+
+ObjectRef JavaVm::allocateMultiArray(JavaThread &T, TypeId LeafArrayType,
+                                     const std::vector<uint64_t> &Dims) {
+  assert(!Dims.empty() && "multianewarray needs at least one dimension");
+  if (Dims.size() == 1)
+    return allocateArray(T, LeafArrayType, Dims[0]);
+  // Outer dimensions are reference arrays pointing at the next level.
+  TypeId OuterType = Types.refArrayType(Types.get(LeafArrayType).Name);
+  RootScope Roots(*this);
+  ObjectRef &Outer = Roots.add(allocateArray(T, OuterType, Dims[0]));
+  std::vector<uint64_t> Rest(Dims.begin() + 1, Dims.end());
+  for (uint64_t I = 0; I < Dims[0]; ++I) {
+    ObjectRef &Child = Roots.add(allocateMultiArray(T, LeafArrayType, Rest));
+    writeRef(T, Outer, I * 8, Child);
+  }
+  return Outer;
+}
+
+void JavaVm::addRoot(ObjectRef *Slot) {
+  assert(Slot && "null root slot");
+  RootSlots.push_back(Slot);
+}
+
+void JavaVm::removeRoot(ObjectRef *Slot) {
+  for (size_t I = RootSlots.size(); I-- > 0;) {
+    if (RootSlots[I] == Slot) {
+      RootSlots.erase(RootSlots.begin() + I);
+      return;
+    }
+  }
+  assert(false && "removing an unregistered root");
+}
+
+uint64_t JavaVm::addRootProvider(RootProvider Fn) {
+  uint64_t Token = NextProviderToken++;
+  RootProviders.emplace_back(Token, std::move(Fn));
+  return Token;
+}
+
+void JavaVm::removeRootProvider(uint64_t Token) {
+  for (size_t I = RootProviders.size(); I-- > 0;) {
+    if (RootProviders[I].first == Token) {
+      RootProviders.erase(RootProviders.begin() + I);
+      return;
+    }
+  }
+  assert(false && "removing an unregistered root provider");
+}
+
+GcStats JavaVm::requestGc() {
+  std::vector<ObjectRef *> Slots = RootSlots;
+  for (auto &[Token, Fn] : RootProviders) {
+    (void)Token;
+    Fn(Slots);
+  }
+  GcStats S = Collector.collect(Slots);
+  // Compaction rearranged memory behind the caches' back; drop the close
+  // levels but keep the large shared L3 warm (see flushCaches).
+  Machine.flushCaches(/*IncludeL3=*/false);
+  return S;
+}
+
+uint64_t JavaVm::totalCycles() const {
+  uint64_t Sum = 0;
+  for (const JavaThread &T : Threads)
+    Sum += T.cycles();
+  return Sum;
+}

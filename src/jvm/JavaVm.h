@@ -1,0 +1,219 @@
+//===- JavaVm.h - MiniJVM facade --------------------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJVM: wires the heap, the mark-compact GC, the type and method
+/// registries, the JVMTI-like event surface, the simulated memory
+/// hierarchy, and per-thread PMU contexts into one virtual machine that
+/// workloads (and the bytecode interpreter) program against. Every
+/// simulated load/store flows through readWord()/writeWord() and friends,
+/// which (1) consult the cache/TLB/NUMA model, (2) charge latency to the
+/// thread's cycle clock, and (3) feed the thread's PMU — so DJXPerf's
+/// samples arise from genuine locality behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_JAVAVM_H
+#define DJX_JVM_JAVAVM_H
+
+#include "jvm/Gc.h"
+#include "jvm/Heap.h"
+#include "jvm/JavaThread.h"
+#include "jvm/Jvmti.h"
+#include "jvm/MethodRegistry.h"
+#include "jvm/TypeRegistry.h"
+#include "sim/MemoryHierarchy.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace djx {
+
+/// VM-wide configuration.
+struct VmConfig {
+  uint64_t HeapBytes = 64ULL * 1024 * 1024;
+  MachineConfig Machine;
+  /// Run a collection automatically when allocation fails.
+  bool AutoGc = true;
+  /// Stop-the-world pause cost charged to the allocating thread when an
+  /// automatic collection runs (memory bloat makes these frequent).
+  uint64_t GcPauseBaseCycles = 20000;
+  uint64_t GcPausePerObjectCycles = 8;
+};
+
+/// The MiniJVM facade.
+class JavaVm {
+public:
+  explicit JavaVm(const VmConfig &Config = VmConfig());
+
+  // --- Subsystem access -------------------------------------------------
+  MemoryHierarchy &machine() { return Machine; }
+  Heap &heap() { return TheHeap; }
+  const Heap &heap() const { return TheHeap; }
+  TypeRegistry &types() { return Types; }
+  MethodRegistry &methods() { return Methods; }
+  JvmtiEnv &jvmti() { return Jvmti; }
+  const VmConfig &config() const { return Config; }
+
+  // --- Threads ----------------------------------------------------------
+  /// Starts a thread pinned to \p Cpu (pass kAnyCpu for round-robin) and
+  /// fires the JVMTI thread-start event.
+  JavaThread &startThread(const std::string &Name, uint32_t Cpu = kAnyCpu);
+
+  /// Fires the JVMTI thread-end event and marks the thread dead.
+  void endThread(JavaThread &T);
+
+  std::vector<JavaThread *> allThreads();
+
+  /// JVMTI AsyncGetCallTrace analogue: snapshot of the thread's shadow
+  /// stack, leaf-last, usable at any point (no safepoint bias, §4.4).
+  std::vector<StackFrame> asyncGetCallTrace(const JavaThread &T) const {
+    return T.frames();
+  }
+
+  static constexpr uint32_t kAnyCpu = ~0U;
+
+  // --- Allocation (the four bytecode routines funnel here) ---------------
+  /// `new`: allocates an instance of \p Type on \p T.
+  ObjectRef allocateObject(JavaThread &T, TypeId Type);
+
+  /// `newarray` / `anewarray`: allocates an array of \p Length elements.
+  ObjectRef allocateArray(JavaThread &T, TypeId ArrayType, uint64_t Length);
+
+  /// `multianewarray`: rectangular array-of-arrays, outermost first.
+  ObjectRef allocateMultiArray(JavaThread &T, TypeId LeafArrayType,
+                               const std::vector<uint64_t> &Dims);
+
+  // --- Simulated memory access -------------------------------------------
+  uint8_t readU8(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  void writeU8(JavaThread &T, ObjectRef Obj, uint64_t Offset, uint8_t Value);
+  uint64_t readWord(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  void writeWord(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                 uint64_t Value);
+  uint32_t readU32(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  void writeU32(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                uint32_t Value);
+  double readDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  void writeDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                   double Value);
+  ObjectRef readRef(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  void writeRef(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                ObjectRef Value);
+
+  /// System.arraycopy analogue: word-granularity copy with simulated
+  /// accesses on both source and destination.
+  void arrayCopy(JavaThread &T, ObjectRef Src, uint64_t SrcOff,
+                 ObjectRef Dst, uint64_t DstOff, uint64_t Bytes);
+
+  /// Burns \p N plain execution cycles on \p T (non-memory instructions).
+  void tick(JavaThread &T, uint64_t N = 1) { T.addCycles(N); }
+
+  // --- GC ----------------------------------------------------------------
+  /// Registers/unregisters an off-heap reference slot as a GC root. The
+  /// collector updates the slot in place when its referent moves.
+  void addRoot(ObjectRef *Slot);
+  void removeRoot(ObjectRef *Slot);
+
+  /// Root providers contribute transient root slots (e.g. interpreter
+  /// operand stacks) at collection time. \returns a token for removal.
+  using RootProvider = std::function<void(std::vector<ObjectRef *> &)>;
+  uint64_t addRootProvider(RootProvider Fn);
+  void removeRootProvider(uint64_t Token);
+
+  /// Explicit System.gc().
+  GcStats requestGc();
+
+  /// Enables/disables VM-level allocation event publication. Instrumented
+  /// bytecode programs disable it so the ASM hooks are the only channel.
+  void setAllocationEventsEnabled(bool On) { AllocationEventsOn = On; }
+  bool allocationEventsEnabled() const { return AllocationEventsOn; }
+
+  const GcStats &gcTotals() const { return Collector.totals(); }
+
+  // --- Accounting ---------------------------------------------------------
+  /// Sum of all threads' cycle clocks: the simulated program runtime.
+  uint64_t totalCycles() const;
+
+  /// Peak heap occupancy, for the memory-overhead experiments.
+  uint64_t peakHeapBytes() const { return TheHeap.peakUsedBytes(); }
+
+private:
+  /// Simulates the zero-fill of a fresh allocation: one store per cache
+  /// line, charged to the allocating thread. This is also the NUMA first
+  /// touch, as on a real JVM.
+  void touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size);
+
+  /// One simulated access of any width.
+  void simulateAccess(JavaThread &T, uint64_t Addr);
+
+  void checkAccess(const JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                   uint64_t Width) const;
+
+  ObjectRef allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
+                        uint64_t Length);
+
+  VmConfig Config;
+  MemoryHierarchy Machine;
+  Heap TheHeap;
+  TypeRegistry Types;
+  MethodRegistry Methods;
+  JvmtiEnv Jvmti;
+  MarkCompactCollector Collector;
+  std::deque<JavaThread> Threads;
+  std::vector<ObjectRef *> RootSlots;
+  std::vector<std::pair<uint64_t, RootProvider>> RootProviders;
+  uint64_t NextThreadId = 1;
+  uint64_t NextProviderToken = 1;
+  uint32_t NextCpu = 0;
+  bool AllocationEventsOn = true;
+};
+
+/// RAII helper: pushes a frame on construction, pops on destruction.
+class FrameScope {
+public:
+  FrameScope(JavaThread &T, MethodId Method, uint32_t Bci = 0) : Thread(T) {
+    Thread.pushFrame(Method, Bci);
+  }
+  ~FrameScope() { Thread.popFrame(); }
+
+  /// Updates the current frame's BCI (source position).
+  void setBci(uint32_t Bci) { Thread.setBci(Bci); }
+
+  FrameScope(const FrameScope &) = delete;
+  FrameScope &operator=(const FrameScope &) = delete;
+
+private:
+  JavaThread &Thread;
+};
+
+/// RAII collection of GC root slots with stable addresses.
+class RootScope {
+public:
+  explicit RootScope(JavaVm &Vm) : Vm(Vm) {}
+  ~RootScope() {
+    for (ObjectRef &Slot : Slots)
+      Vm.removeRoot(&Slot);
+  }
+
+  /// Adds a rooted slot and returns a stable reference to it.
+  ObjectRef &add(ObjectRef Init = kNullRef) {
+    Slots.push_back(Init);
+    Vm.addRoot(&Slots.back());
+    return Slots.back();
+  }
+
+  RootScope(const RootScope &) = delete;
+  RootScope &operator=(const RootScope &) = delete;
+
+private:
+  JavaVm &Vm;
+  std::deque<ObjectRef> Slots;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_JAVAVM_H

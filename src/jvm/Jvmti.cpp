@@ -1,0 +1,57 @@
+//===- Jvmti.cpp - Tool interface of the MiniJVM ---------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Jvmti.h"
+
+using namespace djx;
+
+void JvmtiEnv::clearSubscribers() {
+  ThreadStartFns.clear();
+  ThreadEndFns.clear();
+  AllocationFns.clear();
+  GcStartFns.clear();
+  GcFinishFns.clear();
+  ObjectMoveFns.clear();
+  ObjectFreeFns.clear();
+}
+
+void JvmtiEnv::publishThreadStart(JavaThread &T) const {
+  for (const auto &Fn : ThreadStartFns)
+    Fn(T);
+}
+
+void JvmtiEnv::publishThreadEnd(JavaThread &T) const {
+  for (const auto &Fn : ThreadEndFns)
+    Fn(T);
+}
+
+void JvmtiEnv::publishAllocation(const AllocationEvent &E) const {
+  if (AllocationFns.empty())
+    return;
+  ++AllocCallbacks;
+  for (const auto &Fn : AllocationFns)
+    Fn(E);
+}
+
+void JvmtiEnv::publishGcStart() const {
+  for (const auto &Fn : GcStartFns)
+    Fn();
+}
+
+void JvmtiEnv::publishGcFinish(const GcStats &S) const {
+  for (const auto &Fn : GcFinishFns)
+    Fn(S);
+}
+
+void JvmtiEnv::publishObjectMove(const ObjectMoveEvent &E) const {
+  for (const auto &Fn : ObjectMoveFns)
+    Fn(E);
+}
+
+void JvmtiEnv::publishObjectFree(const ObjectFreeEvent &E) const {
+  for (const auto &Fn : ObjectFreeFns)
+    Fn(E);
+}

@@ -1,0 +1,120 @@
+//===- Jvmti.h - Tool interface of the MiniJVM ------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJVM's tool interface, mirroring the JVMTI surface DJXPerf uses
+/// (§3, §4): thread start/end callbacks, GC start/finish callbacks (the
+/// latter doubling as the GarbageCollectorMXBean notification), per-object
+/// move events (the memmove interposition of §4.5), per-object free events
+/// (the finalize interposition), and allocation events (the Java agent's
+/// instrumented allocation hooks report through here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_JVMTI_H
+#define DJX_JVM_JVMTI_H
+
+#include "jvm/JavaThread.h"
+#include "jvm/ObjectModel.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// Payload of an allocation event (the "post-allocation hook" of §4.1):
+/// object pointer, type, and size, raised on the allocating thread.
+struct AllocationEvent {
+  JavaThread *Thread = nullptr;
+  ObjectRef Object = kNullRef;
+  TypeId Type = 0;
+  std::string TypeName;
+  uint64_t Size = 0;
+  uint64_t Length = 0;
+};
+
+/// One object relocation performed by the compacting GC.
+struct ObjectMoveEvent {
+  ObjectRef OldAddr = kNullRef;
+  ObjectRef NewAddr = kNullRef;
+  uint64_t Size = 0;
+};
+
+/// One object reclaimed by the GC (finalize-equivalent).
+struct ObjectFreeEvent {
+  ObjectRef Addr = kNullRef;
+  uint64_t Size = 0;
+};
+
+/// Summary delivered with the GC-finish notification.
+struct GcStats {
+  uint64_t Collections = 0;
+  uint64_t ObjectsMoved = 0;
+  uint64_t ObjectsFreed = 0;
+  uint64_t BytesFreed = 0;
+};
+
+/// Callback registry. Agents subscribe; the VM and GC publish.
+class JvmtiEnv {
+public:
+  using ThreadCallback = std::function<void(JavaThread &)>;
+  using AllocationCallback = std::function<void(const AllocationEvent &)>;
+  using GcStartCallback = std::function<void()>;
+  using GcFinishCallback = std::function<void(const GcStats &)>;
+  using ObjectMoveCallback = std::function<void(const ObjectMoveEvent &)>;
+  using ObjectFreeCallback = std::function<void(const ObjectFreeEvent &)>;
+
+  void onThreadStart(ThreadCallback Fn) {
+    ThreadStartFns.push_back(std::move(Fn));
+  }
+  void onThreadEnd(ThreadCallback Fn) {
+    ThreadEndFns.push_back(std::move(Fn));
+  }
+  void onAllocation(AllocationCallback Fn) {
+    AllocationFns.push_back(std::move(Fn));
+  }
+  void onGcStart(GcStartCallback Fn) { GcStartFns.push_back(std::move(Fn)); }
+  void onGcFinish(GcFinishCallback Fn) {
+    GcFinishFns.push_back(std::move(Fn));
+  }
+  void onObjectMove(ObjectMoveCallback Fn) {
+    ObjectMoveFns.push_back(std::move(Fn));
+  }
+  void onObjectFree(ObjectFreeCallback Fn) {
+    ObjectFreeFns.push_back(std::move(Fn));
+  }
+
+  /// Drops every subscription (agent detach).
+  void clearSubscribers();
+
+  // Publication side (VM / GC internal).
+  void publishThreadStart(JavaThread &T) const;
+  void publishThreadEnd(JavaThread &T) const;
+  void publishAllocation(const AllocationEvent &E) const;
+  void publishGcStart() const;
+  void publishGcFinish(const GcStats &S) const;
+  void publishObjectMove(const ObjectMoveEvent &E) const;
+  void publishObjectFree(const ObjectFreeEvent &E) const;
+
+  /// Number of allocation callbacks delivered (drives the overhead model).
+  uint64_t allocationCallbacksDelivered() const { return AllocCallbacks; }
+
+private:
+  std::vector<ThreadCallback> ThreadStartFns;
+  std::vector<ThreadCallback> ThreadEndFns;
+  std::vector<AllocationCallback> AllocationFns;
+  std::vector<GcStartCallback> GcStartFns;
+  std::vector<GcFinishCallback> GcFinishFns;
+  std::vector<ObjectMoveCallback> ObjectMoveFns;
+  std::vector<ObjectFreeCallback> ObjectFreeFns;
+  mutable uint64_t AllocCallbacks = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_JVMTI_H

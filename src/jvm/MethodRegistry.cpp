@@ -1,0 +1,64 @@
+//===- MethodRegistry.cpp - Methods, line tables, JIT instances -----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/MethodRegistry.h"
+
+using namespace djx;
+
+MethodId MethodRegistry::registerMethod(const std::string &ClassName,
+                                        const std::string &MethodName,
+                                        std::vector<LineEntry> LineTable) {
+#ifndef NDEBUG
+  for (size_t I = 1; I < LineTable.size(); ++I)
+    assert(LineTable[I - 1].Bci < LineTable[I].Bci &&
+           "line table must be sorted by BCI");
+#endif
+  MethodInfo Info;
+  Info.ClassName = ClassName;
+  Info.MethodName = MethodName;
+  Info.LineTable = std::move(LineTable);
+  Methods.push_back(std::move(Info));
+  return static_cast<MethodId>(Methods.size()) - 1;
+}
+
+void MethodRegistry::rejit(MethodId Id) {
+  assert(Id < Methods.size() && "bad method id");
+  ++Methods[Id].JitInstances;
+}
+
+uint32_t MethodRegistry::lineForBci(MethodId Id, uint32_t Bci) const {
+  const MethodInfo &Info = get(Id);
+  uint32_t Line = 0;
+  for (const LineEntry &E : Info.LineTable) {
+    if (E.Bci > Bci)
+      break;
+    Line = E.Line;
+  }
+  return Line;
+}
+
+MethodId MethodRegistry::find(const std::string &ClassName,
+                              const std::string &MethodName) const {
+  for (size_t I = 0; I < Methods.size(); ++I)
+    if (Methods[I].ClassName == ClassName &&
+        Methods[I].MethodName == MethodName)
+      return static_cast<MethodId>(I);
+  return kInvalidMethod;
+}
+
+MethodId MethodRegistry::getOrRegister(const std::string &ClassName,
+                                       const std::string &MethodName,
+                                       std::vector<LineEntry> LineTable) {
+  MethodId Id = find(ClassName, MethodName);
+  if (Id != kInvalidMethod)
+    return Id;
+  return registerMethod(ClassName, MethodName, std::move(LineTable));
+}
+
+std::string MethodRegistry::qualifiedName(MethodId Id) const {
+  const MethodInfo &Info = get(Id);
+  return Info.ClassName + "." + Info.MethodName;
+}

@@ -1,0 +1,85 @@
+//===- MethodRegistry.h - Methods, line tables, JIT instances ---*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of methods known to the VM. Each method carries the class and
+/// method names plus a BCI -> source-line table — the state DJXPerf queries
+/// via JVMTI GetLineNumberTable (§4.4). A method may be JIT-compiled
+/// multiple times; each recompilation bumps its instance counter, mirroring
+/// the "method ID distinguishes different JITted instances" behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_METHODREGISTRY_H
+#define DJX_JVM_METHODREGISTRY_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// Identifies a method; stable across reJITs.
+using MethodId = uint32_t;
+constexpr MethodId kInvalidMethod = ~0U;
+
+/// One (BCI, source line) pair; the table is sorted by BCI.
+struct LineEntry {
+  uint32_t Bci;
+  uint32_t Line;
+};
+
+/// Immutable metadata for one method.
+struct MethodInfo {
+  std::string ClassName;
+  std::string MethodName;
+  std::vector<LineEntry> LineTable;
+  /// Number of times the JIT has (re)compiled this method.
+  uint32_t JitInstances = 1;
+};
+
+/// Owns all MethodInfos; MethodIds index into it.
+class MethodRegistry {
+public:
+  /// Registers a method. \p LineTable must be sorted by BCI.
+  MethodId registerMethod(const std::string &ClassName,
+                          const std::string &MethodName,
+                          std::vector<LineEntry> LineTable);
+
+  /// Marks a recompilation of \p Id (new JIT instance).
+  void rejit(MethodId Id);
+
+  const MethodInfo &get(MethodId Id) const {
+    assert(Id < Methods.size() && "bad method id");
+    return Methods[Id];
+  }
+
+  /// JVMTI GetLineNumberTable analogue: source line for \p Bci, i.e. the
+  /// line of the last table entry at or before \p Bci (0 when no table).
+  uint32_t lineForBci(MethodId Id, uint32_t Bci) const;
+
+  /// "Class.method" display name.
+  std::string qualifiedName(MethodId Id) const;
+
+  /// Finds a method by names; returns kInvalidMethod when absent.
+  MethodId find(const std::string &ClassName,
+                const std::string &MethodName) const;
+
+  /// find() or registerMethod() in one step.
+  MethodId getOrRegister(const std::string &ClassName,
+                         const std::string &MethodName,
+                         std::vector<LineEntry> LineTable);
+
+  size_t size() const { return Methods.size(); }
+
+private:
+  std::vector<MethodInfo> Methods;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_METHODREGISTRY_H

@@ -1,0 +1,61 @@
+//===- ObjectModel.h - Heap object representation ---------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types describing MiniJVM heap objects. Objects live in a flat arena;
+/// an ObjectRef is the arena offset of the object's first byte (0 is null,
+/// the arena reserves its first word). Reference fields are 8-byte slots
+/// inside the object payload whose positions are listed by the type
+/// descriptor (instances) or implied (reference arrays); the garbage
+/// collector traces and rewrites them during compaction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_OBJECTMODEL_H
+#define DJX_JVM_OBJECTMODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// Heap reference: arena offset of the object start. 0 is null.
+using ObjectRef = uint64_t;
+constexpr ObjectRef kNullRef = 0;
+
+/// Index into the VM's type registry.
+using TypeId = uint32_t;
+
+/// Describes one class (instance layout) known to the VM.
+struct TypeDescriptor {
+  std::string Name;
+  /// Instance payload size in bytes (arrays compute size from length).
+  uint64_t InstanceSize = 0;
+  /// Byte offsets of reference-typed fields inside the payload.
+  std::vector<uint64_t> RefOffsets;
+  /// True for array types; ElemSize/ElemIsRef then apply.
+  bool IsArray = false;
+  uint32_t ElemSize = 0;
+  bool ElemIsRef = false;
+};
+
+/// Per-object metadata kept by the heap side table.
+struct ObjectInfo {
+  TypeId Type = 0;
+  /// Payload size in bytes.
+  uint64_t Size = 0;
+  /// Element count for arrays, 0 otherwise.
+  uint64_t Length = 0;
+  /// Monotonic allocation id, stable across GC moves.
+  uint64_t AllocId = 0;
+  /// Marked bit used by the collector.
+  bool Marked = false;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_OBJECTMODEL_H

@@ -1,0 +1,66 @@
+//===- TypeRegistry.cpp - Class and array type registry --------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/TypeRegistry.h"
+
+using namespace djx;
+
+TypeRegistry::TypeRegistry() {
+  auto PrimArray = [&](const std::string &Name, uint32_t ElemSize) {
+    TypeDescriptor D;
+    D.Name = Name;
+    D.IsArray = true;
+    D.ElemSize = ElemSize;
+    D.ElemIsRef = false;
+    return addType(std::move(D));
+  };
+  ByteArrayTy = PrimArray("byte[]", 1);
+  IntArrayTy = PrimArray("int[]", 4);
+  LongArrayTy = PrimArray("long[]", 8);
+  FloatArrayTy = PrimArray("float[]", 4);
+  DoubleArrayTy = PrimArray("double[]", 8);
+}
+
+TypeId TypeRegistry::addType(TypeDescriptor Desc) {
+  assert(!NameToId.count(Desc.Name) && "duplicate type name");
+  TypeId Id = static_cast<TypeId>(Types.size());
+  NameToId.emplace(Desc.Name, Id);
+  Types.push_back(std::move(Desc));
+  return Id;
+}
+
+TypeId TypeRegistry::defineClass(const std::string &Name,
+                                 uint64_t InstanceSize,
+                                 std::vector<uint64_t> RefOffsets) {
+  TypeDescriptor D;
+  D.Name = Name;
+  D.InstanceSize = InstanceSize;
+  D.RefOffsets = std::move(RefOffsets);
+#ifndef NDEBUG
+  for (uint64_t Off : D.RefOffsets)
+    assert(Off + 8 <= InstanceSize && "ref field outside instance");
+#endif
+  return addType(std::move(D));
+}
+
+TypeId TypeRegistry::refArrayType(const std::string &ElemName) {
+  std::string Name = ElemName + "[]";
+  auto It = NameToId.find(Name);
+  if (It != NameToId.end())
+    return It->second;
+  TypeDescriptor D;
+  D.Name = Name;
+  D.IsArray = true;
+  D.ElemSize = 8;
+  D.ElemIsRef = true;
+  return addType(std::move(D));
+}
+
+TypeId TypeRegistry::byName(const std::string &Name) const {
+  auto It = NameToId.find(Name);
+  assert(It != NameToId.end() && "unknown type name");
+  return It->second;
+}

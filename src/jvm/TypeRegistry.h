@@ -1,0 +1,73 @@
+//===- TypeRegistry.h - Class and array type registry -----------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of TypeDescriptors. Predefines the primitive array types the
+/// bytecode `newarray` opcode can request, and lets workloads define classes
+/// (instance layouts with reference fields) and reference array types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_JVM_TYPEREGISTRY_H
+#define DJX_JVM_TYPEREGISTRY_H
+
+#include "jvm/ObjectModel.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace djx {
+
+/// Owns all TypeDescriptors; TypeIds index into it.
+class TypeRegistry {
+public:
+  TypeRegistry();
+
+  /// Defines an instance class. \p RefOffsets are byte offsets of
+  /// reference fields (each 8 bytes wide, inside [0, InstanceSize)).
+  TypeId defineClass(const std::string &Name, uint64_t InstanceSize,
+                     std::vector<uint64_t> RefOffsets = {});
+
+  /// Defines (or returns) the reference array type "Name[]".
+  TypeId refArrayType(const std::string &ElemName);
+
+  /// Primitive array types, matching `newarray` operands.
+  TypeId byteArray() const { return ByteArrayTy; }
+  TypeId intArray() const { return IntArrayTy; }
+  TypeId longArray() const { return LongArrayTy; }
+  TypeId floatArray() const { return FloatArrayTy; }
+  TypeId doubleArray() const { return DoubleArrayTy; }
+
+  const TypeDescriptor &get(TypeId Id) const {
+    assert(Id < Types.size() && "bad type id");
+    return Types[Id];
+  }
+
+  /// Looks up a type by name; asserts when missing.
+  TypeId byName(const std::string &Name) const;
+  bool hasName(const std::string &Name) const {
+    return NameToId.count(Name) != 0;
+  }
+
+  size_t size() const { return Types.size(); }
+
+private:
+  TypeId addType(TypeDescriptor Desc);
+
+  std::vector<TypeDescriptor> Types;
+  std::unordered_map<std::string, TypeId> NameToId;
+  TypeId ByteArrayTy = 0;
+  TypeId IntArrayTy = 0;
+  TypeId LongArrayTy = 0;
+  TypeId FloatArrayTy = 0;
+  TypeId DoubleArrayTy = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_JVM_TYPEREGISTRY_H

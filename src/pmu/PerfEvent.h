@@ -1,0 +1,77 @@
+//===- PerfEvent.h - Precise PMU event definitions --------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event kinds and record layout for the simulated PMU. The names mirror
+/// the Intel precise events DJXPerf programs (§4.1): L1 cache misses
+/// (MEM_LOAD_UOPS_RETIRED:L1_MISS), DTLB misses (DTLB_LOAD_MISSES), and
+/// load latency (MEM_TRANS_RETIRED:LOAD_LATENCY). The sample record carries
+/// the PEBS effective address plus the PERF_SAMPLE_CPU field DJXPerf uses
+/// for NUMA diagnosis (§4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_PMU_PERFEVENT_H
+#define DJX_PMU_PERFEVENT_H
+
+#include "sim/NumaTopology.h"
+
+#include <cstdint>
+#include <string>
+
+namespace djx {
+
+/// Hardware events the simulated PMU can count and sample.
+enum class PerfEventKind : uint8_t {
+  /// Every retired memory access (loads and stores).
+  MemAccess,
+  /// MEM_LOAD_UOPS_RETIRED:L1_MISS — DJXPerf's default event (§5.1).
+  L1Miss,
+  /// MEM_LOAD_UOPS_RETIRED:L2_MISS.
+  L2Miss,
+  /// MEM_LOAD_UOPS_RETIRED:L3_MISS.
+  L3Miss,
+  /// DTLB_LOAD_MISSES.
+  TlbMiss,
+  /// MEM_TRANS_RETIRED:LOAD_LATENCY — accesses slower than a threshold.
+  LoadLatency,
+  /// Accesses served from a remote NUMA node's DRAM.
+  RemoteAccess,
+};
+
+/// Printable mnemonic matching the Intel event the kind models.
+std::string perfEventName(PerfEventKind Kind);
+
+/// Configuration passed to PmuContext::openEvent — the moral equivalent of
+/// a perf_event_attr handed to perf_event_open(2).
+struct PerfEventAttr {
+  PerfEventKind Kind = PerfEventKind::L1Miss;
+  /// Deliver one sample every SamplePeriod occurrences of the event.
+  uint64_t SamplePeriod = 1000;
+  /// Latency threshold in cycles; only meaningful for LoadLatency.
+  uint32_t LatencyThreshold = 64;
+};
+
+/// A PEBS-style precise sample.
+struct PerfSample {
+  PerfEventKind Kind = PerfEventKind::L1Miss;
+  /// PEBS effective address of the sampled load/store.
+  uint64_t EffectiveAddress = 0;
+  /// PERF_SAMPLE_CPU — the CPU that retired the access.
+  uint32_t Cpu = 0;
+  /// PERF_SAMPLE_TID — thread owning the virtualised counter.
+  uint64_t ThreadId = 0;
+  /// PERF_SAMPLE_WEIGHT — access latency in cycles.
+  uint32_t LatencyCycles = 0;
+  /// NUMA node where the accessed page resides.
+  NumaNodeId HomeNode = kInvalidNode;
+  /// True when the access was served by a remote node.
+  bool RemoteAccess = false;
+};
+
+} // namespace djx
+
+#endif // DJX_PMU_PERFEVENT_H

@@ -1,0 +1,97 @@
+//===- Pmu.cpp - Per-thread virtualised PMU sampling -----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/Pmu.h"
+
+#include <cassert>
+
+using namespace djx;
+
+std::string djx::perfEventName(PerfEventKind Kind) {
+  switch (Kind) {
+  case PerfEventKind::MemAccess:
+    return "MEM_UOPS_RETIRED:ALL";
+  case PerfEventKind::L1Miss:
+    return "MEM_LOAD_UOPS_RETIRED:L1_MISS";
+  case PerfEventKind::L2Miss:
+    return "MEM_LOAD_UOPS_RETIRED:L2_MISS";
+  case PerfEventKind::L3Miss:
+    return "MEM_LOAD_UOPS_RETIRED:L3_MISS";
+  case PerfEventKind::TlbMiss:
+    return "DTLB_LOAD_MISSES";
+  case PerfEventKind::LoadLatency:
+    return "MEM_TRANS_RETIRED:LOAD_LATENCY";
+  case PerfEventKind::RemoteAccess:
+    return "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM";
+  }
+  return "UNKNOWN";
+}
+
+int PmuContext::openEvent(const PerfEventAttr &Attr) {
+  assert(Attr.SamplePeriod > 0 && "sampling period must be positive");
+  EventState E;
+  E.Attr = Attr;
+  E.PeriodLeft = Attr.SamplePeriod;
+  Events.push_back(E);
+  return static_cast<int>(Events.size()) - 1;
+}
+
+void PmuContext::setSampleHandler(PerfSampleHandler H) {
+  Handler = std::move(H);
+}
+
+bool PmuContext::eventMatches(const EventState &E, const AccessResult &R) {
+  switch (E.Attr.Kind) {
+  case PerfEventKind::MemAccess:
+    return true;
+  case PerfEventKind::L1Miss:
+    return R.L1Miss;
+  case PerfEventKind::L2Miss:
+    return R.L2Miss;
+  case PerfEventKind::L3Miss:
+    return R.L3Miss;
+  case PerfEventKind::TlbMiss:
+    return R.TlbMiss;
+  case PerfEventKind::LoadLatency:
+    return R.LatencyCycles >= E.Attr.LatencyThreshold;
+  case PerfEventKind::RemoteAccess:
+    return R.RemoteAccess;
+  }
+  return false;
+}
+
+void PmuContext::observeAccess(uint32_t Cpu, uint64_t Addr,
+                               const AccessResult &R) {
+  if (!Enabled)
+    return;
+  for (EventState &E : Events) {
+    if (!eventMatches(E, R))
+      continue;
+    ++E.Count;
+    assert(E.PeriodLeft > 0 && "period underflow");
+    if (--E.PeriodLeft > 0)
+      continue;
+    E.PeriodLeft = E.Attr.SamplePeriod;
+    ++SamplesDelivered;
+    if (!Handler)
+      continue;
+    PerfSample S;
+    S.Kind = E.Attr.Kind;
+    S.EffectiveAddress = Addr;
+    S.Cpu = Cpu;
+    S.ThreadId = ThreadId;
+    S.LatencyCycles = R.LatencyCycles;
+    S.HomeNode = R.HomeNode;
+    S.RemoteAccess = R.RemoteAccess;
+    Handler(S);
+  }
+}
+
+uint64_t PmuContext::eventCount(int Fd) const {
+  assert(Fd >= 0 && static_cast<size_t>(Fd) < Events.size() &&
+         "bad event descriptor");
+  return Events[Fd].Count;
+}

@@ -1,0 +1,83 @@
+//===- Pmu.h - Per-thread virtualised PMU sampling ---------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread virtualised performance-monitoring unit. Real PMUs are
+/// per-core and virtualised by the OS for each thread (§3); here PmuContext
+/// is the per-thread view. The JVMTI agent opens events at thread start,
+/// the MiniJVM reports every memory access via observeAccess(), and when a
+/// counter crosses its sampling period the registered handler — DJXPerf's
+/// "signal handler" — receives a precise PerfSample synchronously, exactly
+/// like a PEBS overflow interrupt delivered to the faulting thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_PMU_PMU_H
+#define DJX_PMU_PMU_H
+
+#include "pmu/PerfEvent.h"
+#include "sim/MemoryHierarchy.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace djx {
+
+/// Callback invoked on counter overflow; plays the role of the profiler's
+/// SIGIO/SIGPROF handler.
+using PerfSampleHandler = std::function<void(const PerfSample &)>;
+
+/// One thread's set of programmed PMU events.
+class PmuContext {
+public:
+  explicit PmuContext(uint64_t ThreadId) : ThreadId(ThreadId) {}
+
+  /// Programs an event; the moral equivalent of perf_event_open(2).
+  /// \returns an event descriptor usable with eventCount().
+  int openEvent(const PerfEventAttr &Attr);
+
+  /// Installs the overflow handler shared by all events of this context.
+  void setSampleHandler(PerfSampleHandler Handler);
+
+  /// Starts/stops counting (ioctl PERF_EVENT_IOC_ENABLE / DISABLE).
+  void enable() { Enabled = true; }
+  void disable() { Enabled = false; }
+  bool isEnabled() const { return Enabled; }
+
+  /// Feeds one retired access into every programmed counter. Called by the
+  /// MiniJVM for each load/store this thread performs. Overflowing counters
+  /// deliver samples synchronously before this returns.
+  void observeAccess(uint32_t Cpu, uint64_t Addr, const AccessResult &R);
+
+  /// Total occurrences counted for event descriptor \p Fd.
+  uint64_t eventCount(int Fd) const;
+
+  /// Total samples delivered across all events.
+  uint64_t samplesDelivered() const { return SamplesDelivered; }
+
+  uint64_t threadId() const { return ThreadId; }
+  size_t numEvents() const { return Events.size(); }
+
+private:
+  struct EventState {
+    PerfEventAttr Attr;
+    uint64_t Count = 0;      // Total occurrences.
+    uint64_t PeriodLeft = 0; // Occurrences until next sample.
+  };
+
+  static bool eventMatches(const EventState &E, const AccessResult &R);
+
+  uint64_t ThreadId;
+  bool Enabled = false;
+  std::vector<EventState> Events;
+  PerfSampleHandler Handler;
+  uint64_t SamplesDelivered = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_PMU_PMU_H

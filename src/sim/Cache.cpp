@@ -1,0 +1,67 @@
+//===- Cache.cpp - Set-associative cache model ----------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include <cassert>
+
+using namespace djx;
+
+Cache::Cache(const CacheConfig &Cfg) : Config(Cfg), NumSets(Cfg.numSets()) {
+  assert(NumSets > 0 && "cache too small for its associativity");
+  assert((Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  Lines.resize(NumSets * Config.Ways);
+}
+
+bool Cache::access(uint64_t Addr) {
+  uint64_t LA = lineAddr(Addr);
+  uint64_t Set = setIndex(LA);
+  Line *Base = &Lines[Set * Config.Ways];
+  ++Clock;
+
+  Line *Victim = nullptr;
+  for (uint32_t W = 0; W < Config.Ways; ++W) {
+    Line &L = Base[W];
+    if (L.Valid && L.Tag == LA) {
+      L.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Victim || !L.Valid ||
+        (Victim->Valid && L.Valid && L.LastUse < Victim->LastUse))
+      Victim = &L;
+  }
+  ++Misses;
+  if (Victim->Valid)
+    ++Evictions;
+  Victim->Valid = true;
+  Victim->Tag = LA;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+bool Cache::contains(uint64_t Addr) const {
+  uint64_t LA = lineAddr(Addr);
+  const Line *Base = &Lines[setIndex(LA) * Config.Ways];
+  for (uint32_t W = 0; W < Config.Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == LA)
+      return true;
+  return false;
+}
+
+void Cache::invalidate(uint64_t Addr) {
+  uint64_t LA = lineAddr(Addr);
+  Line *Base = &Lines[setIndex(LA) * Config.Ways];
+  for (uint32_t W = 0; W < Config.Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == LA)
+      Base[W].Valid = false;
+}
+
+void Cache::flush() {
+  for (Line &L : Lines)
+    L.Valid = false;
+}

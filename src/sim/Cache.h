@@ -1,0 +1,76 @@
+//===- Cache.h - Set-associative cache model --------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-associative, LRU-replacement cache model. Instances are composed by
+/// MemoryHierarchy into the private-L1 / private-L2 / shared-L3 structure of
+/// the paper's evaluation machine (Xeon E5-2650 v4: 32 KiB L1, 256 KiB L2,
+/// 30 MiB shared L3, 64 B lines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SIM_CACHE_H
+#define DJX_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace djx {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  uint64_t SizeBytes = 32 * 1024;
+  uint32_t LineBytes = 64;
+  uint32_t Ways = 8;
+
+  uint64_t numSets() const { return SizeBytes / (LineBytes * Ways); }
+};
+
+/// One set-associative cache with true-LRU replacement.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  /// Looks up \p Addr; on miss, fills the line (evicting LRU).
+  /// \returns true on hit.
+  bool access(uint64_t Addr);
+
+  /// Probes without filling. \returns true when the line is resident.
+  bool contains(uint64_t Addr) const;
+
+  /// Invalidates the line holding \p Addr, if resident.
+  void invalidate(uint64_t Addr);
+
+  /// Drops all contents (e.g. between benchmark repetitions).
+  void flush();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+  const CacheConfig &config() const { return Config; }
+
+private:
+  struct Line {
+    uint64_t Tag = ~0ULL;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint64_t lineAddr(uint64_t Addr) const { return Addr / Config.LineBytes; }
+  uint64_t setIndex(uint64_t LineAddr) const { return LineAddr % NumSets; }
+
+  CacheConfig Config;
+  uint64_t NumSets;
+  std::vector<Line> Lines; // NumSets * Ways, row-major by set.
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_SIM_CACHE_H

@@ -1,0 +1,75 @@
+//===- NumaTopology.cpp - NUMA node and page placement model --------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/NumaTopology.h"
+
+#include <cassert>
+
+using namespace djx;
+
+NumaTopology::NumaTopology(const NumaConfig &Cfg) : Config(Cfg) {
+  assert(Config.NumNodes > 0 && "need at least one NUMA node");
+  assert(Config.CpusPerNode > 0 && "need at least one CPU per node");
+}
+
+NumaNodeId NumaTopology::nodeOfCpu(uint32_t Cpu) const {
+  assert(Cpu < numCpus() && "CPU id out of range");
+  return static_cast<NumaNodeId>(Cpu / Config.CpusPerNode);
+}
+
+NumaNodeId NumaTopology::touch(uint64_t Addr, uint32_t Cpu) {
+  uint64_t Page = pageOf(Addr);
+  auto It = PageHome.find(Page);
+  if (It != PageHome.end())
+    return It->second;
+  NumaNodeId Node = nodeOfCpu(Cpu);
+  PageHome.emplace(Page, Node);
+  return Node;
+}
+
+NumaNodeId NumaTopology::nodeOfAddr(uint64_t Addr) const {
+  auto It = PageHome.find(pageOf(Addr));
+  return It == PageHome.end() ? kInvalidNode : It->second;
+}
+
+bool NumaTopology::movePage(uint64_t Addr, NumaNodeId Node) {
+  if (Node < 0 || static_cast<uint32_t>(Node) >= Config.NumNodes)
+    return false;
+  PageHome[pageOf(Addr)] = Node;
+  return true;
+}
+
+void NumaTopology::interleaveRange(uint64_t Start, uint64_t Size) {
+  if (Size == 0)
+    return;
+  uint64_t FirstPage = pageOf(Start);
+  uint64_t LastPage = pageOf(Start + Size - 1);
+  for (uint64_t P = FirstPage; P <= LastPage; ++P) {
+    PageHome[P] =
+        static_cast<NumaNodeId>(InterleaveCursor % Config.NumNodes);
+    ++InterleaveCursor;
+  }
+}
+
+void NumaTopology::bindRange(uint64_t Start, uint64_t Size, NumaNodeId Node) {
+  assert(Node >= 0 && static_cast<uint32_t>(Node) < Config.NumNodes &&
+         "bad NUMA node");
+  if (Size == 0)
+    return;
+  uint64_t FirstPage = pageOf(Start);
+  uint64_t LastPage = pageOf(Start + Size - 1);
+  for (uint64_t P = FirstPage; P <= LastPage; ++P)
+    PageHome[P] = Node;
+}
+
+void NumaTopology::releaseRange(uint64_t Start, uint64_t Size) {
+  if (Size == 0)
+    return;
+  uint64_t FirstPage = pageOf(Start);
+  uint64_t LastPage = pageOf(Start + Size - 1);
+  for (uint64_t P = FirstPage; P <= LastPage; ++P)
+    PageHome.erase(P);
+}

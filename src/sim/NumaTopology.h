@@ -1,0 +1,87 @@
+//===- NumaTopology.h - NUMA node and page placement model ------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models a multi-socket NUMA machine: CPUs grouped into nodes, first-touch
+/// page placement, and the libnuma operations DJXPerf relies on —
+/// move_pages (query the node a page resides on, or migrate it) and
+/// numa_alloc_interleaved (§4.3, §7.5, §7.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SIM_NUMATOPOLOGY_H
+#define DJX_SIM_NUMATOPOLOGY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace djx {
+
+/// Identifies a NUMA node; kInvalidNode means "page not yet placed".
+using NumaNodeId = int32_t;
+constexpr NumaNodeId kInvalidNode = -1;
+
+/// Shape of the machine: \p NumNodes sockets with \p CpusPerNode each.
+struct NumaConfig {
+  uint32_t NumNodes = 2;
+  uint32_t CpusPerNode = 12; // Matches the paper's 24-core 2-socket Xeon.
+  uint32_t PageBytes = 4096;
+};
+
+/// NUMA placement state: which node each touched page resides on.
+class NumaTopology {
+public:
+  explicit NumaTopology(const NumaConfig &Config);
+
+  uint32_t numCpus() const { return Config.NumNodes * Config.CpusPerNode; }
+  uint32_t numNodes() const { return Config.NumNodes; }
+
+  /// Node owning \p Cpu.
+  NumaNodeId nodeOfCpu(uint32_t Cpu) const;
+
+  /// Records a first touch of \p Addr from \p Cpu: an unplaced page is
+  /// allocated on the toucher's node (the default Linux policy).
+  /// \returns the node the page resides on after the touch.
+  NumaNodeId touch(uint64_t Addr, uint32_t Cpu);
+
+  /// move_pages query mode: node where the page holding \p Addr resides, or
+  /// kInvalidNode when never touched (paper: "return the NUMA node where
+  /// the page is currently residing").
+  NumaNodeId nodeOfAddr(uint64_t Addr) const;
+
+  /// move_pages migrate mode: forces the page holding \p Addr onto
+  /// \p Node. \returns true on success (node must exist).
+  bool movePage(uint64_t Addr, NumaNodeId Node);
+
+  /// numa_alloc_interleaved: pre-places pages of [Start, Start+Size)
+  /// round-robin across all nodes, defeating first-touch.
+  void interleaveRange(uint64_t Start, uint64_t Size);
+
+  /// Pre-places pages of [Start, Start+Size) on a single node
+  /// (numa_alloc_onnode).
+  void bindRange(uint64_t Start, uint64_t Size, NumaNodeId Node);
+
+  /// Forgets placement for pages fully inside [Start, Start+Size); used
+  /// when the heap recycles address ranges.
+  void releaseRange(uint64_t Start, uint64_t Size);
+
+  uint64_t pageOf(uint64_t Addr) const { return Addr / Config.PageBytes; }
+  const NumaConfig &config() const { return Config; }
+
+  /// Number of pages with an assigned home node.
+  size_t numPlacedPages() const { return PageHome.size(); }
+
+private:
+  NumaConfig Config;
+  std::unordered_map<uint64_t, NumaNodeId> PageHome;
+  uint64_t InterleaveCursor = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_SIM_NUMATOPOLOGY_H

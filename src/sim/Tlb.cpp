@@ -1,0 +1,44 @@
+//===- Tlb.cpp - Data TLB model --------------------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Tlb.h"
+
+#include <cassert>
+
+using namespace djx;
+
+Tlb::Tlb(const TlbConfig &Cfg) : Config(Cfg) {
+  assert(Config.Entries > 0 && "TLB needs at least one entry");
+  assert((Config.PageBytes & (Config.PageBytes - 1)) == 0 &&
+         "page size must be a power of two");
+  Entries.resize(Config.Entries);
+}
+
+bool Tlb::access(uint64_t Addr) {
+  uint64_t Page = pageOf(Addr);
+  ++Clock;
+  Entry *Victim = nullptr;
+  for (Entry &E : Entries) {
+    if (E.Valid && E.Page == Page) {
+      E.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Victim || !E.Valid ||
+        (Victim->Valid && E.Valid && E.LastUse < Victim->LastUse))
+      Victim = &E;
+  }
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Page = Page;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+void Tlb::flush() {
+  for (Entry &E : Entries)
+    E.Valid = false;
+}

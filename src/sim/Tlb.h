@@ -1,0 +1,59 @@
+//===- Tlb.h - Data TLB model -----------------------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fully-associative data TLB with LRU replacement. DTLB_LOAD_MISSES is one
+/// of the precise events DJXPerf can sample (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SIM_TLB_H
+#define DJX_SIM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace djx {
+
+/// Geometry of the data TLB.
+struct TlbConfig {
+  uint32_t Entries = 64;
+  uint32_t PageBytes = 4096;
+};
+
+/// Fully-associative LRU TLB.
+class Tlb {
+public:
+  explicit Tlb(const TlbConfig &Config);
+
+  /// Translates \p Addr; fills on miss. \returns true on hit.
+  bool access(uint64_t Addr);
+
+  void flush();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  const TlbConfig &config() const { return Config; }
+
+  uint64_t pageOf(uint64_t Addr) const { return Addr / Config.PageBytes; }
+
+private:
+  struct Entry {
+    uint64_t Page = ~0ULL;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  TlbConfig Config;
+  std::vector<Entry> Entries;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_SIM_TLB_H

@@ -1,0 +1,333 @@
+//===- IntervalSplayTree.h - Interval map on a splay tree -------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-adjusting interval map used for object-centric attribution (paper
+/// §4.2). The tree stores non-overlapping half-open address ranges
+/// [Start, End) and supports the operations DJXPerf needs on the hot path:
+/// point lookup (PMU effective address -> enclosing object), insertion on
+/// allocation, removal on reclamation, and relocation when the garbage
+/// collector moves an object. Lookups splay the touched node to the root, so
+/// repeated samples into the same hot object cost amortised O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_INTERVALSPLAYTREE_H
+#define DJX_SUPPORT_INTERVALSPLAYTREE_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace djx {
+
+/// An interval map keyed by [Start, End) address ranges.
+///
+/// Intervals never overlap. Inserting a range that overlaps existing
+/// intervals evicts them first (`insert` returns the number of evicted
+/// stale intervals); this mirrors DJXPerf's behaviour when the attach mode
+/// missed an allocation and a stale range must be superseded (§4.5).
+template <typename ValueT> class IntervalSplayTree {
+public:
+  struct Entry {
+    uint64_t Start;
+    uint64_t End;
+    ValueT Value;
+  };
+
+  IntervalSplayTree() = default;
+  ~IntervalSplayTree() { clear(); }
+
+  IntervalSplayTree(const IntervalSplayTree &) = delete;
+  IntervalSplayTree &operator=(const IntervalSplayTree &) = delete;
+
+  IntervalSplayTree(IntervalSplayTree &&Other) noexcept
+      : Root(Other.Root), NumNodes(Other.NumNodes) {
+    Other.Root = nullptr;
+    Other.NumNodes = 0;
+  }
+
+  /// Inserts [Start, Start+Size). Evicts any overlapping stale intervals.
+  /// \returns the number of stale intervals that were evicted.
+  unsigned insert(uint64_t Start, uint64_t Size, ValueT Value) {
+    assert(Size > 0 && "empty interval is not addressable");
+    uint64_t End = Start + Size;
+    assert(End > Start && "interval wraps the address space");
+    unsigned Evicted = removeOverlapping(Start, End);
+    Node *N = new Node{Start, End, std::move(Value), nullptr, nullptr};
+    if (!Root) {
+      Root = N;
+      ++NumNodes;
+      return Evicted;
+    }
+    Root = splay(Root, Start);
+    if (Start < Root->Start) {
+      N->Left = Root->Left;
+      N->Right = Root;
+      Root->Left = nullptr;
+    } else {
+      assert(Start > Root->Start && "duplicate start after eviction");
+      N->Right = Root->Right;
+      N->Left = Root;
+      Root->Right = nullptr;
+    }
+    Root = N;
+    ++NumNodes;
+    return Evicted;
+  }
+
+  /// Finds the interval enclosing \p Addr and splays it to the root.
+  /// \returns the entry, or std::nullopt when no interval encloses \p Addr.
+  std::optional<Entry> lookup(uint64_t Addr) {
+    if (!Root)
+      return std::nullopt;
+    Root = splay(Root, Addr);
+    // After splaying, the root is the node whose Start is closest to Addr.
+    // The enclosing interval, if any, is the root itself or the maximum of
+    // its left subtree.
+    Node *Candidate = Root;
+    if (Addr < Candidate->Start) {
+      Candidate = Candidate->Left;
+      while (Candidate && Candidate->Right)
+        Candidate = Candidate->Right;
+    }
+    if (!Candidate || Addr < Candidate->Start || Addr >= Candidate->End)
+      return std::nullopt;
+    return Entry{Candidate->Start, Candidate->End, Candidate->Value};
+  }
+
+  /// Read-only point query that does not restructure the tree. Useful for
+  /// verification; the profiler hot path uses lookup().
+  std::optional<Entry> peek(uint64_t Addr) const {
+    const Node *N = Root;
+    const Node *Best = nullptr;
+    while (N) {
+      if (Addr < N->Start) {
+        N = N->Left;
+      } else {
+        Best = N;
+        N = N->Right;
+      }
+    }
+    if (!Best || Addr >= Best->End)
+      return std::nullopt;
+    return Entry{Best->Start, Best->End, Best->Value};
+  }
+
+  /// Removes the interval that starts exactly at \p Start.
+  /// \returns true if an interval was removed.
+  bool removeAt(uint64_t Start) {
+    if (!Root)
+      return false;
+    Root = splay(Root, Start);
+    if (Root->Start != Start)
+      return false;
+    removeRoot();
+    return true;
+  }
+
+  /// Removes the interval enclosing \p Addr, returning its entry when found.
+  std::optional<Entry> removeContaining(uint64_t Addr) {
+    std::optional<Entry> E = lookup(Addr);
+    if (!E)
+      return std::nullopt;
+    bool Removed = removeAt(E->Start);
+    (void)Removed;
+    assert(Removed && "lookup hit must be removable");
+    return E;
+  }
+
+  /// Moves the interval starting at \p OldStart to [NewStart,
+  /// NewStart+NewSize), keeping its value. Mirrors a GC relocation.
+  /// \returns true when \p OldStart named a live interval.
+  bool relocate(uint64_t OldStart, uint64_t NewStart, uint64_t NewSize) {
+    if (!Root)
+      return false;
+    Root = splay(Root, OldStart);
+    if (Root->Start != OldStart)
+      return false;
+    ValueT Value = std::move(Root->Value);
+    removeRoot();
+    insert(NewStart, NewSize, std::move(Value));
+    return true;
+  }
+
+  /// Removes every interval overlapping [Start, End).
+  /// \returns the number of intervals removed.
+  unsigned removeOverlapping(uint64_t Start, uint64_t End) {
+    unsigned Removed = 0;
+    while (Root) {
+      Root = splay(Root, Start);
+      Node *Victim = nullptr;
+      if (Root->Start < End && Root->End > Start) {
+        Victim = Root;
+      } else if (Start < Root->Start) {
+        // The splayed root starts at or after End; the only other candidate
+        // is the left-subtree maximum, which may extend into our range.
+        Node *N = Root->Left;
+        while (N && N->Right)
+          N = N->Right;
+        if (N && N->End > Start)
+          Victim = N;
+      } else {
+        // Root is entirely below Start; successors start at or above End.
+        Node *N = Root->Right;
+        while (N && N->Left)
+          N = N->Left;
+        if (N && N->Start < End)
+          Victim = N;
+      }
+      if (!Victim)
+        break;
+      Root = splay(Root, Victim->Start);
+      assert(Root == Victim && "splay must surface the victim");
+      removeRoot();
+      ++Removed;
+    }
+    return Removed;
+  }
+
+  /// Applies \p Fn to every entry in ascending Start order.
+  void forEach(const std::function<void(const Entry &)> &Fn) const {
+    forEachNode(Root, Fn);
+  }
+
+  /// Collects all entries in ascending Start order.
+  std::vector<Entry> entries() const {
+    std::vector<Entry> Out;
+    Out.reserve(NumNodes);
+    forEach([&Out](const Entry &E) { Out.push_back(E); });
+    return Out;
+  }
+
+  size_t size() const { return NumNodes; }
+  bool empty() const { return NumNodes == 0; }
+
+  /// Approximate bytes held by the tree, for memory-overhead accounting.
+  size_t memoryFootprint() const { return NumNodes * sizeof(Node); }
+
+  void clear() {
+    destroy(Root);
+    Root = nullptr;
+    NumNodes = 0;
+  }
+
+  /// Verifies the BST ordering and non-overlap invariants. Test-only.
+  bool checkInvariants() const {
+    uint64_t PrevEnd = 0;
+    bool First = true;
+    bool Ok = true;
+    forEach([&](const Entry &E) {
+      if (E.Start >= E.End)
+        Ok = false;
+      if (!First && E.Start < PrevEnd)
+        Ok = false;
+      PrevEnd = E.End;
+      First = false;
+    });
+    return Ok;
+  }
+
+private:
+  struct Node {
+    uint64_t Start;
+    uint64_t End;
+    ValueT Value;
+    Node *Left;
+    Node *Right;
+  };
+
+  /// Top-down splay on the Start key (Sleator & Tarjan 1985). After the
+  /// call, the root is the node with the largest Start <= Key, or, when all
+  /// Starts exceed Key, the node with the smallest Start.
+  static Node *splay(Node *T, uint64_t Key) {
+    if (!T)
+      return nullptr;
+    Node Header{0, 0, ValueT(), nullptr, nullptr};
+    Node *L = &Header, *R = &Header;
+    for (;;) {
+      if (Key < T->Start) {
+        if (!T->Left)
+          break;
+        if (Key < T->Left->Start) {
+          Node *Y = T->Left; // Rotate right.
+          T->Left = Y->Right;
+          Y->Right = T;
+          T = Y;
+          if (!T->Left)
+            break;
+        }
+        R->Left = T; // Link right.
+        R = T;
+        T = T->Left;
+      } else if (Key > T->Start) {
+        if (!T->Right)
+          break;
+        if (Key > T->Right->Start) {
+          Node *Y = T->Right; // Rotate left.
+          T->Right = Y->Left;
+          Y->Left = T;
+          T = Y;
+          if (!T->Right)
+            break;
+        }
+        L->Right = T; // Link left.
+        L = T;
+        T = T->Right;
+      } else {
+        break;
+      }
+    }
+    L->Right = T->Left; // Assemble.
+    R->Left = T->Right;
+    T->Left = Header.Right;
+    T->Right = Header.Left;
+    return T;
+  }
+
+  /// Removes the current root, joining its subtrees.
+  void removeRoot() {
+    assert(Root && "no root to remove");
+    Node *Old = Root;
+    if (!Root->Left) {
+      Root = Root->Right;
+    } else {
+      Node *NewRoot = splay(Root->Left, Old->Start);
+      assert(!NewRoot->Right && "max of left subtree has a right child");
+      NewRoot->Right = Root->Right;
+      Root = NewRoot;
+    }
+    delete Old;
+    --NumNodes;
+  }
+
+  static void forEachNode(const Node *N,
+                          const std::function<void(const Entry &)> &Fn) {
+    if (!N)
+      return;
+    forEachNode(N->Left, Fn);
+    Fn(Entry{N->Start, N->End, N->Value});
+    forEachNode(N->Right, Fn);
+  }
+
+  static void destroy(Node *N) {
+    if (!N)
+      return;
+    destroy(N->Left);
+    destroy(N->Right);
+    delete N;
+  }
+
+  Node *Root = nullptr;
+  size_t NumNodes = 0;
+};
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_INTERVALSPLAYTREE_H

@@ -1,0 +1,86 @@
+//===- Random.h - Deterministic pseudo-random generator ---------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-seeded xoshiro256** generator. All simulated components
+/// (workload data, sampling jitter) draw from explicitly seeded instances so
+/// every experiment is reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_RANDOM_H
+#define DJX_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace djx {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9E3779B97F4A7C15ULL) {
+    // Seed the state with SplitMix64 so even seed 0 works.
+    uint64_t X = Seed;
+    for (uint64_t &S : State) {
+      X += 0x9E3779B97F4A7C15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+      S = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    // Debiased modulo via rejection sampling.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform value in [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_RANDOM_H

@@ -1,0 +1,66 @@
+//===- SpinLock.h - Minimal test-and-set spin lock --------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spin lock guarding the shared object splay tree (paper §5.1: "DJXPerf
+/// uses a spin lock to ensure the integrity of the splay tree across
+/// threads"). Acquisition counts are tracked so the profiler cost model can
+/// charge for synchronisation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_SPINLOCK_H
+#define DJX_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace djx {
+
+/// Test-and-set spin lock with acquisition accounting.
+class SpinLock {
+public:
+  void lock() {
+    while (Flag.test_and_set(std::memory_order_acquire))
+      ;
+    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool tryLock() {
+    if (Flag.test_and_set(std::memory_order_acquire))
+      return false;
+    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void unlock() { Flag.clear(std::memory_order_release); }
+
+  /// Total successful acquisitions since construction.
+  uint64_t acquisitions() const {
+    return Acquisitions.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic_flag Flag = ATOMIC_FLAG_INIT;
+  std::atomic<uint64_t> Acquisitions{0};
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock &L) : Lock(L) { Lock.lock(); }
+  ~SpinLockGuard() { Lock.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard &) = delete;
+  SpinLockGuard &operator=(const SpinLockGuard &) = delete;
+
+private:
+  SpinLock &Lock;
+};
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_SPINLOCK_H

@@ -1,0 +1,62 @@
+//===- Statistics.cpp - Summary statistics for experiments ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace djx;
+
+SampleStats djx::summarize(const std::vector<double> &Values) {
+  SampleStats S;
+  S.Count = Values.size();
+  if (Values.empty())
+    return S;
+  double Sum = 0.0;
+  S.Min = Values.front();
+  S.Max = Values.front();
+  for (double V : Values) {
+    Sum += V;
+    S.Min = std::min(S.Min, V);
+    S.Max = std::max(S.Max, V);
+  }
+  S.Mean = Sum / static_cast<double>(Values.size());
+  if (Values.size() < 2)
+    return S;
+  double SqSum = 0.0;
+  for (double V : Values) {
+    double D = V - S.Mean;
+    SqSum += D * D;
+  }
+  S.StdDev = std::sqrt(SqSum / static_cast<double>(Values.size() - 1));
+  // 1.96 is the normal-approximation z for a 95% interval; adequate for the
+  // 30-run samples the harness produces.
+  S.Ci95 = 1.96 * S.StdDev / std::sqrt(static_cast<double>(Values.size()));
+  return S;
+}
+
+double djx::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double djx::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}

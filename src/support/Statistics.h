@@ -1,0 +1,46 @@
+//===- Statistics.h - Summary statistics for experiments --------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / stddev / 95% confidence interval / geomean / median helpers used
+/// by the benchmark harnesses. The paper reports every speedup as a
+/// geometric-mean with a 95% confidence interval over 30 runs (§7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_STATISTICS_H
+#define DJX_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace djx {
+
+/// Summary of a sample of measurements.
+struct SampleStats {
+  double Mean = 0.0;
+  double StdDev = 0.0;
+  /// Half-width of the 95% confidence interval on the mean.
+  double Ci95 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  size_t Count = 0;
+};
+
+/// Computes mean, standard deviation, and the 95% CI half-width of
+/// \p Values. Returns a zeroed struct for an empty sample.
+SampleStats summarize(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values. All values must be positive; returns 0 for
+/// an empty sample.
+double geomean(const std::vector<double> &Values);
+
+/// Median of \p Values (average of middle two for even counts).
+double median(std::vector<double> Values);
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_STATISTICS_H

@@ -1,0 +1,88 @@
+//===- TextTable.cpp - Aligned text table rendering -----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace djx;
+
+TextTable::TextTable(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells,
+                       std::ostringstream &OS) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      OS << Cells[I];
+      if (I + 1 == Cells.size())
+        break;
+      for (size_t Pad = Cells[I].size(); Pad < Widths[I] + 2; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  };
+
+  std::ostringstream OS;
+  RenderRow(Header, OS);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  std::string Sep(std::max<size_t>(Total > 2 ? Total - 2 : Total, 4), '-');
+  OS << Sep << '\n';
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      OS << Sep << '\n';
+      continue;
+    }
+    RenderRow(Row, OS);
+  }
+  return OS.str();
+}
+
+void TextTable::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+}
+
+std::string TextTable::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TextTable::fmtPlusMinus(double Value, double Error,
+                                    int Precision) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.*f +- %.*f", Precision, Value, Precision,
+                Error);
+  return Buf;
+}
+
+std::string TextTable::fmtPercent(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}

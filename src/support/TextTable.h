@@ -1,0 +1,57 @@
+//===- TextTable.h - Aligned text table rendering ---------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helper that renders the paper's tables (Table 1, Table 2, the
+/// Figure 4 series) as aligned plain-text columns on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_TEXTTABLE_H
+#define DJX_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; the cell count must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string render() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Formats a double with \p Precision fraction digits.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats "A ± B" the way the paper reports speedups.
+  static std::string fmtPlusMinus(double Value, double Error,
+                                  int Precision = 2);
+
+  /// Formats a ratio as a percentage string, e.g. "21.4%".
+  static std::string fmtPercent(double Fraction, int Precision = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows; // Empty row == separator.
+};
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,76 @@
+//===- AccuracyCases.cpp - Section 6 accuracy benchmarks -------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AccuracyCases.h"
+
+#include "workloads/Kernels.h"
+
+using namespace djx;
+
+static std::function<void(JavaVm &)>
+onMainThread(std::function<void(JavaVm &, JavaThread &)> Fn) {
+  return [Fn = std::move(Fn)](JavaVm &Vm) {
+    JavaThread &T = Vm.startThread("main", 0);
+    Fn(Vm, T);
+    Vm.endThread(T);
+  };
+}
+
+/// One known-bug benchmark: a loop-allocated object with heavy, poorly
+/// cached use, so the bug dominates the L1-miss profile.
+static CaseStudy knownBug(std::string App, std::string Code, std::string Cls,
+                          std::string Method, uint32_t Line,
+                          uint64_t Iterations) {
+  // Larger than L1, so a full read pass over the fresh object misses on
+  // every line and the bug dominates the L1-miss profile.
+  constexpr uint64_t ObjectBytes = 64 * 1024;
+  CaseStudy C;
+  C.Application = std::move(App);
+  C.ProblematicCode = std::move(Code);
+  C.Inefficiency = "memory bloat previously reported by [Xu, OOPSLA'12]";
+  C.Optimization = "reuse the data structure";
+  C.Config.HeapBytes = 4ULL << 20;
+  C.ExpectClass = Cls;
+  C.ExpectMethod = Method;
+  C.ExpectLine = Line;
+  BloatParams P;
+  P.ClassName = std::move(Cls);
+  P.MethodName = std::move(Method);
+  P.AllocLine = Line;
+  P.CallerClass = "Harness";
+  P.CallerMethod = "main";
+  P.CallLine = 1;
+  P.Iterations = Iterations;
+  P.ObjectBytes = ObjectBytes;
+  P.AccessesPerObject = ObjectBytes / 8; // One full cold pass per object.
+  P.HotBytes = 16 * 1024;
+  P.HotAccessesPerIter = 200;
+  BloatParams Opt = P;
+  Opt.Hoist = true;
+  C.Baseline = onMainThread(
+      [P](JavaVm &Vm, JavaThread &T) { runBloatKernel(Vm, T, P); });
+  C.Optimized = onMainThread(
+      [Opt](JavaVm &Vm, JavaThread &T) { runBloatKernel(Vm, T, Opt); });
+  return C;
+}
+
+std::vector<CaseStudy> djx::section6AccuracyCases() {
+  std::vector<CaseStudy> All;
+  All.push_back(knownBug("Dacapo 2006 luindex",
+                         "DocumentWriter.java (206)", "DocumentWriter",
+                         "invertDocument", 206, 120));
+  All.push_back(knownBug("Dacapo 2006 bloat", "PrintSCPseudo.java (88)",
+                         "PrintSCPseudo", "visitBlock", 88, 120));
+  All.push_back(knownBug("Dacapo 2006 lusearch",
+                         "IndexSearcher.java (98)", "IndexSearcher",
+                         "search", 98, 120));
+  All.push_back(knownBug("Dacapo 2006 xalan", "ToStream.java (1260)",
+                         "ToStream", "characters", 1260, 120));
+  All.push_back(knownBug("SPECjbb2000",
+                         "StockLevelTransaction.java (173)",
+                         "StockLevelTransaction", "process", 173, 120));
+  return All;
+}

@@ -1,0 +1,31 @@
+//===- AccuracyCases.h - Section 6 accuracy benchmarks ----------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five §6 accuracy benchmarks — luindex, bloat, lusearch, xalan (all
+/// Dacapo 2006) and SPECjbb2000 — whose locality issues were previously
+/// reported by Xu's reusable-data-structure work [95]. DJXPerf must
+/// rediscover each issue: the known problematic allocation context has to
+/// surface at the top of the object-centric profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_ACCURACYCASES_H
+#define DJX_WORKLOADS_ACCURACYCASES_H
+
+#include "workloads/CaseStudies.h"
+
+#include <vector>
+
+namespace djx {
+
+/// The five known-bug benchmarks. Baseline() reproduces the buggy
+/// behaviour; ExpectClass/Method/Line name the bug DJXPerf must find.
+std::vector<CaseStudy> section6AccuracyCases();
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_ACCURACYCASES_H

@@ -1,0 +1,119 @@
+//===- BytecodePrograms.cpp - Bytecode workload programs -------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BytecodePrograms.h"
+
+#include "bytecode/MethodBuilder.h"
+
+using namespace djx;
+
+BytecodeProgram djx::buildBatikProgram(TypeRegistry &Types) {
+  BytecodeProgram P;
+
+  // ExtendedGeneralPath.makeRoom(nlen): float[] nvals = new float[nlen];
+  // for (i = 0; i < nlen; i++) nvals[i] = i;  return nvals;
+  {
+    MethodBuilder B("ExtendedGeneralPath", "makeRoom", /*NumArgs=*/1,
+                    /*NumLocals=*/3);
+    B.line(741);
+    B.iload(0);
+    B.line(743);
+    B.newArray(Types.floatArray());
+    B.astore(1);
+    B.iconst(0).istore(2);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(2).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(744);
+    B.aload(1).iload(2).iload(2).paStore();
+    B.iload(2).iconst(1).iadd().istore(2);
+    B.jmp(Loop);
+    B.bind(End);
+    B.aload(1).aret();
+
+    ClassFile C;
+    C.Name = "ExtendedGeneralPath";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+
+  // Main.run(iters, nlen): for (i = 0; i < iters; i++) makeRoom(nlen);
+  {
+    MethodBuilder B("Main", "run", /*NumArgs=*/2, /*NumLocals=*/3);
+    B.line(10);
+    B.iconst(0).istore(2);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(2).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(12);
+    B.iload(1);
+    B.invoke("ExtendedGeneralPath.makeRoom", 1);
+    B.pop();
+    B.iload(2).iconst(1).iadd().istore(2);
+    B.jmp(Loop);
+    B.bind(End);
+    B.ret();
+
+    ClassFile C;
+    C.Name = "Main";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  return P;
+}
+
+BytecodeProgram djx::buildLusearchProgram(TypeRegistry &Types) {
+  BytecodeProgram P;
+  // TopDocCollector: a small instance with two scalar fields.
+  TypeId Collector = Types.hasName("TopDocCollector")
+                         ? Types.byName("TopDocCollector")
+                         : Types.defineClass("TopDocCollector", 64);
+
+  // IndexSearcher.search(nDocs): collector = new TopDocCollector();
+  // collector.total = nDocs; return collector.total;
+  {
+    MethodBuilder B("IndexSearcher", "search", /*NumArgs=*/1,
+                    /*NumLocals=*/2);
+    B.line(96);
+    B.newObject(Collector);
+    B.astore(1);
+    B.line(98);
+    B.aload(1).iload(0).putField(0, 8);
+    B.line(99);
+    B.aload(1).getField(0, 8);
+    B.iret();
+
+    ClassFile C;
+    C.Name = "IndexSearcher";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+
+  // Main.run(queries): acc = 0; for (i..) acc += search(i); return acc.
+  {
+    MethodBuilder B("Main", "run", /*NumArgs=*/1, /*NumLocals=*/3);
+    B.line(10);
+    B.iconst(0).istore(1);
+    B.iconst(0).istore(2);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(1).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(12);
+    B.iload(1);
+    B.invoke("IndexSearcher.search", 1);
+    B.iload(2).iadd().istore(2);
+    B.iload(1).iconst(1).iadd().istore(1);
+    B.jmp(Loop);
+    B.bind(End);
+    B.iload(2).iret();
+
+    ClassFile C;
+    C.Name = "Main";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  return P;
+}

@@ -1,0 +1,35 @@
+//===- BytecodePrograms.h - Bytecode workload programs ----------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode renditions of paper workloads, used to exercise the full Java
+/// agent pathway: ASM-style allocation instrumentation + interpreter hook
+/// dispatch (instead of VM-level allocation events).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_BYTECODEPROGRAMS_H
+#define DJX_WORKLOADS_BYTECODEPROGRAMS_H
+
+#include "bytecode/ClassFile.h"
+#include "jvm/TypeRegistry.h"
+
+namespace djx {
+
+/// Dacapo batik's makeRoom pattern (Listing 1): Main.run(iters) calls
+/// ExtendedGeneralPath.makeRoom(nlen), which allocates a fresh float[nlen]
+/// (line 743) and initialises it — memory bloat in bytecode form.
+/// The program is unloaded; call load() before execution.
+BytecodeProgram buildBatikProgram(TypeRegistry &Types);
+
+/// lusearch's TopDocCollector pattern (Listing 2): IndexSearcher.search
+/// allocates a small collector object per query (line 98) and barely
+/// touches it — the insignificant-object counterpart.
+BytecodeProgram buildLusearchProgram(TypeRegistry &Types);
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_BYTECODEPROGRAMS_H

@@ -1,0 +1,61 @@
+//===- CaseStudies.h - Table 1 case-study workloads -------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thirteen Table 1 case studies: each row carries a baseline kernel
+/// reproducing the application's problematic pattern and an optimized
+/// kernel applying the paper's fix, plus the paper's reported whole-program
+/// speedup so the harness can compare shapes. Speedups here are emergent —
+/// they come from the simulated memory hierarchy, allocation costs and GC
+/// pauses, not from hardcoded factors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_CASESTUDIES_H
+#define DJX_WORKLOADS_CASESTUDIES_H
+
+#include "jvm/JavaVm.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One Table 1 row.
+struct CaseStudy {
+  std::string Application;
+  std::string ProblematicCode;
+  std::string Inefficiency;
+  std::string Optimization;
+  /// Paper-reported whole-program speedup and 95% CI half-width.
+  double PaperSpeedup = 1.0;
+  double PaperError = 0.0;
+  /// Acceptance band for the measured speedup (shape check).
+  double MinSpeedup = 1.0;
+  double MaxSpeedup = 10.0;
+  /// VM configuration (heap sizing creates the paper's GC pressure).
+  VmConfig Config;
+  /// Kernels. Single-threaded kernels receive a started thread; NUMA
+  /// kernels manage their own threads.
+  std::function<void(JavaVm &)> Baseline;
+  std::function<void(JavaVm &)> Optimized;
+  /// Where DJXPerf should point: the expected top allocation context.
+  std::string ExpectClass;
+  std::string ExpectMethod;
+  uint32_t ExpectLine = 0;
+};
+
+/// All Table 1 rows, in paper order.
+std::vector<CaseStudy> table1CaseStudies();
+
+/// Looks a case study up by application name; asserts when missing.
+const CaseStudy &findCaseStudy(const std::vector<CaseStudy> &All,
+                               const std::string &Application);
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_CASESTUDIES_H

@@ -1,0 +1,70 @@
+//===- Figure1.cpp - Motivating example workload ---------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Figure1.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace djx;
+
+namespace {
+/// One access site of Figure 1a: instruction \p Site touches object
+/// \p Object for \p Units units (1 unit = 40 cache-line-granular reads).
+struct SiteSpec {
+  const char *Site;
+  unsigned Object; // 1, 2 or 3.
+  unsigned Units;  // Figure 1's percentage.
+};
+} // namespace
+
+void djx::runFigure1Workload(JavaVm &Vm) {
+  JavaThread &T = Vm.startThread("main", 0);
+  MethodRegistry &MR = Vm.methods();
+  TypeId LongArr = Vm.types().longArray();
+
+  // Three objects, each allocated at its own context. 64 KiB: bigger than
+  // L1, so a sequential line walk misses every access, while the zero-fill
+  // cost at allocation stays small relative to the measured accesses.
+  constexpr uint64_t kObjBytes = 64 * 1024;
+  RootScope Roots(Vm);
+  std::vector<ObjectRef *> Objects;
+  std::vector<uint64_t> Cursor(4, 0);
+  for (unsigned I = 1; I <= 3; ++I) {
+    MethodId M = MR.getOrRegister("Demo", "allocO" + std::to_string(I),
+                                  {{0, 10 * I}});
+    FrameScope F(T, M, 0);
+    Objects.push_back(&Roots.add(
+        Vm.allocateArray(T, LongArr, kObjBytes / 8)));
+  }
+
+  // Figure 1a's timeline: <O1,Ia> <O2,Ib> <O3,Ic> <O1,Id> <O1,Ie> <O2,If>
+  // <O1,Ig> <O1,Ih> <O1,Ii> <O2,Ij>, with the figure's miss percentages.
+  const SiteSpec Sites[] = {
+      {"Ia", 1, 4}, {"Ib", 2, 8},  {"Ic", 3, 24}, {"Id", 1, 8},
+      {"Ie", 1, 10}, {"If", 2, 12}, {"Ig", 1, 8},  {"Ih", 1, 12},
+      {"Ii", 1, 8}, {"Ij", 2, 6},
+  };
+  unsigned Line = 1;
+  for (const SiteSpec &S : Sites) {
+    MethodId M = MR.getOrRegister("Demo", S.Site, {{0, Line++}});
+    FrameScope F(T, M, 0);
+    ObjectRef Obj = *Objects[S.Object - 1];
+    uint64_t &Cur = Cursor[S.Object];
+    uint64_t Acc = 0;
+    // 320 reads per unit, each touching a different 64-byte line of the
+    // object; the walk cycles through a working set larger than L1, so
+    // every read is an L1 miss.
+    for (unsigned K = 0; K < S.Units * 320; ++K) {
+      uint64_t Off = (Cur * 64) % kObjBytes;
+      Acc += Vm.readWord(T, Obj, Off);
+      ++Cur;
+    }
+    (void)Acc;
+  }
+  Vm.endThread(T);
+}

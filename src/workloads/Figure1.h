@@ -1,0 +1,30 @@
+//===- Figure1.h - Motivating example workload ------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 1 scenario: three objects (O1, O2, O3) accessed by ten
+/// instructions (Ia..Ij) with cache-miss shares Ia 4%, Ib 8%, Ic 24%,
+/// Id 8%, Ie 10%, If 12%, Ig 8%, Ih 12%, Ii 8%, Ij 6%. Code-centric
+/// profiling ranks Ic (24%) first; object-centric profiling aggregates to
+/// O1 50%, O2 26%, O3 24%, flipping the diagnosis to O1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_FIGURE1_H
+#define DJX_WORKLOADS_FIGURE1_H
+
+#include "jvm/JavaVm.h"
+
+namespace djx {
+
+/// Runs the Figure 1 access mix. Objects are named "O1"/"O2"/"O3" via
+/// allocator methods and each access site Ia..Ij is its own method, so the
+/// resulting profiles can be checked against the figure's percentages.
+void runFigure1Workload(JavaVm &Vm);
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_FIGURE1_H

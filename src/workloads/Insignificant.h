@@ -1,0 +1,42 @@
+//===- Insignificant.h - Table 2 insignificant-object workloads -*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2 (§7.7): nine applications whose memory-bloat sites allocate
+/// frequently but account for almost no cache misses — optimizing them
+/// yields negligible speedups. These are what a frequency-only bloat
+/// detector (e.g. Xu's reusable-data-structures work) would flag and what
+/// DJXPerf's PMU metrics correctly de-prioritise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_INSIGNIFICANT_H
+#define DJX_WORKLOADS_INSIGNIFICANT_H
+
+#include "workloads/CaseStudies.h"
+
+#include <vector>
+
+namespace djx {
+
+/// One Table 2 row, reusing the CaseStudy harness shape; the paper reports
+/// allocation counts, the (tiny) L1-miss share, and ~zero speedups.
+struct InsignificantCase {
+  CaseStudy Study;
+  /// The paper's reported allocation count for the site.
+  uint64_t PaperAllocationTimes = 0;
+  /// Paper's whole-program speedup after "optimizing" (at or near 1.0).
+  double PaperSpeedupPct = 0.0;
+};
+
+/// All Table 2 rows, in paper order. Allocation counts above 20k are
+/// scaled down 10x to keep simulation time reasonable (documented in
+/// EXPERIMENTS.md).
+std::vector<InsignificantCase> table2InsignificantCases();
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_INSIGNIFICANT_H

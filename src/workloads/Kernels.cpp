@@ -1,0 +1,309 @@
+//===- Kernels.cpp - Reusable workload kernels -----------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+#include <cassert>
+
+using namespace djx;
+
+void djx::runHotArray(JavaVm &Vm, JavaThread &T, const HotArrayParams &P) {
+  MethodId M = Vm.methods().getOrRegister(P.ClassName, P.MethodName,
+                                          {{0, P.Line}, {1, P.Line + 1}});
+  RootScope Roots(Vm);
+  FrameScope F(T, M, 0);
+  uint64_t Elems = P.Bytes / 8;
+  assert(Elems > 0 && "hot array too small");
+  ObjectRef &Hot =
+      Roots.add(Vm.allocateArray(T, Vm.types().longArray(), Elems));
+  F.setBci(1);
+  uint64_t Acc = 0;
+  for (uint64_t K = 0; K < P.Reads; ++K)
+    Acc += Vm.readWord(T, Hot, (K % Elems) * 8);
+  (void)Acc;
+}
+
+void djx::runBloatKernel(JavaVm &Vm, JavaThread &T, const BloatParams &P) {
+  MethodRegistry &MR = Vm.methods();
+  MethodId Caller = MR.getOrRegister(P.CallerClass, P.CallerMethod,
+                                     {{0, P.CallLine}, {1, P.CallLine + 1}});
+  MethodId Alloc =
+      MR.getOrRegister(P.ClassName, P.MethodName,
+                       {{0, P.AllocLine}, {1, P.AllocLine + 1}});
+  TypeId LongArr = Vm.types().longArray();
+  uint64_t Elems = P.ObjectBytes / 8;
+  assert(Elems > 0 && "bloat object too small");
+
+  RootScope Roots(Vm);
+  FrameScope CallerFrame(T, Caller, 0);
+
+  ObjectRef &Hot = Roots.add();
+  uint64_t HotElems = P.HotBytes / 8;
+  if (HotElems > 0) {
+    CallerFrame.setBci(1);
+    Hot = Vm.allocateArray(T, LongArr, HotElems);
+  }
+
+  ObjectRef &Obj = Roots.add();
+  CallerFrame.setBci(0);
+  if (P.Hoist) {
+    // Singleton pattern: one allocation reused across iterations.
+    FrameScope AllocFrame(T, Alloc, 0);
+    Obj = Vm.allocateArray(T, LongArr, Elems);
+  }
+
+  uint64_t Acc = 0;
+  for (uint64_t Iter = 0; Iter < P.Iterations; ++Iter) {
+    {
+      FrameScope AllocFrame(T, Alloc, 0);
+      if (!P.Hoist)
+        Obj = Vm.allocateArray(T, LongArr, Elems);
+      // Use the object: sequential read-modify-write traffic.
+      AllocFrame.setBci(1);
+      for (uint64_t K = 0; K < P.AccessesPerObject; ++K) {
+        uint64_t Off = (K % Elems) * 8;
+        Acc += Vm.readWord(T, Obj, Off);
+        if ((K & 3) == 0)
+          Vm.writeWord(T, Obj, Off, Acc);
+      }
+    }
+    if (HotElems > 0) {
+      CallerFrame.setBci(1);
+      for (uint64_t K = 0; K < P.HotAccessesPerIter; ++K)
+        Acc += Vm.readWord(T, Hot, ((Iter + K) % HotElems) * 8);
+      CallerFrame.setBci(0);
+    }
+    if (P.ColdAccessesPerIter > 0) {
+      FrameScope UseFrame(T, Alloc, 1);
+      for (uint64_t K = 0; K < P.ColdAccessesPerIter; ++K)
+        Acc += Vm.readWord(T, Obj, ((K * 8) % Elems) * 8);
+    }
+    if (!P.Hoist)
+      Obj = kNullRef; // Lifetimes never overlap: instantly garbage.
+  }
+  (void)Acc;
+}
+
+void djx::runFftKernel(JavaVm &Vm, JavaThread &T, const FftParams &P) {
+  MethodId M = Vm.methods().getOrRegister(
+      "FFT", "transform_internal",
+      {{0, 165}, {1, 166}, {2, 167}, {3, 168}, {4, 169}, {5, 170},
+       {6, 171}, {7, 172}, {8, 173}, {9, 174}, {10, 175}});
+  uint64_t N = 1ULL << P.LogN; // Complex points.
+  uint64_t Len = 2 * N;        // Doubles.
+  RootScope Roots(Vm);
+  FrameScope F(T, M, 0);
+  ObjectRef &Data =
+      Roots.add(Vm.allocateArray(T, Vm.types().doubleArray(), Len));
+
+  // Seed the array (sequential, identical in both variants).
+  for (uint64_t I = 0; I < Len; ++I)
+    Vm.writeDouble(T, Data, I * 8, static_cast<double>(I & 255) * 0.5);
+
+  // One butterfly: touches data[j], data[j+1], data[i], data[i+1] at the
+  // paper's lines 171/172/173/174/175.
+  auto Butterfly = [&](uint64_t B, uint64_t A, uint64_t Dual, double WR,
+                       double WI) {
+    uint64_t I = 2 * (B + A);
+    uint64_t J = 2 * (B + A + Dual);
+    F.setBci(6);
+    double Z1R = Vm.readDouble(T, Data, J * 8);
+    F.setBci(7);
+    double Z1I = Vm.readDouble(T, Data, (J + 1) * 8);
+    double WdR = WR * Z1R - WI * Z1I;
+    double WdI = WR * Z1I + WI * Z1R;
+    F.setBci(8);
+    double XR = Vm.readDouble(T, Data, I * 8);
+    double XI = Vm.readDouble(T, Data, (I + 1) * 8);
+    F.setBci(9);
+    Vm.writeDouble(T, Data, J * 8, XR - WdR);
+    F.setBci(10);
+    Vm.writeDouble(T, Data, (J + 1) * 8, XI - WdI);
+    Vm.writeDouble(T, Data, I * 8, XR + WdR);
+    Vm.writeDouble(T, Data, (I + 1) * 8, XI + WdI);
+    Vm.tick(T, 8); // The butterfly arithmetic.
+  };
+
+  for (uint32_t Rep = 0; Rep < P.Reps; ++Rep) {
+    uint64_t Dual = 1;
+    for (uint32_t Bit = 0; Bit < P.LogN; ++Bit, Dual *= 2) {
+      // Twiddle rotation per a; constants stand in for sin/cos.
+      double WR = 1.0, WI = 0.0;
+      const double CR = 0.999953, CI = -0.009709;
+      if (!P.Interchanged) {
+        // Paper's original order: a outer, b inner with stride 2*dual.
+        for (uint64_t A = 0; A < Dual; ++A) {
+          for (uint64_t B = 0; B + A + Dual < N; B += 2 * Dual)
+            Butterfly(B, A, Dual, WR, WI);
+          double NWR = WR * CR - WI * CI;
+          WI = WR * CI + WI * CR;
+          WR = NWR;
+          Vm.tick(T, 4);
+        }
+      } else {
+        // Optimized order: b outer, a inner with unit stride.
+        for (uint64_t B = 0; B + Dual < N; B += 2 * Dual) {
+          WR = 1.0;
+          WI = 0.0;
+          for (uint64_t A = 0; A < Dual && B + A + Dual < N; ++A) {
+            Butterfly(B, A, Dual, WR, WI);
+            double NWR = WR * CR - WI * CI;
+            WI = WR * CI + WI * CR;
+            WR = NWR;
+            Vm.tick(T, 4);
+          }
+        }
+      }
+    }
+  }
+}
+
+void djx::runGrowKernel(JavaVm &Vm, JavaThread &T, const GrowParams &P) {
+  MethodRegistry &MR = Vm.methods();
+  MethodId Grow = MR.getOrRegister("AccessHistory", "grow",
+                                   {{0, 615}, {1, 619}, {2, 620}});
+  MethodId Append = MR.getOrRegister("AccessHistory", "append",
+                                     {{0, 600}, {1, 601}});
+  TypeId LongArr = Vm.types().longArray();
+  RootScope Roots(Vm);
+
+  ObjectRef &Hot = Roots.add();
+  uint64_t HotElems = P.HotBytes / 8;
+  HotArrayParams HotP;
+  if (HotElems > 0)
+    Hot = Vm.allocateArray(T, LongArr, HotElems);
+  (void)HotP;
+
+  ObjectRef &Arr = Roots.add();
+  ObjectRef &NewArr = Roots.add();
+  FrameScope AppendFrame(T, Append, 0);
+  uint64_t Acc = 0;
+  for (uint32_t Round = 0; Round < P.Rounds; ++Round) {
+    uint64_t Cap = P.InitialCapacity;
+    {
+      FrameScope GrowFrame(T, Grow, 1);
+      Arr = Vm.allocateArray(T, LongArr, Cap);
+    }
+    for (uint64_t K = 0; K < P.FinalElements; ++K) {
+      if (K == Cap) {
+        // _wDispatch = new Array[Int](_wCapacity) at line 619, plus copy.
+        FrameScope GrowFrame(T, Grow, 1);
+        uint64_t NewCap = Cap * 2;
+        NewArr = Vm.allocateArray(T, LongArr, NewCap);
+        GrowFrame.setBci(2);
+        Vm.arrayCopy(T, Arr, 0, NewArr, 0, Cap * 8);
+        Arr = NewArr;
+        NewArr = kNullRef;
+        Cap = NewCap;
+      }
+      AppendFrame.setBci(1);
+      Vm.writeWord(T, Arr, K * 8, K);
+    }
+    Arr = kNullRef;
+    if (HotElems > 0)
+      for (uint64_t K = 0; K < P.HotAccessesPerRound; ++K)
+        Acc += Vm.readWord(T, Hot, ((Round + K) % HotElems) * 8);
+  }
+  (void)Acc;
+}
+
+void djx::runTilingKernel(JavaVm &Vm, JavaThread &T, const TilingParams &P) {
+  MethodId M = Vm.methods().getOrRegister(
+      "md", "force", {{0, 346}, {1, 348}, {2, 349}, {3, 350}});
+  TypeId LongArr = Vm.types().longArray();
+  uint64_t Elems = static_cast<uint64_t>(P.Rows) * P.Cols;
+  RootScope Roots(Vm);
+  FrameScope F(T, M, 0);
+  ObjectRef &Mat = Roots.add(Vm.allocateArray(T, LongArr, Elems));
+
+  uint64_t Acc = 0;
+  for (uint32_t Rep = 0; Rep < P.Reps; ++Rep) {
+    F.setBci(1);
+    if (!P.Tiled) {
+      // Column-major walk of a row-major matrix: stride Cols*8 bytes.
+      for (uint32_t C = 0; C < P.Cols; ++C)
+        for (uint32_t R = 0; R < P.Rows; ++R) {
+          Acc += Vm.readWord(
+              T, Mat, (static_cast<uint64_t>(R) * P.Cols + C) * 8);
+          Vm.tick(T, P.ComputeCycles);
+        }
+    } else {
+      // Tiled: a block of TileRows rows stays cache-resident while the
+      // column index sweeps.
+      for (uint32_t R0 = 0; R0 < P.Rows; R0 += P.TileRows)
+        for (uint32_t C = 0; C < P.Cols; ++C)
+          for (uint32_t R = R0; R < R0 + P.TileRows && R < P.Rows; ++R) {
+            Acc += Vm.readWord(
+                T, Mat, (static_cast<uint64_t>(R) * P.Cols + C) * 8);
+            Vm.tick(T, P.ComputeCycles);
+          }
+    }
+    // Row-major update sweeps, identical in both variants (md's other
+    // per-timestep phases).
+    F.setBci(2);
+    uint64_t Elems2 = static_cast<uint64_t>(P.Rows) * P.Cols;
+    for (uint32_t Pass = 0; Pass < P.RowMajorPasses; ++Pass)
+      for (uint64_t I = 0; I < Elems2; ++I) {
+        Acc += Vm.readWord(T, Mat, I * 8);
+        Vm.tick(T, P.ComputeCycles);
+      }
+  }
+  (void)Acc;
+}
+
+void djx::runNumaKernel(JavaVm &Vm, const NumaParams &P) {
+  MethodRegistry &MR = Vm.methods();
+  MethodId AllocM = MR.getOrRegister(P.ClassName, P.AllocMethod,
+                                     {{0, P.AllocLine}});
+  MethodId AccessM = MR.getOrRegister(P.AccessClass, P.AccessMethod,
+                                      {{0, P.AccessLine}});
+  TypeId LongArr = Vm.types().longArray();
+  uint64_t Elems = P.ArrayBytes / 8;
+  uint64_t Chunk = Elems / P.Workers;
+  assert(Chunk > 0 && "array smaller than worker count");
+
+  RootScope Roots(Vm);
+  NumaTopology &Numa = Vm.machine().numa();
+  uint32_t NumCpus = Vm.machine().numCpus();
+  assert(P.Workers > 0 && P.Workers <= NumCpus && "bad worker count");
+
+  JavaThread &Master = Vm.startThread("master", 0);
+  ObjectRef &Shared = Roots.add();
+  if (P.Place != NumaParams::Placement::WorkerPartitions) {
+    // Master allocates; the zero-fill stores are the first touch, so every
+    // page lands on the master's node.
+    FrameScope F(Master, AllocM, 0);
+    Shared = Vm.allocateArray(Master, LongArr, Elems);
+    if (P.Place == NumaParams::Placement::Interleaved)
+      // numa_alloc_interleaved: spread the pages round-robin.
+      Numa.interleaveRange(Shared, P.ArrayBytes);
+  }
+
+  // Workers spread evenly over all CPUs (and therefore both nodes).
+  uint64_t Acc = 0;
+  for (uint32_t W = 0; W < P.Workers; ++W) {
+    uint32_t Cpu = (W * NumCpus) / P.Workers;
+    JavaThread &Worker = Vm.startThread("worker" + std::to_string(W), Cpu);
+    FrameScope F(Worker, AccessM, 0);
+    ObjectRef &Local = Roots.add();
+    ObjectRef Base = Shared;
+    uint64_t Offset = W * Chunk;
+    if (P.Place == NumaParams::Placement::WorkerPartitions) {
+      // Parallel first touch: each worker allocates its own slice.
+      FrameScope AF(Worker, AllocM, 0);
+      Local = Vm.allocateArray(Worker, LongArr, Chunk);
+      Base = Local;
+      Offset = 0;
+    }
+    for (uint64_t K = 0; K < P.ReadsPerWorker; ++K) {
+      uint64_t Idx = Offset + (K % Chunk);
+      Acc += Vm.readWord(Worker, Base, Idx * 8);
+    }
+    Vm.endThread(Worker);
+  }
+  Vm.endThread(Master);
+  (void)Acc;
+}

@@ -1,0 +1,132 @@
+//===- Kernels.h - Reusable workload kernels --------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised kernels reproducing the access/allocation patterns behind
+/// the paper's case studies: memory-bloat loops (batik/lusearch/FindBugs/
+/// ObjectLayout pattern), strided array traversal (scimark FFT), capacity
+/// growth (scala-stm-bench7), tiled vs untiled matrix walks (JGF MolDyn),
+/// NUMA master-init vs parallel/interleaved placement (Druid, Eclipse
+/// Collections, NPB SP), and a plain hot-array loop used as background
+/// work. Every kernel registers methods with real class/method/line names
+/// from the paper so reports read like the originals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_KERNELS_H
+#define DJX_WORKLOADS_KERNELS_H
+
+#include "jvm/JavaVm.h"
+
+#include <cstdint>
+#include <string>
+
+namespace djx {
+
+/// Memory-bloat loop: allocate an object per iteration inside a named
+/// method, touch it, drop it (lifetimes never overlap). The optimized
+/// variant hoists the allocation out of the loop (singleton pattern).
+struct BloatParams {
+  std::string ClassName = "ExtendedGeneralPath";
+  std::string MethodName = "makeRoom";
+  uint32_t AllocLine = 743;
+  std::string CallerClass = "Main";
+  std::string CallerMethod = "run";
+  uint32_t CallLine = 10;
+  /// Loop trip count (the paper's per-site allocation counts).
+  uint64_t Iterations = 2478;
+  /// Payload bytes per allocation (>= 1 KiB to pass the S filter).
+  uint64_t ObjectBytes = 4096;
+  /// Sequential 8-byte reads+writes issued over the object per iteration.
+  uint64_t AccessesPerObject = 64;
+  /// Hoist the allocation out of the loop (the optimization).
+  bool Hoist = false;
+  /// Optional background work per iteration over a shared hot array.
+  uint64_t HotBytes = 0;
+  uint64_t HotAccessesPerIter = 0;
+  /// Re-reads of the object *after* the hot phase evicted it: these miss
+  /// in both variants, so they shape the profile (the object's measured
+  /// miss share) without shifting the baseline/optimized ratio much.
+  uint64_t ColdAccessesPerIter = 0;
+};
+void runBloatKernel(JavaVm &Vm, JavaThread &T, const BloatParams &P);
+
+/// scimark.fft-style butterfly loop nest over a complex double array. The
+/// baseline iterates (bit, a, b) with stride 2*dual in the inner loop; the
+/// optimized variant interchanges the a and b loops (§7.4).
+struct FftParams {
+  uint32_t LogN = 15; ///< N complex points => 2^(LogN+1) doubles.
+  bool Interchanged = false;
+  uint32_t Reps = 1;
+};
+void runFftKernel(JavaVm &Vm, JavaThread &T, const FftParams &P);
+
+/// Capacity-growth loop (scala-stm-bench7 grow(), §7.3): append elements,
+/// doubling the array capacity and arraycopy-ing on overflow.
+struct GrowParams {
+  uint64_t InitialCapacity = 8; ///< The optimization raises this to 512.
+  uint64_t FinalElements = 4096;
+  uint32_t Rounds = 64;
+  /// Background work per round.
+  uint64_t HotBytes = 0;
+  uint64_t HotAccessesPerRound = 0;
+};
+void runGrowKernel(JavaVm &Vm, JavaThread &T, const GrowParams &P);
+
+/// Matrix walk with poor stride (column-major over a row-major matrix) vs
+/// a tiled walk (JGF MolDyn md.java fix).
+struct TilingParams {
+  uint32_t Rows = 512;
+  uint32_t Cols = 256;
+  uint32_t Reps = 2;
+  bool Tiled = false;
+  uint32_t TileRows = 16;
+  /// Force-computation cycles charged per element (pair interactions).
+  uint32_t ComputeCycles = 30;
+  /// Row-major sweeps per rep common to both variants (the rest of md's
+  /// per-timestep work), diluting the tiling win to the paper's scale.
+  uint32_t RowMajorPasses = 3;
+};
+void runTilingKernel(JavaVm &Vm, JavaThread &T, const TilingParams &P);
+
+/// NUMA shared-array kernel: a master thread on node 0 allocates (and
+/// first-touches) a large array; worker threads spread over all nodes then
+/// read it heavily. Placement determines the remote-access rate.
+struct NumaParams {
+  enum class Placement {
+    MasterFirstTouch,   ///< Baseline: all pages land on the master's node.
+    WorkerPartitions,   ///< Fix A: each worker allocates its own chunk
+                        ///< (parallel first touch, §7.6 Druid).
+    Interleaved,        ///< Fix B: numa_alloc_interleaved (§7.5 / NPB SP).
+  };
+  Placement Place = Placement::MasterFirstTouch;
+  uint64_t ArrayBytes = 16ULL << 20;
+  uint32_t Workers = 8;
+  /// Sequential 8-byte reads each worker performs over its share.
+  uint64_t ReadsPerWorker = 1 << 16;
+  std::string ClassName = "WrappedImmutableBitSetBitmap";
+  std::string AllocMethod = "<init>";
+  uint32_t AllocLine = 37;
+  std::string AccessClass = "WrappedImmutableBitSetBitmap";
+  std::string AccessMethod = "next";
+  uint32_t AccessLine = 120;
+};
+void runNumaKernel(JavaVm &Vm, const NumaParams &P);
+
+/// Plain hot loop over one array — the "rest of the program" that dilutes
+/// insignificant-object optimizations (Table 2).
+struct HotArrayParams {
+  uint64_t Bytes = 256 * 1024;
+  uint64_t Reads = 1 << 18;
+  std::string ClassName = "Hot";
+  std::string MethodName = "work";
+  uint32_t Line = 1;
+};
+void runHotArray(JavaVm &Vm, JavaThread &T, const HotArrayParams &P);
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_KERNELS_H

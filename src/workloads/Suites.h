@@ -1,0 +1,58 @@
+//===- Suites.h - Figure 4 benchmark-suite workloads ------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the 50 Figure 4 benchmarks (Renaissance 0.10,
+/// Dacapo 9.12, SPECjvm2008). Each entry is parameterised by the paper's
+/// published characteristics — most importantly the allocation-callback
+/// intensity, which the paper identifies as the driver of runtime overhead
+/// ("more than 400 million [callbacks] for mnemonics, par-mnemonics,
+/// scrabble, akka-uct, db-shootout, dec-tree, and neo4j-analytics") — and
+/// by a tracked-allocation profile that drives the memory overhead. The
+/// harness then *measures* both overheads; nothing is hardcoded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_SUITES_H
+#define DJX_WORKLOADS_SUITES_H
+
+#include "jvm/JavaVm.h"
+
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One Figure 4 benchmark.
+struct SuiteEntry {
+  std::string Suite; ///< "Renaissance" | "Dacapo 9.12" | "SPECjvm2008".
+  std::string Name;
+  /// Paper-reported runtime / memory overheads at a 5M period (Figure 4),
+  /// kept for side-by-side reporting.
+  double PaperRuntimeOverhead = 1.0;
+  double PaperMemoryOverhead = 1.0;
+  /// Workload shape.
+  uint64_t SmallAllocs = 0;     ///< Below-S allocations (hook cost only).
+  uint64_t TrackedAllocs = 0;   ///< Above-S allocations (fully tracked).
+  uint64_t TrackedBytes = 2048; ///< Size of each tracked allocation.
+  uint32_t LiveTracked = 32;    ///< Tracked objects kept live (ring).
+  uint64_t HotReads = 200000;   ///< Base work over the hot array.
+  uint64_t HotBytes = 64 * 1024;
+  /// Long-lived application data (uniform across entries so memory
+  /// overheads are comparable).
+  uint64_t BallastBytes = 1ULL << 20;
+  VmConfig Config;
+};
+
+/// Runs one suite entry on a fresh VM (creates and ends its own thread).
+void runSuiteEntry(JavaVm &Vm, const SuiteEntry &E);
+
+/// All 50 Figure 4 entries, grouped by suite in paper order.
+std::vector<SuiteEntry> figure4Suites();
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_SUITES_H

@@ -1,0 +1,223 @@
+//===- bytecode_test.cpp - Unit tests for src/bytecode -----------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "bytecode/MethodBuilder.h"
+#include "bytecode/Verifier.h"
+#include "jvm/JavaVm.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+TEST(Opcode, NamesAreDistinctive) {
+  EXPECT_EQ(opcodeName(Opcode::New), "new");
+  EXPECT_EQ(opcodeName(Opcode::NewArray), "newarray");
+  EXPECT_EQ(opcodeName(Opcode::ANewArray), "anewarray");
+  EXPECT_EQ(opcodeName(Opcode::MultiANewArray), "multianewarray");
+  EXPECT_EQ(opcodeName(Opcode::IfICmpLt), "if_icmplt");
+}
+
+TEST(Opcode, BranchClassification) {
+  EXPECT_TRUE(isBranch(Opcode::Goto));
+  EXPECT_TRUE(isBranch(Opcode::IfICmpGe));
+  EXPECT_TRUE(isBranch(Opcode::IfNull));
+  EXPECT_FALSE(isBranch(Opcode::IAdd));
+  EXPECT_FALSE(isBranch(Opcode::Invoke));
+  EXPECT_FALSE(isBranch(Opcode::Return));
+}
+
+TEST(Opcode, AllocationClassification) {
+  EXPECT_TRUE(isAllocation(Opcode::New));
+  EXPECT_TRUE(isAllocation(Opcode::NewArray));
+  EXPECT_TRUE(isAllocation(Opcode::ANewArray));
+  EXPECT_TRUE(isAllocation(Opcode::MultiANewArray));
+  EXPECT_FALSE(isAllocation(Opcode::ALoad));
+  EXPECT_FALSE(isAllocation(Opcode::AllocHookPre));
+}
+
+TEST(MethodBuilder, EmitsInstructionsInOrder) {
+  MethodBuilder B("C", "m", 0, 1);
+  B.iconst(5).istore(0).iload(0).iret();
+  BytecodeMethod M = B.build();
+  ASSERT_EQ(M.Code.size(), 4u);
+  EXPECT_EQ(M.Code[0].Op, Opcode::IConst);
+  EXPECT_EQ(M.Code[0].A, 5);
+  EXPECT_EQ(M.Code[3].Op, Opcode::IReturn);
+}
+
+TEST(MethodBuilder, ForwardLabelFixup) {
+  MethodBuilder B("C", "m", 0, 0);
+  Label L = B.newLabel();
+  B.jmp(L);       // bci 0 -> 2
+  B.iconst(1);    // bci 1 (skipped)
+  B.bind(L);
+  B.ret();        // bci 2
+  BytecodeMethod M = B.build();
+  EXPECT_EQ(M.Code[0].Op, Opcode::Goto);
+  EXPECT_EQ(M.Code[0].A, 2);
+}
+
+TEST(MethodBuilder, BackwardLabel) {
+  MethodBuilder B("C", "m", 0, 0);
+  Label Top = B.newLabel();
+  B.bind(Top);
+  B.iconst(0);
+  B.ifNe(Top);
+  B.ret();
+  BytecodeMethod M = B.build();
+  EXPECT_EQ(M.Code[1].A, 0);
+}
+
+TEST(MethodBuilder, LineTableMapsBcis) {
+  MethodBuilder B("C", "m", 0, 0);
+  B.line(10).iconst(1);
+  B.pop();
+  B.line(12).iconst(2);
+  B.pop().ret();
+  BytecodeMethod M = B.build();
+  ASSERT_EQ(M.LineTable.size(), 2u);
+  EXPECT_EQ(M.LineTable[0].Bci, 0u);
+  EXPECT_EQ(M.LineTable[0].Line, 10u);
+  EXPECT_EQ(M.LineTable[1].Bci, 2u);
+  EXPECT_EQ(M.LineTable[1].Line, 12u);
+}
+
+TEST(MethodBuilder, InvokeRecordsCalleeRef) {
+  MethodBuilder B("C", "m", 0, 0);
+  B.invoke("D.helper", 2);
+  B.ret();
+  BytecodeMethod M = B.build();
+  ASSERT_EQ(M.CalleeRefs.size(), 1u);
+  EXPECT_EQ(M.CalleeRefs[0], "D.helper");
+  EXPECT_EQ(M.Code[0].A, 0); // Callee-table index before linking.
+  EXPECT_EQ(M.Code[0].B, 2);
+}
+
+TEST(Verifier, AcceptsWellFormedMethod) {
+  MethodBuilder B("C", "m", 1, 2);
+  Label L = B.newLabel();
+  B.iload(0).ifEq(L).iconst(1).istore(1).bind(L).ret();
+  BytecodeMethod M = B.build();
+  EXPECT_TRUE(verifyMethod(M).ok());
+}
+
+TEST(Verifier, RejectsEmptyCode) {
+  BytecodeMethod M;
+  M.ClassName = "C";
+  M.MethodName = "m";
+  VerifyResult R = verifyMethod(M);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Verifier, RejectsBranchOutOfRange) {
+  BytecodeMethod M;
+  M.ClassName = "C";
+  M.MethodName = "m";
+  M.Code.push_back(Instruction{Opcode::Goto, 99, 0});
+  VerifyResult R = verifyMethod(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("branch target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsLocalOutOfRange) {
+  BytecodeMethod M;
+  M.ClassName = "C";
+  M.MethodName = "m";
+  M.NumLocals = 1;
+  M.Code.push_back(Instruction{Opcode::ILoad, 3, 0});
+  M.Code.push_back(Instruction{Opcode::Return, 0, 0});
+  EXPECT_FALSE(verifyMethod(M).ok());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  BytecodeMethod M;
+  M.ClassName = "C";
+  M.MethodName = "m";
+  M.Code.push_back(Instruction{Opcode::Nop, 0, 0});
+  VerifyResult R = verifyMethod(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("return"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUnsortedLineTable) {
+  MethodBuilder B("C", "m", 0, 0);
+  B.ret();
+  BytecodeMethod M = B.build();
+  M.LineTable = {{5, 1}, {3, 2}};
+  EXPECT_FALSE(verifyMethod(M).ok());
+}
+
+TEST(Program, LoadLinksInvokesAndRegistersMethods) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  {
+    MethodBuilder B("C", "callee", 0, 0);
+    B.iconst(7).iret();
+    ClassFile C;
+    C.Name = "C";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  {
+    MethodBuilder B("D", "caller", 0, 0);
+    B.invoke("C.callee", 0).iret();
+    ClassFile C;
+    C.Name = "D";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  P.load(Vm);
+  EXPECT_TRUE(P.isLoaded());
+  EXPECT_EQ(P.numMethods(), 2u);
+  size_t CalleeIdx = P.methodIndex("C.callee");
+  const BytecodeMethod &Caller = P.method(P.methodIndex("D.caller"));
+  EXPECT_EQ(Caller.Code[0].A, static_cast<int64_t>(CalleeIdx));
+  // Methods are registered with the VM (symbolisation works).
+  EXPECT_NE(Caller.RegistryId, kInvalidMethod);
+  EXPECT_EQ(Vm.methods().qualifiedName(Caller.RegistryId), "D.caller");
+}
+
+TEST(Program, VerifyProgramAggregatesErrors) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  BytecodeMethod Bad;
+  Bad.ClassName = "C";
+  Bad.MethodName = "bad";
+  ClassFile C;
+  C.Name = "C";
+  C.Methods.push_back(Bad);
+  P.addClass(std::move(C));
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("C.bad"), std::string::npos);
+}
+
+TEST(Disassembler, ListsInstructionsAndLines) {
+  MethodBuilder B("FFT", "transform", 1, 2);
+  B.line(165).iload(0);
+  B.line(171).newArray(3);
+  B.astore(1).aload(1).aret();
+  BytecodeMethod M = B.build();
+  std::string S = disassemble(M);
+  EXPECT_NE(S.find("FFT.transform"), std::string::npos);
+  EXPECT_NE(S.find("// line 165"), std::string::npos);
+  EXPECT_NE(S.find("// line 171"), std::string::npos);
+  EXPECT_NE(S.find("newarray"), std::string::npos);
+  EXPECT_NE(S.find("areturn"), std::string::npos);
+}
+
+TEST(Disassembler, ShowsCalleeNamesBeforeLinking) {
+  MethodBuilder B("C", "m", 0, 0);
+  B.invoke("X.y", 1).ret();
+  BytecodeMethod M = B.build();
+  std::string S = disassemble(M);
+  EXPECT_NE(S.find("invoke X.y"), std::string::npos);
+}
+
+} // namespace

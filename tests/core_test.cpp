@@ -1,0 +1,545 @@
+//===- core_test.cpp - Unit tests for src/core ---------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Cct.h"
+#include "core/DjxPerf.h"
+#include "core/LiveObjectIndex.h"
+#include "core/Report.h"
+#include "core/ThreadProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace djx;
+
+namespace {
+
+// --- Cct ------------------------------------------------------------------------
+
+TEST(Cct, RootExists) {
+  Cct T;
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.path(kCctRoot).empty());
+}
+
+TEST(Cct, ChildInterning) {
+  Cct T;
+  CctNodeId A = T.child(kCctRoot, 1, 10);
+  CctNodeId B = T.child(kCctRoot, 1, 10);
+  CctNodeId C = T.child(kCctRoot, 1, 11);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(Cct, PrefixSharing) {
+  Cct T;
+  std::vector<StackFrame> P1 = {{1, 0}, {2, 5}, {3, 7}};
+  std::vector<StackFrame> P2 = {{1, 0}, {2, 5}, {4, 9}};
+  T.insertPath(P1);
+  size_t AfterFirst = T.size(); // Root + 3.
+  T.insertPath(P2);
+  EXPECT_EQ(AfterFirst, 4u);
+  EXPECT_EQ(T.size(), 5u) << "shared prefix must not duplicate";
+}
+
+TEST(Cct, PathRoundTrip) {
+  Cct T;
+  std::vector<StackFrame> P = {{10, 1}, {20, 2}, {30, 3}};
+  CctNodeId Leaf = T.insertPath(P);
+  std::vector<StackFrame> Back = T.path(Leaf);
+  ASSERT_EQ(Back.size(), 3u);
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Back[I].Method, P[I].Method);
+    EXPECT_EQ(Back[I].Bci, P[I].Bci);
+  }
+}
+
+TEST(Cct, EmptyPathIsRoot) {
+  Cct T;
+  EXPECT_EQ(T.insertPath({}), kCctRoot);
+}
+
+TEST(Cct, ParentLinks) {
+  Cct T;
+  CctNodeId A = T.child(kCctRoot, 1, 0);
+  CctNodeId B = T.child(A, 2, 0);
+  EXPECT_EQ(T.parentOf(B), A);
+  EXPECT_EQ(T.parentOf(A), kCctRoot);
+  EXPECT_EQ(T.methodOf(B), 2u);
+}
+
+TEST(Cct, MemoryFootprintGrows) {
+  Cct T;
+  size_t Empty = T.memoryFootprint();
+  for (uint32_t I = 0; I < 100; ++I)
+    T.child(kCctRoot, I, 0);
+  EXPECT_GT(T.memoryFootprint(), Empty);
+}
+
+// --- LiveObjectIndex ---------------------------------------------------------------
+
+LiveObject obj(uint64_t Thread, CctNodeId Node, uint64_t Size = 64) {
+  LiveObject O;
+  O.AllocThread = Thread;
+  O.AllocNode = Node;
+  O.Size = Size;
+  return O;
+}
+
+TEST(LiveObjectIndex, InsertLookupErase) {
+  LiveObjectIndex Idx;
+  Idx.insert(0x1000, 64, obj(1, 5));
+  auto Hit = Idx.lookup(0x1020);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->AllocThread, 1u);
+  EXPECT_EQ(Hit->AllocNode, 5u);
+  EXPECT_FALSE(Idx.lookup(0x2000).has_value());
+  EXPECT_TRUE(Idx.erase(0x1000));
+  EXPECT_FALSE(Idx.lookup(0x1020).has_value());
+  EXPECT_EQ(Idx.inserts(), 1u);
+  EXPECT_EQ(Idx.lookups(), 3u);
+  EXPECT_EQ(Idx.lookupMisses(), 2u);
+}
+
+TEST(LiveObjectIndex, RelocationBatchMovesObjects) {
+  LiveObjectIndex Idx;
+  Idx.insert(0x1000, 64, obj(1, 5));
+  Idx.recordMove(0x1000, 0x3000, 64);
+  EXPECT_EQ(Idx.pendingRelocations(), 1u);
+  // Before the batch applies, the tree still maps the old range.
+  EXPECT_TRUE(Idx.lookup(0x1000).has_value());
+  unsigned Applied = Idx.applyRelocations(LiveObject());
+  EXPECT_EQ(Applied, 1u);
+  EXPECT_EQ(Idx.pendingRelocations(), 0u);
+  EXPECT_FALSE(Idx.lookup(0x1000).has_value());
+  auto Hit = Idx.lookup(0x3010);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->AllocNode, 5u);
+}
+
+TEST(LiveObjectIndex, SlidingRelocationsOverlapSafely) {
+  // Classic compaction: B slides into A's old range while A also moves.
+  // Order of map iteration must not matter.
+  LiveObjectIndex Idx;
+  Idx.insert(100, 64, obj(1, 1));
+  Idx.insert(200, 64, obj(1, 2));
+  Idx.insert(300, 64, obj(1, 3));
+  Idx.recordMove(100, 64, 64);
+  Idx.recordMove(200, 128, 64); // New range overlaps A's old [100,164).
+  Idx.recordMove(300, 192, 64); // Overlaps B's old [200,264)? No: [192,256).
+  EXPECT_EQ(Idx.applyRelocations(LiveObject()), 3u);
+  EXPECT_EQ(Idx.lookup(64)->AllocNode, 1u);
+  EXPECT_EQ(Idx.lookup(128)->AllocNode, 2u);
+  EXPECT_EQ(Idx.lookup(192)->AllocNode, 3u);
+  EXPECT_EQ(Idx.liveCount(), 3u);
+}
+
+TEST(LiveObjectIndex, UnknownMoveInsertsFreshInterval) {
+  // Attach mode missed the allocation; the move must still be tracked.
+  LiveObjectIndex Idx;
+  Idx.recordMove(0x5000, 0x1000, 128);
+  LiveObject Unknown; // Root identity.
+  EXPECT_EQ(Idx.applyRelocations(Unknown), 1u);
+  auto Hit = Idx.lookup(0x1040);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->AllocThread, 0u);
+  EXPECT_EQ(Hit->AllocNode, kCctRoot);
+  EXPECT_EQ(Hit->Size, 128u);
+}
+
+TEST(LiveObjectIndex, DiscardRelocations) {
+  LiveObjectIndex Idx;
+  Idx.insert(0x1000, 64, obj(1, 5));
+  Idx.recordMove(0x1000, 0x3000, 64);
+  Idx.discardRelocations();
+  EXPECT_EQ(Idx.applyRelocations(LiveObject()), 0u);
+  EXPECT_TRUE(Idx.lookup(0x1000).has_value()) << "stale mapping remains";
+}
+
+TEST(LiveObjectIndex, LockAcquisitionsCounted) {
+  LiveObjectIndex Idx;
+  Idx.insert(0, 8, obj(1, 1));
+  Idx.lookup(0);
+  Idx.erase(0);
+  EXPECT_GE(Idx.lockAcquisitions(), 3u);
+}
+
+// --- ThreadProfile -----------------------------------------------------------------
+
+TEST(ThreadProfile, RecordsAllocationsByContext) {
+  ThreadProfile P(1, "main");
+  CctNodeId N = P.cct().child(kCctRoot, 3, 7);
+  P.recordAllocation(N, "int[]", 400);
+  P.recordAllocation(N, "int[]", 400);
+  const auto &G = P.groups().at(AllocKey{1, N});
+  EXPECT_EQ(G.AllocCount, 2u);
+  EXPECT_EQ(G.AllocBytes, 800u);
+  EXPECT_EQ(G.TypeName, "int[]");
+}
+
+TEST(ThreadProfile, RecordsObjectSamplesWithBreakdown) {
+  ThreadProfile P(1, "main");
+  CctNodeId Access1 = P.cct().child(kCctRoot, 9, 1);
+  CctNodeId Access2 = P.cct().child(kCctRoot, 9, 2);
+  AllocKey Key{2, 17}; // Allocated by another thread.
+  P.recordObjectSample(Key, "Foo", PerfEventKind::L1Miss, Access1, false);
+  P.recordObjectSample(Key, "Foo", PerfEventKind::L1Miss, Access1, true);
+  P.recordObjectSample(Key, "Foo", PerfEventKind::L1Miss, Access2, false);
+  const auto &G = P.groups().at(Key);
+  EXPECT_EQ(G.Metrics.get(PerfEventKind::L1Miss), 3u);
+  EXPECT_EQ(G.RemoteSamples, 1u);
+  EXPECT_EQ(G.AddressSamples, 3u);
+  EXPECT_EQ(G.AccessBreakdown.at(Access1).get(PerfEventKind::L1Miss), 2u);
+  EXPECT_EQ(G.AccessBreakdown.at(Access2).get(PerfEventKind::L1Miss), 1u);
+  EXPECT_EQ(P.totals().get(PerfEventKind::L1Miss), 3u);
+}
+
+TEST(ThreadProfile, UnattributedCountsInTotals) {
+  ThreadProfile P(1, "main");
+  P.recordUnattributed(PerfEventKind::L1Miss);
+  EXPECT_EQ(P.unattributedSamples(), 1u);
+  EXPECT_EQ(P.totals().get(PerfEventKind::L1Miss), 1u);
+}
+
+TEST(ThreadProfile, SerializationRoundTrip) {
+  ThreadProfile P(7, "worker3");
+  CctNodeId A = P.cct().insertPath({{1, 2}, {3, 4}});
+  CctNodeId B = P.cct().insertPath({{1, 2}, {5, 6}});
+  P.recordAllocation(A, "double[]", 8192);
+  P.recordObjectSample(AllocKey{7, A}, "double[]", PerfEventKind::L1Miss, B,
+                       true);
+  P.recordCodeSample(B, PerfEventKind::L1Miss);
+  P.recordUnattributed(PerfEventKind::TlbMiss);
+
+  std::stringstream SS;
+  P.writeTo(SS);
+  ThreadProfile Q;
+  ASSERT_TRUE(Q.readFrom(SS));
+  EXPECT_EQ(Q.threadId(), 7u);
+  EXPECT_EQ(Q.threadName(), "worker3");
+  EXPECT_EQ(Q.cct().size(), P.cct().size());
+  const auto &G = Q.groups().at(AllocKey{7, A});
+  EXPECT_EQ(G.TypeName, "double[]");
+  EXPECT_EQ(G.AllocCount, 1u);
+  EXPECT_EQ(G.AllocBytes, 8192u);
+  EXPECT_EQ(G.RemoteSamples, 1u);
+  EXPECT_EQ(G.Metrics.get(PerfEventKind::L1Miss), 1u);
+  EXPECT_EQ(G.AccessBreakdown.at(B).get(PerfEventKind::L1Miss), 1u);
+  EXPECT_EQ(Q.codeCentric().at(B).get(PerfEventKind::L1Miss), 1u);
+  EXPECT_EQ(Q.unattributedSamples(), 1u);
+  // Round-trip again: identical bytes.
+  std::stringstream S2, S3;
+  P.writeTo(S2);
+  Q.writeTo(S3);
+  EXPECT_EQ(S2.str(), S3.str());
+}
+
+TEST(ThreadProfile, ReadRejectsGarbage) {
+  std::stringstream SS("not a profile\n");
+  ThreadProfile P;
+  EXPECT_FALSE(P.readFrom(SS));
+  std::stringstream Truncated("djxprofile v1\nthread 1 t\n");
+  EXPECT_FALSE(P.readFrom(Truncated)) << "missing end marker";
+}
+
+// --- Analyzer -----------------------------------------------------------------------
+
+TEST(Analyzer, MergesEqualPathsAcrossThreads) {
+  // Two threads allocate at the *same* call path; the analyzer must
+  // coalesce them into one group (§5.2).
+  ThreadProfile P1(1, "t1"), P2(2, "t2");
+  std::vector<StackFrame> Path = {{1, 0}, {2, 3}};
+  CctNodeId N1 = P1.cct().insertPath(Path);
+  CctNodeId N2 = P2.cct().insertPath(Path);
+  P1.recordAllocation(N1, "Foo", 100);
+  P2.recordAllocation(N2, "Foo", 100);
+  P1.recordObjectSample(AllocKey{1, N1}, "Foo", PerfEventKind::L1Miss, N1,
+                        false);
+  P2.recordObjectSample(AllocKey{2, N2}, "Foo", PerfEventKind::L1Miss, N2,
+                        false);
+
+  MergedProfile M = mergeProfiles({&P1, &P2});
+  EXPECT_EQ(M.ThreadsMerged, 2u);
+  ASSERT_EQ(M.Groups.size(), 1u) << "same alloc path must merge";
+  const MergedGroup &G = M.Groups.begin()->second;
+  EXPECT_EQ(G.AllocCount, 2u);
+  EXPECT_EQ(G.Metrics.get(PerfEventKind::L1Miss), 2u);
+}
+
+TEST(Analyzer, CrossThreadAttributionResolvesAllocPath) {
+  // Thread 1 allocates; thread 2 samples accesses to the object. The
+  // merged group must sit under thread 1's allocation path.
+  ThreadProfile P1(1, "alloc"), P2(2, "access");
+  CctNodeId AllocN = P1.cct().insertPath({{10, 0}});
+  P1.recordAllocation(AllocN, "Buf", 4096);
+  CctNodeId AccessN = P2.cct().insertPath({{20, 5}});
+  P2.recordObjectSample(AllocKey{1, AllocN}, "Buf", PerfEventKind::L1Miss,
+                        AccessN, true);
+
+  MergedProfile M = mergeProfiles({&P1, &P2});
+  ASSERT_EQ(M.Groups.size(), 1u);
+  const MergedGroup &G = M.Groups.begin()->second;
+  EXPECT_EQ(G.AllocCount, 1u);
+  EXPECT_EQ(G.Metrics.get(PerfEventKind::L1Miss), 1u);
+  EXPECT_EQ(G.RemoteSamples, 1u);
+  auto Path = M.Tree.path(G.AllocNode);
+  ASSERT_EQ(Path.size(), 1u);
+  EXPECT_EQ(Path[0].Method, 10u);
+  ASSERT_EQ(G.AccessBreakdown.size(), 1u);
+  auto APath = M.Tree.path(G.AccessBreakdown.begin()->first);
+  ASSERT_EQ(APath.size(), 1u);
+  EXPECT_EQ(APath[0].Method, 20u);
+}
+
+TEST(Analyzer, MissingAllocatorDegradesToUnknown) {
+  ThreadProfile P2(2, "access");
+  CctNodeId AccessN = P2.cct().insertPath({{20, 5}});
+  P2.recordObjectSample(AllocKey{99, 42}, "Ghost", PerfEventKind::L1Miss,
+                        AccessN, false);
+  MergedProfile M = mergeProfiles({&P2});
+  ASSERT_EQ(M.Groups.size(), 1u);
+  EXPECT_EQ(M.Groups.begin()->first, kCctRoot);
+}
+
+TEST(Analyzer, GroupsSortByMetric) {
+  ThreadProfile P(1, "t");
+  CctNodeId A = P.cct().insertPath({{1, 0}});
+  CctNodeId B = P.cct().insertPath({{2, 0}});
+  for (int I = 0; I < 3; ++I)
+    P.recordObjectSample(AllocKey{1, A}, "Small", PerfEventKind::L1Miss, A,
+                         false);
+  for (int I = 0; I < 10; ++I)
+    P.recordObjectSample(AllocKey{1, B}, "Big", PerfEventKind::L1Miss, B,
+                         false);
+  MergedProfile M = mergeProfiles({&P});
+  auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+  ASSERT_EQ(Sorted.size(), 2u);
+  EXPECT_EQ(Sorted[0]->TypeName, "Big");
+  EXPECT_NEAR(M.shareOf(*Sorted[0], PerfEventKind::L1Miss), 10.0 / 13.0,
+              1e-9);
+}
+
+TEST(Analyzer, CodeCentricMerges) {
+  ThreadProfile P1(1, "a"), P2(2, "b");
+  std::vector<StackFrame> Path = {{5, 1}};
+  P1.recordCodeSample(P1.cct().insertPath(Path), PerfEventKind::L1Miss);
+  P2.recordCodeSample(P2.cct().insertPath(Path), PerfEventKind::L1Miss);
+  MergedProfile M = mergeProfiles({&P1, &P2});
+  ASSERT_EQ(M.CodeCentric.size(), 1u);
+  EXPECT_EQ(M.CodeCentric.begin()->second.get(PerfEventKind::L1Miss), 2u);
+}
+
+TEST(Analyzer, DirectoryRoundTrip) {
+  ThreadProfile P(1, "main");
+  CctNodeId N = P.cct().insertPath({{1, 0}});
+  P.recordAllocation(N, "X", 64);
+  std::string Dir = ::testing::TempDir() + "/djxprof_dir_test";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Out(Dir + "/thread_1.djxprof");
+    P.writeTo(Out);
+  }
+  auto M = mergeProfileDir(Dir);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Groups.size(), 1u);
+  EXPECT_FALSE(mergeProfileDir(Dir + "/nonexistent").has_value());
+}
+
+// --- Report -------------------------------------------------------------------------
+
+TEST(Report, ObjectCentricShowsPathsAndShares) {
+  MethodRegistry MR;
+  MethodId Alloc = MR.registerMethod("Pool", "create", {{0, 42}});
+  MethodId Access = MR.registerMethod("Worker", "use", {{0, 99}});
+  ThreadProfile P(1, "t");
+  CctNodeId AN = P.cct().insertPath({{Alloc, 0}});
+  CctNodeId XN = P.cct().insertPath({{Access, 0}});
+  P.recordAllocation(AN, "Buf[]", 2048);
+  for (int I = 0; I < 4; ++I)
+    P.recordObjectSample(AllocKey{1, AN}, "Buf[]", PerfEventKind::L1Miss,
+                         XN, I == 0);
+  MergedProfile M = mergeProfiles({&P});
+  std::string S = renderObjectCentric(M, MR);
+  EXPECT_NE(S.find("Buf[]"), std::string::npos);
+  EXPECT_NE(S.find("Pool.create:42"), std::string::npos);
+  EXPECT_NE(S.find("Worker.use:99"), std::string::npos);
+  EXPECT_NE(S.find("100.0%"), std::string::npos);
+  EXPECT_NE(S.find("allocated 1 time(s)"), std::string::npos);
+  EXPECT_NE(S.find("NUMA"), std::string::npos);
+}
+
+TEST(Report, CodeCentricRanksHotLines) {
+  MethodRegistry MR;
+  MethodId M1 = MR.registerMethod("A", "hot", {{0, 7}});
+  MethodId M2 = MR.registerMethod("B", "cold", {{0, 8}});
+  ThreadProfile P(1, "t");
+  CctNodeId H = P.cct().insertPath({{M1, 0}});
+  CctNodeId C = P.cct().insertPath({{M2, 0}});
+  for (int I = 0; I < 9; ++I)
+    P.recordCodeSample(H, PerfEventKind::L1Miss);
+  P.recordCodeSample(C, PerfEventKind::L1Miss);
+  // Totals come from object samples/unattributed; record via
+  // recordUnattributed to fill totals.
+  for (int I = 0; I < 10; ++I)
+    P.recordUnattributed(PerfEventKind::L1Miss);
+  MergedProfile M = mergeProfiles({&P});
+  std::string S = renderCodeCentric(M, MR);
+  size_t HotPos = S.find("A.hot:7");
+  size_t ColdPos = S.find("B.cold:8");
+  ASSERT_NE(HotPos, std::string::npos);
+  ASSERT_NE(ColdPos, std::string::npos);
+  EXPECT_LT(HotPos, ColdPos) << "hot line must rank first";
+}
+
+TEST(Report, EmptyProfileDegradesGracefully) {
+  MethodRegistry MR;
+  MergedProfile M;
+  EXPECT_NE(renderObjectCentric(M, MR).find("no object groups"),
+            std::string::npos);
+  EXPECT_NE(renderCodeCentric(M, MR).find("no samples"), std::string::npos);
+}
+
+TEST(Report, TopGroupsLimitRespected) {
+  MethodRegistry MR;
+  MethodId M1 = MR.registerMethod("C", "m", {{0, 1}});
+  ThreadProfile P(1, "t");
+  for (uint32_t I = 0; I < 20; ++I) {
+    CctNodeId N = P.cct().insertPath({{M1, I}});
+    P.recordObjectSample(AllocKey{1, N}, "T" + std::to_string(I),
+                         PerfEventKind::L1Miss, N, false);
+  }
+  MergedProfile M = mergeProfiles({&P});
+  ReportOptions Opts;
+  Opts.TopGroups = 3;
+  std::string S = renderObjectCentric(M, MR, Opts);
+  EXPECT_NE(S.find("#3 "), std::string::npos);
+  EXPECT_EQ(S.find("#4 "), std::string::npos);
+}
+
+// --- DjxPerf end-to-end (small) -------------------------------------------------------
+
+TEST(DjxPerf, TracksAllocationsAboveSizeFilter) {
+  JavaVm Vm;
+  DjxPerfConfig Cfg;
+  Cfg.MinObjectSize = 1024;
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  MethodId M = Vm.methods().registerMethod("C", "m", {{0, 1}});
+  FrameScope F(T, M, 0);
+  Vm.allocateArray(T, Vm.types().longArray(), 256); // 2 KiB: tracked.
+  Vm.allocateArray(T, Vm.types().longArray(), 8);   // 64 B: filtered.
+  Prof.stop();
+  EXPECT_EQ(Prof.allocationCallbacks(), 2u);
+  EXPECT_EQ(Prof.allocationsTracked(), 1u);
+  EXPECT_EQ(Prof.index().liveCount(), 1u);
+}
+
+TEST(DjxPerf, SampleAttributionEndToEnd) {
+  JavaVm Vm;
+  DjxPerfConfig Cfg;
+  Cfg.Events = {PerfEventAttr{PerfEventKind::MemAccess, 10, 64}};
+  Cfg.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  MethodId MA = Vm.methods().registerMethod("App", "alloc", {{0, 5}});
+  MethodId MU = Vm.methods().registerMethod("App", "use", {{0, 9}});
+  RootScope Roots(Vm);
+  ObjectRef &A = Roots.add();
+  {
+    FrameScope F(T, MA, 0);
+    A = Vm.allocateArray(T, Vm.types().longArray(), 512);
+  }
+  {
+    FrameScope F(T, MU, 0);
+    for (int I = 0; I < 2000; ++I)
+      Vm.readWord(T, A, (static_cast<uint64_t>(I) % 512) * 8);
+  }
+  Prof.stop();
+  EXPECT_GT(Prof.samplesHandled(), 100u);
+  MergedProfile M = Prof.analyze();
+  ASSERT_GE(M.Groups.size(), 1u);
+  auto Sorted = M.groupsByMetric(PerfEventKind::MemAccess);
+  const MergedGroup &G = *Sorted[0];
+  EXPECT_EQ(G.TypeName, "long[]");
+  auto Path = M.Tree.path(G.AllocNode);
+  ASSERT_FALSE(Path.empty());
+  EXPECT_EQ(Vm.methods().qualifiedName(Path.back().Method), "App.alloc");
+  // Most samples land in the use loop.
+  ASSERT_FALSE(G.AccessBreakdown.empty());
+  uint64_t UseSamples = 0;
+  for (const auto &[Node, Counts] : G.AccessBreakdown) {
+    auto AP = M.Tree.path(Node);
+    if (!AP.empty() &&
+        Vm.methods().qualifiedName(AP.back().Method) == "App.use")
+      UseSamples += Counts.get(PerfEventKind::MemAccess);
+  }
+  EXPECT_GT(UseSamples, G.Metrics.get(PerfEventKind::MemAccess) / 2);
+}
+
+TEST(DjxPerf, StopFreezesSampling) {
+  JavaVm Vm;
+  DjxPerfConfig Cfg;
+  Cfg.Events = {PerfEventAttr{PerfEventKind::MemAccess, 5, 64}};
+  Cfg.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  RootScope Roots(Vm);
+  ObjectRef &A = Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 64));
+  for (int I = 0; I < 100; ++I)
+    Vm.readWord(T, A, 0);
+  uint64_t AtStop = Prof.samplesHandled();
+  Prof.stop();
+  for (int I = 0; I < 100; ++I)
+    Vm.readWord(T, A, 0);
+  EXPECT_EQ(Prof.samplesHandled(), AtStop);
+}
+
+TEST(DjxPerf, WriteProfilesProducesLoadableFiles) {
+  JavaVm Vm;
+  DjxPerfConfig Cfg;
+  Cfg.Events = {PerfEventAttr{PerfEventKind::MemAccess, 10, 64}};
+  Cfg.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  RootScope Roots(Vm);
+  ObjectRef &A =
+      Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 128));
+  for (int I = 0; I < 500; ++I)
+    Vm.readWord(T, A, (static_cast<uint64_t>(I) % 128) * 8);
+  Prof.stop();
+  std::string Dir = ::testing::TempDir() + "/djxperf_profiles";
+  unsigned Written = Prof.writeProfiles(Dir);
+  EXPECT_GE(Written, 1u);
+  auto M = mergeProfileDir(Dir);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Totals.get(PerfEventKind::MemAccess),
+            Prof.analyze().Totals.get(PerfEventKind::MemAccess));
+}
+
+TEST(DjxPerf, MemoryFootprintGrowsWithTrackedObjects) {
+  JavaVm Vm;
+  DjxPerfConfig Cfg;
+  Cfg.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  size_t Before = Prof.memoryFootprint();
+  RootScope Roots(Vm);
+  for (int I = 0; I < 100; ++I)
+    Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 16));
+  EXPECT_GT(Prof.memoryFootprint(), Before);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- html_report_test.cpp - Unit tests for the HTML renderer ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace djx;
+
+namespace {
+
+MergedProfile sampleProfile(MethodRegistry &MR) {
+  MethodId Alloc = MR.registerMethod("Pool", "create", {{0, 42}});
+  MethodId Use = MR.registerMethod("Worker", "use", {{0, 99}});
+  ThreadProfile P(1, "t");
+  CctNodeId AN = P.cct().insertPath({{Alloc, 0}});
+  CctNodeId UN = P.cct().insertPath({{Use, 0}});
+  P.recordAllocation(AN, "Buf<x>[]", 2048);
+  for (int I = 0; I < 4; ++I)
+    P.recordObjectSample(AllocKey{1, AN}, "Buf<x>[]",
+                         PerfEventKind::L1Miss, UN, I == 0);
+  P.recordCodeSample(UN, PerfEventKind::L1Miss);
+  return mergeProfiles({&P});
+}
+
+TEST(HtmlReport, ContainsGroupsPathsAndMetrics) {
+  MethodRegistry MR;
+  MergedProfile P = sampleProfile(MR);
+  std::string Html = renderHtmlReport(P, MR);
+  EXPECT_NE(Html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(Html.find("Pool.create:42"), std::string::npos);
+  EXPECT_NE(Html.find("Worker.use:99"), std::string::npos);
+  EXPECT_NE(Html.find("100.0%"), std::string::npos);
+  EXPECT_NE(Html.find("code-centric"), std::string::npos);
+  EXPECT_NE(Html.find("NUMA remote"), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesTypeNames) {
+  MethodRegistry MR;
+  MergedProfile P = sampleProfile(MR);
+  std::string Html = renderHtmlReport(P, MR);
+  EXPECT_EQ(Html.find("Buf<x>"), std::string::npos)
+      << "raw angle brackets must be escaped";
+  EXPECT_NE(Html.find("Buf&lt;x&gt;"), std::string::npos);
+}
+
+TEST(HtmlReport, EmptyProfileRendersPlaceholder) {
+  MethodRegistry MR;
+  MergedProfile P;
+  std::string Html = renderHtmlReport(P, MR);
+  EXPECT_NE(Html.find("no object groups"), std::string::npos);
+}
+
+TEST(HtmlReport, RespectsTopGroupsAndTitle) {
+  MethodRegistry MR;
+  MergedProfile P = sampleProfile(MR);
+  ReportOptions Opts;
+  Opts.TopGroups = 0;
+  std::string Html = renderHtmlReport(P, MR, Opts, "My <Run>");
+  EXPECT_NE(Html.find("<title>My &lt;Run&gt;</title>"), std::string::npos);
+  EXPECT_EQ(Html.find("#1 "), std::string::npos);
+}
+
+TEST(HtmlReport, WriteToFileRoundTrips) {
+  MethodRegistry MR;
+  MergedProfile P = sampleProfile(MR);
+  std::string Path = ::testing::TempDir() + "/djx_report.html";
+  ASSERT_TRUE(writeHtmlReport(P, MR, Path));
+  std::ifstream In(Path);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(Contents, renderHtmlReport(P, MR));
+  EXPECT_FALSE(writeHtmlReport(P, MR, "/nonexistent-dir/x.html"));
+}
+
+} // namespace

@@ -1,0 +1,530 @@
+//===- integration_test.cpp - Cross-module behaviour of the profiler ---------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end checks of the paper's claims: accuracy on known bugs (§6),
+/// the Figure 1 object-vs-code-centric flip, GC-interference handling
+/// (§4.5), NUMA diagnosis (§4.3), attach mode (§5.1), the size filter
+/// trade-off, and the bytecode-instrumentation pathway (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "instrument/AllocationInstrumenter.h"
+#include "workloads/AccuracyCases.h"
+#include "workloads/BytecodePrograms.h"
+#include "workloads/CaseStudies.h"
+#include "workloads/Figure1.h"
+#include "workloads/Insignificant.h"
+#include "workloads/Kernels.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+/// Returns the qualified name + line of a merged group's allocation leaf.
+std::string allocLeafName(const MergedProfile &M, const MergedGroup &G,
+                          const MethodRegistry &MR) {
+  auto Path = M.Tree.path(G.AllocNode);
+  if (Path.empty())
+    return "<unknown>";
+  const StackFrame &Leaf = Path.back();
+  return MR.qualifiedName(Leaf.Method) + ":" +
+         std::to_string(MR.lineForBci(Leaf.Method, Leaf.Bci));
+}
+
+/// Runs a case-study baseline under the profiler and returns its merged
+/// profile plus the VM's method registry snapshot via a callback.
+MergedProfile profileBaseline(const CaseStudy &C, const DjxPerfConfig &Cfg,
+                              std::string *TopName = nullptr) {
+  JavaVm Vm(C.Config);
+  DjxPerf Prof(Vm, Cfg);
+  Prof.start();
+  C.Baseline(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  if (TopName) {
+    auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+    *TopName = Sorted.empty() ? "<none>"
+                              : allocLeafName(M, *Sorted[0], Vm.methods());
+  }
+  return M;
+}
+
+DjxPerfConfig defaultAgent() {
+  DjxPerfConfig Cfg;
+  Cfg.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  return Cfg;
+}
+
+/// Native cycles + DRAM traffic of one run.
+struct RunsCycles {
+  uint64_t Cycles = 0;
+  uint64_t DramAccesses = 0;
+  uint64_t RemoteDramAccesses = 0;
+};
+
+RunsCycles runCycles(const VmConfig &Config,
+                     const std::function<void(JavaVm &)> &Fn) {
+  JavaVm Vm(Config);
+  Fn(Vm);
+  RunsCycles R;
+  R.Cycles = Vm.totalCycles();
+  R.DramAccesses = Vm.machine().stats().L3Misses;
+  R.RemoteDramAccesses = Vm.machine().stats().RemoteAccesses;
+  return R;
+}
+
+// --- §6 accuracy: DJXPerf rediscovers the known locality bugs ----------------
+
+class AccuracyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AccuracyTest, KnownBugRanksFirst) {
+  CaseStudy C = section6AccuracyCases()[GetParam()];
+  std::string Top;
+  MergedProfile M = profileBaseline(C, defaultAgent(), &Top);
+  std::string Expect =
+      C.ExpectClass + "." + C.ExpectMethod + ":" +
+      std::to_string(C.ExpectLine);
+  EXPECT_EQ(Top, Expect) << "profile must rank the known bug first for "
+                         << C.Application;
+  // And it must matter: a majority share of L1 misses.
+  auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+  ASSERT_FALSE(Sorted.empty());
+  EXPECT_GT(M.shareOf(*Sorted[0], PerfEventKind::L1Miss), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, AccuracyTest,
+                         ::testing::Range<size_t>(0, 5));
+
+// --- Figure 1: object-centric vs code-centric ---------------------------------
+
+TEST(Figure1, ObjectCentricFlipsTheDiagnosis) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 8 << 20;
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 16, 64}};
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  runFigure1Workload(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+
+  // Code-centric: Ic is the single hottest instruction (~24%).
+  std::vector<std::pair<std::string, uint64_t>> Code;
+  for (const auto &[Node, Counts] : M.CodeCentric) {
+    auto Path = M.Tree.path(Node);
+    ASSERT_FALSE(Path.empty());
+    Code.emplace_back(Vm.methods().qualifiedName(Path.back().Method),
+                      Counts.get(PerfEventKind::L1Miss));
+  }
+  std::sort(Code.begin(), Code.end(),
+            [](const auto &A, const auto &B) { return A.second > B.second; });
+  ASSERT_FALSE(Code.empty());
+  EXPECT_EQ(Code[0].first, "Demo.Ic");
+
+  // Object-centric: O1 aggregates ~50% and outranks O3 (Ic's target).
+  auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+  ASSERT_GE(Sorted.size(), 3u);
+  std::string TopAlloc = allocLeafName(M, *Sorted[0], Vm.methods());
+  EXPECT_NE(TopAlloc.find("allocO1"), std::string::npos)
+      << "object-centric view must surface O1, not O3";
+  double O1Share = M.shareOf(*Sorted[0], PerfEventKind::L1Miss);
+  EXPECT_NEAR(O1Share, 0.50, 0.08);
+  double O2Share = M.shareOf(*Sorted[1], PerfEventKind::L1Miss);
+  double O3Share = M.shareOf(*Sorted[2], PerfEventKind::L1Miss);
+  EXPECT_NEAR(O2Share + O3Share, 0.50, 0.08);
+  // O1's accesses are scattered over six sites, each individually smaller
+  // than Ic.
+  EXPECT_GE(Sorted[0]->AccessBreakdown.size(), 6u);
+}
+
+// --- §4.5 GC interference ------------------------------------------------------
+
+/// A workload whose survivor is heavily sampled after a compacting GC has
+/// moved it. With GC handling ON the samples attribute to the survivor's
+/// real context; OFF they are lost or misattributed.
+void gcInterferenceWorkload(JavaVm &Vm) {
+  JavaThread &T = Vm.startThread("main", 0);
+  MethodRegistry &MR = Vm.methods();
+  MethodId MAlloc = MR.getOrRegister("App", "allocSurvivor", {{0, 11}});
+  MethodId MJunk = MR.getOrRegister("App", "allocJunk", {{0, 22}});
+  MethodId MUse = MR.getOrRegister("App", "useSurvivor", {{0, 33}});
+  TypeId LongArr = Vm.types().longArray();
+  RootScope Roots(Vm);
+  // Junk first so compaction has something to slide over.
+  ObjectRef &Survivor = Roots.add();
+  {
+    FrameScope F(T, MJunk, 0);
+    Vm.allocateArray(T, LongArr, 1024);
+  }
+  {
+    FrameScope F(T, MAlloc, 0);
+    Survivor = Vm.allocateArray(T, LongArr, 512);
+  }
+  Vm.requestGc(); // Junk dies; survivor slides left.
+  {
+    FrameScope F(T, MUse, 0);
+    for (int I = 0; I < 4000; ++I)
+      Vm.readWord(T, Survivor, (static_cast<uint64_t>(I) % 512) * 8);
+  }
+  Vm.endThread(T);
+}
+
+TEST(GcInterference, HandlingOnAttributesCorrectly) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 1 << 20;
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 8, 64}};
+  Agent.MinObjectSize = 1024;
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  gcInterferenceWorkload(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  auto Sorted = M.groupsByMetric(PerfEventKind::MemAccess);
+  ASSERT_FALSE(Sorted.empty());
+  EXPECT_NE(allocLeafName(M, *Sorted[0], Vm.methods())
+                .find("allocSurvivor"),
+            std::string::npos);
+  // Nearly everything attributes.
+  EXPECT_LT(static_cast<double>(M.UnattributedSamples) /
+                static_cast<double>(M.Totals.get(PerfEventKind::MemAccess)),
+            0.2);
+}
+
+TEST(GcInterference, IgnoringGcLosesAttribution) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 1 << 20;
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 8, 64}};
+  Agent.MinObjectSize = 1024;
+  Agent.HandleGcMoves = false; // The ablation.
+  Agent.HandleGcFrees = false;
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  gcInterferenceWorkload(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  // The survivor moved; its samples now either miss the (stale) tree or
+  // hit the junk object's stale interval — a misattribution either way.
+  uint64_t Correct = 0;
+  for (const auto &[Node, G] : M.Groups) {
+    (void)Node;
+    if (allocLeafName(M, G, Vm.methods()).find("allocSurvivor") !=
+        std::string::npos)
+      Correct = G.Metrics.get(PerfEventKind::MemAccess);
+  }
+  uint64_t Total = M.Totals.get(PerfEventKind::MemAccess);
+  EXPECT_LT(static_cast<double>(Correct) / static_cast<double>(Total), 0.2)
+      << "without GC handling most samples must misattribute";
+}
+
+TEST(GcInterference, FreedObjectsLeaveTheIndex) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 1 << 20;
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  JavaThread &T = Vm.startThread("main", 0);
+  for (int I = 0; I < 10; ++I)
+    Vm.allocateArray(T, Vm.types().longArray(), 64);
+  EXPECT_EQ(Prof.index().liveCount(), 10u);
+  Vm.requestGc();
+  EXPECT_EQ(Prof.index().liveCount(), 0u);
+  Prof.stop();
+}
+
+// --- §4.3 NUMA diagnosis ----------------------------------------------------------
+
+TEST(Numa, RemoteAccessRateDropsWithDomainReplication) {
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "Eclipse Collections");
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  Agent.MinObjectSize = 1024;
+
+  auto RemoteRate = [&](const std::function<void(JavaVm &)> &Fn) {
+    JavaVm Vm(C.Config);
+    DjxPerf Prof(Vm, Agent);
+    Prof.start();
+    Fn(Vm);
+    Prof.stop();
+    MergedProfile M = Prof.analyze();
+    auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+    if (Sorted.empty() || Sorted[0]->AddressSamples == 0)
+      return 0.0;
+    return static_cast<double>(Sorted[0]->RemoteSamples) /
+           static_cast<double>(Sorted[0]->AddressSamples);
+  };
+  double Baseline = RemoteRate(C.Baseline);
+  double Optimized = RemoteRate(C.Optimized);
+  EXPECT_GT(Baseline, 0.3) << "master-placed array is mostly remote";
+  EXPECT_LT(Optimized, Baseline * 0.5)
+      << "per-domain replication must cut remote accesses";
+}
+
+TEST(Numa, InterleavingBalancesPlacementAndSpeedsUp) {
+  // NPB SP's fix: numa_alloc_interleaved does not reduce the *rate* of
+  // remote accesses (every worker sees ~50%), but it spreads the DRAM
+  // traffic over both memory controllers and relieves contention.
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "NPB SP");
+  RunsCycles Base = runCycles(C.Config, C.Baseline);
+  RunsCycles Opt = runCycles(C.Config, C.Optimized);
+  EXPECT_LT(Opt.Cycles, Base.Cycles) << "interleaving must speed SP up";
+  // Placement balance: with interleaving both nodes serve DRAM traffic.
+  EXPECT_GT(Opt.RemoteDramAccesses, 0u);
+  EXPECT_LT(Opt.RemoteDramAccesses, Opt.DramAccesses)
+      << "but not everything is remote";
+}
+
+TEST(Numa, PartitionedPlacementEliminatesRemote) {
+  auto Cases = table1CaseStudies();
+  const CaseStudy &C = findCaseStudy(Cases, "Apache Druid");
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 64, 64}};
+  JavaVm Vm(C.Config);
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  C.Optimized(Vm); // Worker partitions: every access local.
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  auto Sorted = M.groupsByMetric(PerfEventKind::L1Miss);
+  ASSERT_FALSE(Sorted.empty());
+  EXPECT_LT(static_cast<double>(Sorted[0]->RemoteSamples + 1) /
+                static_cast<double>(Sorted[0]->AddressSamples + 1),
+            0.05);
+}
+
+// --- §5.1 attach mode -----------------------------------------------------------
+
+TEST(AttachMode, LateStartMissesOldAllocationsButCatchesNew) {
+  JavaVm Vm;
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 64;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 8, 64}};
+  DjxPerf Prof(Vm, Agent);
+  JavaThread &T = Vm.startThread("service", 0); // Before attach.
+  RootScope Roots(Vm);
+  ObjectRef &Old = Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 64));
+  EXPECT_EQ(Prof.allocationsTracked(), 0u);
+
+  Prof.start(); // Attach to the running "service".
+  ObjectRef &New = Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 64));
+  EXPECT_EQ(Prof.allocationsTracked(), 1u);
+  for (int I = 0; I < 200; ++I) {
+    Vm.readWord(T, Old, 0);
+    Vm.readWord(T, New, 0);
+  }
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  // Old-object samples are unattributed; new-object samples attribute.
+  EXPECT_GT(M.UnattributedSamples, 0u);
+  EXPECT_FALSE(M.Groups.empty());
+}
+
+TEST(AttachMode, MovedUnknownObjectsGetFreshIntervals) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 64 * 1024;
+  JavaVm Vm(Cfg);
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 64;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 4, 64}};
+  DjxPerf Prof(Vm, Agent);
+  JavaThread &T = Vm.startThread("service", 0);
+  RootScope Roots(Vm);
+  ObjectRef &Junk = Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 512));
+  ObjectRef &Unknown =
+      Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 128));
+  Prof.start(); // Attach after both allocations.
+  Junk = kNullRef;
+  Vm.requestGc(); // Unknown object slides; agent saw only the move.
+  for (int I = 0; I < 200; ++I)
+    Vm.readWord(T, Unknown, (static_cast<uint64_t>(I) % 128) * 8);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  // Samples attribute to the "<unknown>" group inserted from the move.
+  bool FoundUnknown = false;
+  for (const auto &[Node, G] : M.Groups)
+    if (Node == kCctRoot && G.Metrics.get(PerfEventKind::MemAccess) > 0)
+      FoundUnknown = true;
+  EXPECT_TRUE(FoundUnknown);
+}
+
+// --- Size filter S (§5.1 / §6) -----------------------------------------------------
+
+TEST(SizeFilter, SZeroTracksEverythingAndCostsMore) {
+  auto RunWith = [](uint64_t S, uint64_t &Tracked) {
+    JavaVm Vm;
+    DjxPerfConfig Agent;
+    Agent.MinObjectSize = S;
+    DjxPerf Prof(Vm, Agent);
+    Prof.start();
+    JavaThread &T = Vm.startThread("main", 0);
+    RootScope Roots(Vm);
+    for (int I = 0; I < 50; ++I) {
+      Vm.allocateArray(T, Vm.types().longArray(), 8);    // 64 B.
+      Vm.allocateArray(T, Vm.types().longArray(), 256);  // 2 KiB.
+    }
+    Tracked = Prof.allocationsTracked();
+    Prof.stop();
+    return Vm.totalCycles();
+  };
+  uint64_t TrackedAll = 0, TrackedFiltered = 0;
+  uint64_t CyclesAll = RunWith(0, TrackedAll);
+  uint64_t CyclesFiltered = RunWith(1024, TrackedFiltered);
+  EXPECT_EQ(TrackedAll, 100u);
+  EXPECT_EQ(TrackedFiltered, 50u);
+  EXPECT_GT(CyclesAll, CyclesFiltered) << "S=0 must cost more";
+}
+
+// --- Bytecode instrumentation pathway (§4.1) ---------------------------------------
+
+TEST(BytecodeAgent, InstrumentedProgramProfilesLikeApiWorkload) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 4 << 20;
+  JavaVm Vm(Cfg);
+  BytecodeProgram P = buildBatikProgram(Vm.types());
+  P.load(Vm);
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 1024;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 16, 64}};
+  DjxPerf Prof(Vm, Agent);
+  JavaThread &T = Vm.startThread("main", 0);
+  Interpreter I(Vm, P, T);
+  unsigned Sites = Prof.instrument(P, I);
+  EXPECT_EQ(Sites, 1u);
+  Prof.start();
+  I.run("Main.run", {Value::fromInt(40), Value::fromInt(512)});
+  Prof.stop();
+
+  // 40 makeRoom calls, each allocating a 2 KiB float[512].
+  EXPECT_EQ(Prof.allocationsTracked(), 40u);
+  MergedProfile M = Prof.analyze();
+  auto Sorted = M.groupsByMetric(PerfEventKind::MemAccess);
+  ASSERT_FALSE(Sorted.empty());
+  EXPECT_EQ(Sorted[0]->TypeName, "float[]");
+  EXPECT_EQ(Sorted[0]->AllocCount, 40u);
+  auto Path = M.Tree.path(Sorted[0]->AllocNode);
+  ASSERT_FALSE(Path.empty());
+  EXPECT_EQ(Vm.methods().qualifiedName(Path.back().Method),
+            "ExtendedGeneralPath.makeRoom");
+  // The allocation BCI resolves to the paper's line 743.
+  EXPECT_EQ(Vm.methods().lineForBci(Path.back().Method, Path.back().Bci),
+            743u);
+}
+
+TEST(BytecodeAgent, NoVmDoubleCounting) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 4 << 20;
+  JavaVm Vm(Cfg);
+  BytecodeProgram P = buildBatikProgram(Vm.types());
+  P.load(Vm);
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 64;
+  DjxPerf Prof(Vm, Agent);
+  JavaThread &T = Vm.startThread("main", 0);
+  Interpreter I(Vm, P, T);
+  Prof.instrument(P, I);
+  Prof.start();
+  I.run("Main.run", {Value::fromInt(10), Value::fromInt(64)});
+  Prof.stop();
+  EXPECT_EQ(Prof.allocationCallbacks(), 10u)
+      << "one callback per allocation, not two";
+}
+
+// --- Table 2 sanity: insignificant objects have tiny miss shares --------------------
+
+TEST(Insignificant, TrackedButColdObjectsHaveSmallShare) {
+  auto Cases = table2InsignificantCases();
+  const CaseStudy &C = Cases[4].Study; // lusearch.
+  DjxPerfConfig Agent;
+  Agent.Events = {PerfEventAttr{PerfEventKind::L1Miss, 32, 64}};
+  Agent.MinObjectSize = 128; // Track the small collectors too.
+  JavaVm Vm(C.Config);
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  C.Baseline(Vm);
+  Prof.stop();
+  MergedProfile M = Prof.analyze();
+  double Share = 0.0;
+  for (const auto &[Node, G] : M.Groups) {
+    (void)Node;
+    if (allocLeafName(M, G, Vm.methods()).find(C.ExpectMethod) !=
+        std::string::npos)
+      Share = M.shareOf(G, PerfEventKind::L1Miss);
+  }
+  EXPECT_LT(Share, 0.05) << "the bloat site must be insignificant";
+}
+
+// --- Suite entries smoke ----------------------------------------------------------
+
+TEST(Suites, AllFiftyEntriesRunNatively) {
+  auto Entries = figure4Suites();
+  ASSERT_EQ(Entries.size(), 50u);
+  // Spot-run a few entries end-to-end (full sweep lives in the bench).
+  for (size_t I : {0UL, 11UL, 24UL, 35UL, 49UL}) {
+    JavaVm Vm(Entries[I].Config);
+    runSuiteEntry(Vm, Entries[I]);
+    EXPECT_GT(Vm.totalCycles(), 0u) << Entries[I].Name;
+  }
+}
+
+// --- Multi-threaded profile merge ---------------------------------------------------
+
+TEST(MultiThread, PerThreadProfilesMergeAcrossThreads) {
+  JavaVm Vm;
+  DjxPerfConfig Agent;
+  Agent.MinObjectSize = 64;
+  Agent.Events = {PerfEventAttr{PerfEventKind::MemAccess, 8, 64}};
+  DjxPerf Prof(Vm, Agent);
+  Prof.start();
+  MethodId MA = Vm.methods().registerMethod("Shared", "alloc", {{0, 1}});
+  MethodId MU = Vm.methods().registerMethod("Shared", "use", {{0, 2}});
+  RootScope Roots(Vm);
+  JavaThread &T1 = Vm.startThread("producer", 0);
+  ObjectRef &Buf = Roots.add();
+  {
+    FrameScope F(T1, MA, 0);
+    Buf = Vm.allocateArray(T1, Vm.types().longArray(), 512);
+  }
+  Vm.endThread(T1);
+  JavaThread &T2 = Vm.startThread("consumer", 13); // Other node.
+  {
+    FrameScope F(T2, MU, 0);
+    for (int I = 0; I < 1000; ++I)
+      Vm.readWord(T2, Buf, (static_cast<uint64_t>(I) % 512) * 8);
+  }
+  Vm.endThread(T2);
+  Prof.stop();
+
+  EXPECT_EQ(Prof.profiles().size(), 2u);
+  MergedProfile M = Prof.analyze();
+  ASSERT_FALSE(M.Groups.empty());
+  auto Sorted = M.groupsByMetric(PerfEventKind::MemAccess);
+  const MergedGroup &G = *Sorted[0];
+  // Allocated by producer, sampled by consumer, merged into one group
+  // under the producer's allocation path.
+  EXPECT_EQ(G.AllocCount, 1u);
+  EXPECT_GT(G.Metrics.get(PerfEventKind::MemAccess), 0u);
+  auto Path = M.Tree.path(G.AllocNode);
+  ASSERT_FALSE(Path.empty());
+  EXPECT_EQ(Vm.methods().qualifiedName(Path.back().Method), "Shared.alloc");
+  // Cross-node consumption shows up as remote accesses.
+  EXPECT_GT(G.RemoteSamples, 0u);
+}
+
+} // namespace

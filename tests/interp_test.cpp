@@ -1,0 +1,376 @@
+//===- interp_test.cpp - Unit tests for src/interp ---------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/MethodBuilder.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+/// Builds, loads and runs a single 0-arg method, returning its result.
+std::optional<Value> runSingle(JavaVm &Vm,
+                               std::function<void(MethodBuilder &)> Body,
+                               uint32_t NumLocals = 4) {
+  BytecodeProgram P;
+  MethodBuilder B("T", "main", 0, NumLocals);
+  Body(B);
+  ClassFile C;
+  C.Name = "T";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  P.load(Vm);
+  JavaThread &T = Vm.startThread("interp", 0);
+  Interpreter I(Vm, P, T);
+  return I.run("T.main");
+}
+
+TEST(Interpreter, ArithmeticChain) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    // ((10 - 3) * 4 + 2) / 3 % 4 = 30/3 % 4 = 10 % 4 = 2.
+    B.iconst(10).iconst(3).isub();
+    B.iconst(4).imul();
+    B.iconst(2).iadd();
+    B.iconst(3).idiv();
+    B.iconst(4).irem();
+    B.iret();
+  });
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asInt(), 2);
+}
+
+TEST(Interpreter, BitwiseAndShifts) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    // ((0xF0 & 0x3C) | 0x01) ^ 0x02 = (0x30|0x01)^0x02 = 0x33.
+    B.iconst(0xF0).iconst(0x3C).iand();
+    B.iconst(0x01).ior();
+    B.iconst(0x02).ixor();
+    B.iconst(2).ishl();  // 0x33 << 2 = 0xCC.
+    B.iconst(1).ishr();  // 0xCC >> 1 = 0x66.
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 0x66);
+}
+
+TEST(Interpreter, NegationAndLocals) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    B.iconst(42).ineg().istore(0);
+    B.iload(0).ineg().iret();
+  });
+  EXPECT_EQ(R->asInt(), 42);
+}
+
+TEST(Interpreter, StackOps) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    B.iconst(1).iconst(2).swap(); // 2, 1 on stack (1 on top).
+    B.isub();                     // 2 - 1 = 1.
+    B.dup().iadd();               // 2.
+    B.iconst(9).pop();
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 2);
+}
+
+TEST(Interpreter, LoopComputesSum) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    // for (i = 0, s = 0; i < 10; i++) s += i; return s; // 45
+    B.iconst(0).istore(0);
+    B.iconst(0).istore(1);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(0).iconst(10).ifICmp(Opcode::IfICmpGe, End);
+    B.iload(1).iload(0).iadd().istore(1);
+    B.iload(0).iconst(1).iadd().istore(0);
+    B.jmp(Loop);
+    B.bind(End);
+    B.iload(1).iret();
+  });
+  EXPECT_EQ(R->asInt(), 45);
+}
+
+TEST(Interpreter, ConditionalBranchKinds) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) {
+    Label A = B.newLabel(), B2 = B.newLabel(), Done = B.newLabel();
+    B.iconst(0).ifEq(A);
+    B.iconst(-1).iret();
+    B.bind(A);
+    B.iconst(-5).ifLt(B2);
+    B.iconst(-2).iret();
+    B.bind(B2);
+    B.iconst(3).ifGe(Done);
+    B.iconst(-3).iret();
+    B.bind(Done);
+    B.iconst(7).iret();
+  });
+  EXPECT_EQ(R->asInt(), 7);
+}
+
+TEST(Interpreter, PrimArrayRoundTrip) {
+  JavaVm Vm;
+  TypeId IntArr = Vm.types().intArray();
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    B.iconst(10).newArray(IntArr).astore(0);
+    // a[3] = 77; return a[3] + a.length.
+    B.aload(0).iconst(3).iconst(77).paStore();
+    B.aload(0).iconst(3).paLoad();
+    B.aload(0).arrayLength().iadd();
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 87);
+}
+
+TEST(Interpreter, ByteAndLongArrays) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    TypeId ByteArr = 0; // byte[] is type 0 in a fresh registry.
+    B.iconst(16).newArray(ByteArr).astore(0);
+    B.aload(0).iconst(2).iconst(0x1FF).paStore(); // Truncates to 0xFF.
+    B.aload(0).iconst(2).paLoad();
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 0xFF);
+}
+
+TEST(Interpreter, RefArraysAndNullChecks) {
+  JavaVm Vm;
+  TypeId Obj = Vm.types().defineClass("Obj", 16);
+  TypeId ObjArr = Vm.types().refArrayType("Obj");
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    B.iconst(4).aNewArray(ObjArr).astore(0);
+    // arr[1] = new Obj(); return arr[1] != null && arr[0] == null.
+    B.aload(0).iconst(1).newObject(Obj).aaStore();
+    Label NonNull = B.newLabel(), Fail = B.newLabel();
+    B.aload(0).iconst(1).aaLoad().ifNonNull(NonNull);
+    B.bind(Fail);
+    B.iconst(0).iret();
+    B.bind(NonNull);
+    Label Null2 = B.newLabel();
+    B.aload(0).iconst(0).aaLoad().ifNull(Null2);
+    B.jmp(Fail);
+    B.bind(Null2);
+    B.iconst(1).iret();
+  });
+  EXPECT_EQ(R->asInt(), 1);
+}
+
+TEST(Interpreter, FieldsOnInstances) {
+  JavaVm Vm;
+  TypeId Pair = Vm.types().defineClass("Pair", 16);
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    B.newObject(Pair).astore(0);
+    B.aload(0).iconst(11).putField(0, 8);
+    B.aload(0).iconst(31).putField(8, 4);
+    B.aload(0).getField(0, 8);
+    B.aload(0).getField(8, 4);
+    B.iadd().iret();
+  });
+  EXPECT_EQ(R->asInt(), 42);
+}
+
+TEST(Interpreter, RefFieldsLinkObjects) {
+  JavaVm Vm;
+  TypeId Node = Vm.types().defineClass("Node", 16, {8});
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    B.newObject(Node).astore(0); // head
+    B.newObject(Node).astore(1); // tail
+    B.aload(1).iconst(5).putField(0, 8);
+    B.aload(0).aload(1).putRefField(8);
+    B.aload(0).getRefField(8).getField(0, 8);
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 5);
+}
+
+TEST(Interpreter, MultiANewArrayBuildsMatrix) {
+  JavaVm Vm;
+  TypeId IntArr = Vm.types().intArray();
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    // int[2][3] m; m[1][2] = 9; return m[1][2] + m.length.
+    B.iconst(2).iconst(3).multiANewArray(IntArr, 2).astore(0);
+    B.aload(0).iconst(1).aaLoad().astore(1);
+    B.aload(1).iconst(2).iconst(9).paStore();
+    B.aload(1).iconst(2).paLoad();
+    B.aload(0).arrayLength().iadd();
+    B.iret();
+  });
+  EXPECT_EQ(R->asInt(), 11);
+}
+
+TEST(Interpreter, MethodCallsWithArguments) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  {
+    MethodBuilder B("M", "add3", 3, 3);
+    B.iload(0).iload(1).iadd().iload(2).iadd().iret();
+    ClassFile C;
+    C.Name = "M";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  {
+    MethodBuilder B("M2", "main", 0, 0);
+    B.iconst(1).iconst(2).iconst(3);
+    B.invoke("M.add3", 3).iret();
+    ClassFile C;
+    C.Name = "M2";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  P.load(Vm);
+  JavaThread &T = Vm.startThread("t", 0);
+  Interpreter I(Vm, P, T);
+  EXPECT_EQ(I.run("M2.main")->asInt(), 6);
+}
+
+TEST(Interpreter, RecursionFactorial) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  MethodBuilder B("R", "fact", 1, 1);
+  Label Base = B.newLabel();
+  B.iload(0).iconst(2).ifICmp(Opcode::IfICmpLt, Base);
+  B.iload(0);
+  B.iload(0).iconst(1).isub();
+  B.invoke("R.fact", 1);
+  B.imul().iret();
+  B.bind(Base);
+  B.iconst(1).iret();
+  ClassFile C;
+  C.Name = "R";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  P.load(Vm);
+  JavaThread &T = Vm.startThread("t", 0);
+  Interpreter I(Vm, P, T);
+  EXPECT_EQ(I.run("R.fact", {Value::fromInt(10)})->asInt(), 3628800);
+}
+
+TEST(Interpreter, VoidMethodsReturnNothing) {
+  JavaVm Vm;
+  auto R = runSingle(Vm, [](MethodBuilder &B) { B.ret(); });
+  EXPECT_FALSE(R.has_value());
+}
+
+TEST(Interpreter, ShadowStackTracksBci) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  MethodBuilder B("S", "main", 0, 0);
+  B.iconst(1).pop().ret();
+  ClassFile C;
+  C.Name = "S";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  P.load(Vm);
+  JavaThread &T = Vm.startThread("t", 0);
+  Interpreter I(Vm, P, T);
+  I.run("S.main");
+  EXPECT_EQ(T.stackDepth(), 0u) << "frames popped after return";
+  EXPECT_GT(I.stepsExecuted(), 0u);
+}
+
+TEST(Interpreter, GcDuringExecutionRelocatesOperands) {
+  // Tiny heap: the loop's allocations force collections while references
+  // live in interpreter locals; the root provider must keep them valid.
+  VmConfig Cfg;
+  Cfg.HeapBytes = 8 * 1024;
+  JavaVm Vm(Cfg);
+  TypeId IntArr = Vm.types().intArray();
+  auto R = runSingle(Vm, [&](MethodBuilder &B) {
+    // keep = new int[8]; keep[0] = 123;
+    B.iconst(8).newArray(IntArr).astore(0);
+    B.aload(0).iconst(0).iconst(123).paStore();
+    // for (i = 0; i < 200; i++) { garbage = new int[200]; }
+    B.iconst(0).istore(1);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(1).iconst(200).ifICmp(Opcode::IfICmpGe, End);
+    B.iconst(200).newArray(IntArr).astore(2);
+    B.iload(1).iconst(1).iadd().istore(1);
+    B.jmp(Loop);
+    B.bind(End);
+    B.aload(0).iconst(0).paLoad().iret();
+  });
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asInt(), 123);
+  EXPECT_GT(Vm.gcTotals().Collections, 5u);
+}
+
+TEST(Interpreter, AllocationHooksFire) {
+  JavaVm Vm;
+  BytecodeProgram P;
+  MethodBuilder B("H", "main", 0, 1);
+  B.iconst(4).newArray(Vm.types().intArray()).astore(0);
+  B.ret();
+  ClassFile C;
+  C.Name = "H";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  P.load(Vm);
+  // Manually splice hooks around the allocation (what the instrumenter
+  // does automatically).
+  BytecodeMethod &M = P.method(0);
+  std::vector<Instruction> NewCode;
+  for (const Instruction &I : M.Code) {
+    if (isAllocation(I.Op)) {
+      NewCode.push_back(Instruction{Opcode::AllocHookPre, 7, 0});
+      NewCode.push_back(I);
+      NewCode.push_back(Instruction{Opcode::AllocHookPost, 7, 0});
+    } else {
+      NewCode.push_back(I);
+    }
+  }
+  M.Code = std::move(NewCode);
+
+  JavaThread &T = Vm.startThread("t", 0);
+  Interpreter I(Vm, P, T);
+  std::vector<std::pair<uint64_t, ObjectRef>> Posts;
+  int Pres = 0;
+  AllocationHooks Hooks;
+  Hooks.Pre = [&](uint64_t Site) {
+    ++Pres;
+    EXPECT_EQ(Site, 7u);
+  };
+  Hooks.Post = [&](uint64_t Site, ObjectRef Obj) {
+    Posts.emplace_back(Site, Obj);
+  };
+  I.setAllocationHooks(std::move(Hooks));
+  I.run("H.main");
+  EXPECT_EQ(Pres, 1);
+  ASSERT_EQ(Posts.size(), 1u);
+  EXPECT_EQ(Posts[0].first, 7u);
+  EXPECT_TRUE(Vm.heap().isObjectStart(Posts[0].second));
+}
+
+TEST(Interpreter, ExecutionChargesCycles) {
+  JavaVm Vm;
+  JavaThread *Thread = nullptr;
+  {
+    BytecodeProgram P;
+    MethodBuilder B("C", "main", 0, 1);
+    B.iconst(0).istore(0);
+    for (int I = 0; I < 10; ++I)
+      B.iload(0).iconst(1).iadd().istore(0);
+    B.ret();
+    ClassFile C;
+    C.Name = "C";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+    P.load(Vm);
+    Thread = &Vm.startThread("t", 0);
+    Interpreter I(Vm, P, *Thread);
+    I.run("C.main");
+  }
+  EXPECT_GE(Thread->cycles(), 43u); // At least one cycle per instruction.
+}
+
+} // namespace

@@ -1,0 +1,470 @@
+//===- jvm_test.cpp - Unit tests for src/jvm ---------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/JavaVm.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+VmConfig smallVm(uint64_t HeapBytes = 1 << 20) {
+  VmConfig C;
+  C.HeapBytes = HeapBytes;
+  return C;
+}
+
+// --- Heap ---------------------------------------------------------------------
+
+TEST(Heap, AllocateAlignsAndZeroes) {
+  Heap H(1 << 16);
+  ObjectRef A = H.allocate(0, 12, 0);
+  ObjectRef B = H.allocate(0, 8, 0);
+  ASSERT_NE(A, kNullRef);
+  ASSERT_NE(B, kNullRef);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_EQ(B, A + 16); // 12 rounded to 16.
+  EXPECT_EQ(H.rawReadWord(A), 0u);
+}
+
+TEST(Heap, NullIsNotAnObject) {
+  Heap H(1 << 16);
+  EXPECT_FALSE(H.isObjectStart(kNullRef));
+  EXPECT_GE(H.allocate(0, 8, 0), Heap::kArenaBase);
+}
+
+TEST(Heap, AllocationFailureReturnsNull) {
+  Heap H(256);
+  EXPECT_NE(H.allocate(0, 128, 0), kNullRef);
+  EXPECT_EQ(H.allocate(0, 128, 0), kNullRef);
+}
+
+TEST(Heap, ObjectContaining) {
+  Heap H(1 << 16);
+  ObjectRef A = H.allocate(0, 64, 0);
+  ObjectRef B = H.allocate(0, 64, 0);
+  EXPECT_EQ(H.objectContaining(A), A);
+  EXPECT_EQ(H.objectContaining(A + 63), A);
+  EXPECT_EQ(H.objectContaining(B + 1), B);
+  EXPECT_EQ(H.objectContaining(B + 64), kNullRef);
+  EXPECT_EQ(H.objectContaining(0), kNullRef);
+}
+
+TEST(Heap, RawWordRoundTrip) {
+  Heap H(1 << 16);
+  ObjectRef A = H.allocate(0, 64, 0);
+  H.rawWriteWord(A + 8, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(H.rawReadWord(A + 8), 0xDEADBEEFCAFEULL);
+  H.rawWriteU32(A + 16, 0x1234);
+  EXPECT_EQ(H.rawReadU32(A + 16), 0x1234u);
+}
+
+TEST(Heap, UsageAccounting) {
+  Heap H(1 << 16);
+  EXPECT_EQ(H.usedBytes(), 0u);
+  H.allocate(0, 100, 0);
+  EXPECT_EQ(H.usedBytes(), 104u);
+  EXPECT_EQ(H.liveBytes(), 100u);
+  EXPECT_EQ(H.peakUsedBytes(), 104u);
+  EXPECT_EQ(H.numObjects(), 1u);
+}
+
+// --- TypeRegistry ----------------------------------------------------------------
+
+TEST(TypeRegistry, PrimitiveArraysPredefined) {
+  TypeRegistry R;
+  EXPECT_EQ(R.get(R.intArray()).ElemSize, 4u);
+  EXPECT_EQ(R.get(R.doubleArray()).ElemSize, 8u);
+  EXPECT_EQ(R.get(R.byteArray()).ElemSize, 1u);
+  EXPECT_TRUE(R.get(R.longArray()).IsArray);
+  EXPECT_FALSE(R.get(R.longArray()).ElemIsRef);
+}
+
+TEST(TypeRegistry, DefineClassWithRefFields) {
+  TypeRegistry R;
+  TypeId T = R.defineClass("Node", 24, {0, 8});
+  const TypeDescriptor &D = R.get(T);
+  EXPECT_EQ(D.Name, "Node");
+  EXPECT_EQ(D.InstanceSize, 24u);
+  EXPECT_EQ(D.RefOffsets.size(), 2u);
+  EXPECT_FALSE(D.IsArray);
+  EXPECT_EQ(R.byName("Node"), T);
+  EXPECT_TRUE(R.hasName("Node"));
+  EXPECT_FALSE(R.hasName("Missing"));
+}
+
+TEST(TypeRegistry, RefArrayTypeIsMemoized) {
+  TypeRegistry R;
+  R.defineClass("Foo", 16);
+  TypeId A = R.refArrayType("Foo");
+  TypeId B = R.refArrayType("Foo");
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(R.get(A).ElemIsRef);
+  EXPECT_EQ(R.get(A).Name, "Foo[]");
+}
+
+// --- MethodRegistry ----------------------------------------------------------------
+
+TEST(MethodRegistry, LineForBci) {
+  MethodRegistry R;
+  MethodId M = R.registerMethod("C", "m", {{0, 10}, {5, 20}, {9, 30}});
+  EXPECT_EQ(R.lineForBci(M, 0), 10u);
+  EXPECT_EQ(R.lineForBci(M, 4), 10u);
+  EXPECT_EQ(R.lineForBci(M, 5), 20u);
+  EXPECT_EQ(R.lineForBci(M, 100), 30u);
+}
+
+TEST(MethodRegistry, EmptyLineTableGivesZero) {
+  MethodRegistry R;
+  MethodId M = R.registerMethod("C", "m", {});
+  EXPECT_EQ(R.lineForBci(M, 3), 0u);
+}
+
+TEST(MethodRegistry, QualifiedNameAndFind) {
+  MethodRegistry R;
+  MethodId M = R.registerMethod("FFT", "transform", {});
+  EXPECT_EQ(R.qualifiedName(M), "FFT.transform");
+  EXPECT_EQ(R.find("FFT", "transform"), M);
+  EXPECT_EQ(R.find("FFT", "nope"), kInvalidMethod);
+  EXPECT_EQ(R.getOrRegister("FFT", "transform", {}), M);
+  EXPECT_NE(R.getOrRegister("FFT", "other", {}), M);
+}
+
+TEST(MethodRegistry, RejitCountsInstances) {
+  MethodRegistry R;
+  MethodId M = R.registerMethod("C", "m", {});
+  EXPECT_EQ(R.get(M).JitInstances, 1u);
+  R.rejit(M);
+  R.rejit(M);
+  EXPECT_EQ(R.get(M).JitInstances, 3u);
+}
+
+// --- JavaVm basics -----------------------------------------------------------------
+
+TEST(JavaVm, ThreadLifecycleEvents) {
+  JavaVm Vm(smallVm());
+  std::vector<std::string> Log;
+  Vm.jvmti().onThreadStart(
+      [&](JavaThread &T) { Log.push_back("start:" + T.name()); });
+  Vm.jvmti().onThreadEnd(
+      [&](JavaThread &T) { Log.push_back("end:" + T.name()); });
+  JavaThread &T = Vm.startThread("worker", 3);
+  EXPECT_EQ(T.cpu(), 3u);
+  EXPECT_TRUE(T.isAlive());
+  Vm.endThread(T);
+  EXPECT_FALSE(T.isAlive());
+  ASSERT_EQ(Log.size(), 2u);
+  EXPECT_EQ(Log[0], "start:worker");
+  EXPECT_EQ(Log[1], "end:worker");
+}
+
+TEST(JavaVm, RoundRobinCpuAssignment) {
+  JavaVm Vm(smallVm());
+  uint32_t C0 = Vm.startThread("a").cpu();
+  uint32_t C1 = Vm.startThread("b").cpu();
+  EXPECT_NE(C0, C1);
+}
+
+TEST(JavaVm, AllocationPublishesEvent) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  std::vector<AllocationEvent> Events;
+  Vm.jvmti().onAllocation(
+      [&](const AllocationEvent &E) { Events.push_back(E); });
+  ObjectRef A = Vm.allocateArray(T, Vm.types().intArray(), 100);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Object, A);
+  EXPECT_EQ(Events[0].Size, 400u);
+  EXPECT_EQ(Events[0].Length, 100u);
+  EXPECT_EQ(Events[0].TypeName, "int[]");
+  EXPECT_EQ(Events[0].Thread, &T);
+}
+
+TEST(JavaVm, AllocationEventsCanBeDisabled) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  int Count = 0;
+  Vm.jvmti().onAllocation([&](const AllocationEvent &) { ++Count; });
+  Vm.setAllocationEventsEnabled(false);
+  Vm.allocateArray(T, Vm.types().intArray(), 10);
+  EXPECT_EQ(Count, 0);
+  Vm.setAllocationEventsEnabled(true);
+  Vm.allocateArray(T, Vm.types().intArray(), 10);
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(JavaVm, ReadWriteRoundTrip) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  ObjectRef A = Vm.allocateArray(T, Vm.types().longArray(), 8);
+  Vm.writeWord(T, A, 16, 77);
+  EXPECT_EQ(Vm.readWord(T, A, 16), 77u);
+  Vm.writeDouble(T, A, 24, 3.25);
+  EXPECT_DOUBLE_EQ(Vm.readDouble(T, A, 24), 3.25);
+  Vm.writeU32(T, A, 0, 0xAABB);
+  EXPECT_EQ(Vm.readU32(T, A, 0), 0xAABBu);
+  Vm.writeU8(T, A, 5, 0x7E);
+  EXPECT_EQ(Vm.readU8(T, A, 5), 0x7E);
+  EXPECT_EQ(Vm.readU8(T, A, 4), 0); // Neighbour byte untouched.
+}
+
+TEST(JavaVm, AccessesChargeCyclesAndFeedPmu) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  ObjectRef A = Vm.allocateArray(T, Vm.types().longArray(), 64);
+  uint64_t Before = T.cycles();
+  int Fd = T.pmu().openEvent(PerfEventAttr{PerfEventKind::MemAccess, 1000});
+  T.pmu().enable();
+  Vm.readWord(T, A, 0);
+  EXPECT_GT(T.cycles(), Before);
+  EXPECT_EQ(T.pmu().eventCount(Fd), 1u);
+}
+
+TEST(JavaVm, ArrayCopyCopiesAndCharges) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  ObjectRef Src = Vm.allocateArray(T, Vm.types().longArray(), 8);
+  ObjectRef Dst = Vm.allocateArray(T, Vm.types().longArray(), 8);
+  for (uint64_t I = 0; I < 8; ++I)
+    Vm.writeWord(T, Src, I * 8, I + 1);
+  Vm.arrayCopy(T, Src, 0, Dst, 0, 64);
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Vm.readWord(T, Dst, I * 8), I + 1);
+}
+
+TEST(JavaVm, MultiArrayAllocatesNestedRefs) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  ObjectRef Outer =
+      Vm.allocateMultiArray(T, Vm.types().intArray(), {3, 5});
+  const ObjectInfo &Info = Vm.heap().info(Outer);
+  EXPECT_EQ(Info.Length, 3u);
+  EXPECT_TRUE(Vm.types().get(Info.Type).ElemIsRef);
+  for (uint64_t I = 0; I < 3; ++I) {
+    ObjectRef Row = Vm.readRef(T, Outer, I * 8);
+    ASSERT_NE(Row, kNullRef);
+    EXPECT_EQ(Vm.heap().info(Row).Length, 5u);
+    EXPECT_EQ(Vm.heap().info(Row).Size, 20u);
+  }
+}
+
+TEST(JavaVm, AsyncGetCallTraceSnapshotsFrames) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  MethodId A = Vm.methods().registerMethod("C", "outer", {{0, 1}});
+  MethodId B = Vm.methods().registerMethod("C", "inner", {{0, 2}});
+  FrameScope FA(T, A, 0);
+  FA.setBci(4);
+  FrameScope FB(T, B, 7);
+  auto Trace = Vm.asyncGetCallTrace(T);
+  ASSERT_EQ(Trace.size(), 2u);
+  EXPECT_EQ(Trace[0].Method, A);
+  EXPECT_EQ(Trace[0].Bci, 4u);
+  EXPECT_EQ(Trace[1].Method, B);
+  EXPECT_EQ(Trace[1].Bci, 7u);
+}
+
+// --- GC ------------------------------------------------------------------------
+
+TEST(Gc, ReclaimsUnreachableAndPublishesFree) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  std::vector<ObjectFreeEvent> Freed;
+  Vm.jvmti().onObjectFree(
+      [&](const ObjectFreeEvent &E) { Freed.push_back(E); });
+  RootScope Roots(Vm);
+  ObjectRef &Live = Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 8));
+  ObjectRef Dead = Vm.allocateArray(T, Vm.types().longArray(), 16);
+  (void)Dead;
+  GcStats S = Vm.requestGc();
+  EXPECT_EQ(S.ObjectsFreed, 1u);
+  EXPECT_EQ(S.BytesFreed, 128u);
+  ASSERT_EQ(Freed.size(), 1u);
+  EXPECT_EQ(Freed[0].Size, 128u);
+  EXPECT_TRUE(Vm.heap().isObjectStart(Live));
+  EXPECT_EQ(Vm.heap().numObjects(), 1u);
+}
+
+TEST(Gc, CompactionMovesAndPublishesMoves) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  std::vector<ObjectMoveEvent> Moves;
+  Vm.jvmti().onObjectMove(
+      [&](const ObjectMoveEvent &E) { Moves.push_back(E); });
+  RootScope Roots(Vm);
+  ObjectRef Dead = Vm.allocateArray(T, Vm.types().longArray(), 64);
+  (void)Dead;
+  ObjectRef &Live =
+      Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 8));
+  Vm.writeWord(T, Live, 0, 1234);
+  ObjectRef Before = Live;
+  Vm.requestGc();
+  EXPECT_NE(Live, Before) << "survivor should slide left";
+  ASSERT_EQ(Moves.size(), 1u);
+  EXPECT_EQ(Moves[0].OldAddr, Before);
+  EXPECT_EQ(Moves[0].NewAddr, Live);
+  EXPECT_EQ(Moves[0].Size, 64u);
+  // Payload moved with the object.
+  EXPECT_EQ(Vm.readWord(T, Live, 0), 1234u);
+}
+
+TEST(Gc, UpdatesInteriorReferences) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  TypeId Node = Vm.types().defineClass("Node", 16, {8});
+  RootScope Roots(Vm);
+  ObjectRef Dead = Vm.allocateArray(T, Vm.types().longArray(), 32);
+  (void)Dead;
+  ObjectRef &Head = Roots.add(Vm.allocateObject(T, Node));
+  ObjectRef Tail = Vm.allocateObject(T, Node);
+  Vm.writeRef(T, Head, 8, Tail);
+  Vm.writeWord(T, Tail, 0, 99);
+  Vm.requestGc();
+  ObjectRef NewTail = Vm.readRef(T, Head, 8);
+  ASSERT_NE(NewTail, kNullRef);
+  EXPECT_TRUE(Vm.heap().isObjectStart(NewTail));
+  EXPECT_EQ(Vm.readWord(T, NewTail, 0), 99u);
+}
+
+TEST(Gc, RefArraysKeepElementsAlive) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  TypeId Obj = Vm.types().defineClass("Obj", 16);
+  TypeId Arr = Vm.types().refArrayType("Obj");
+  RootScope Roots(Vm);
+  ObjectRef &Holder = Roots.add(Vm.allocateArray(T, Arr, 4));
+  ObjectRef Elem = Vm.allocateObject(T, Obj);
+  Vm.writeRef(T, Holder, 16, Elem);
+  GcStats S = Vm.requestGc();
+  EXPECT_EQ(S.ObjectsFreed, 0u);
+  EXPECT_NE(Vm.readRef(T, Holder, 16), kNullRef);
+}
+
+TEST(Gc, GcStartAndFinishNotifications) {
+  JavaVm Vm(smallVm());
+  int Starts = 0, Finishes = 0;
+  GcStats Last;
+  Vm.jvmti().onGcStart([&]() { ++Starts; });
+  Vm.jvmti().onGcFinish([&](const GcStats &S) {
+    ++Finishes;
+    Last = S;
+  });
+  JavaThread &T = Vm.startThread("main", 0);
+  Vm.allocateArray(T, Vm.types().longArray(), 8);
+  Vm.requestGc();
+  EXPECT_EQ(Starts, 1);
+  EXPECT_EQ(Finishes, 1);
+  EXPECT_EQ(Last.ObjectsFreed, 1u);
+}
+
+TEST(Gc, MoveEventsPrecedeFinishNotification) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  std::vector<std::string> Order;
+  Vm.jvmti().onObjectMove(
+      [&](const ObjectMoveEvent &) { Order.push_back("move"); });
+  Vm.jvmti().onGcFinish(
+      [&](const GcStats &) { Order.push_back("finish"); });
+  RootScope Roots(Vm);
+  ObjectRef Dead = Vm.allocateArray(T, Vm.types().longArray(), 8);
+  (void)Dead;
+  Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 8));
+  Vm.requestGc();
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], "move");
+  EXPECT_EQ(Order[1], "finish");
+}
+
+TEST(Gc, AutoGcOnExhaustionRecyclesAddresses) {
+  VmConfig Cfg = smallVm(16 * 1024);
+  JavaVm Vm(Cfg);
+  JavaThread &T = Vm.startThread("main", 0);
+  // Churn 10x the heap; auto-GC must reclaim between allocations.
+  for (int I = 0; I < 100; ++I) {
+    ObjectRef A = Vm.allocateArray(T, Vm.types().longArray(), 200);
+    ASSERT_NE(A, kNullRef);
+  }
+  EXPECT_GE(Vm.gcTotals().Collections, 9u);
+  EXPECT_LE(Vm.heap().usedBytes(), Cfg.HeapBytes);
+}
+
+TEST(Gc, RootProvidersVisited) {
+  JavaVm Vm(smallVm());
+  JavaThread &T = Vm.startThread("main", 0);
+  ObjectRef Hidden = Vm.allocateArray(T, Vm.types().longArray(), 8);
+  uint64_t Token = Vm.addRootProvider(
+      [&](std::vector<ObjectRef *> &Slots) { Slots.push_back(&Hidden); });
+  GcStats S = Vm.requestGc();
+  EXPECT_EQ(S.ObjectsFreed, 0u);
+  EXPECT_TRUE(Vm.heap().isObjectStart(Hidden));
+  Vm.removeRootProvider(Token);
+  S = Vm.requestGc();
+  EXPECT_EQ(S.ObjectsFreed, 1u);
+}
+
+TEST(Gc, PeakHeapReflectsBloat) {
+  // Loop-allocated garbage spikes the peak; a hoisted allocation does not.
+  VmConfig Cfg = smallVm(1 << 20);
+  uint64_t PeakBloat, PeakHoist;
+  {
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("main", 0);
+    for (int I = 0; I < 200; ++I)
+      Vm.allocateArray(T, Vm.types().longArray(), 512);
+    PeakBloat = Vm.peakHeapBytes();
+  }
+  {
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("main", 0);
+    RootScope Roots(Vm);
+    Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 512));
+    PeakHoist = Vm.peakHeapBytes();
+  }
+  EXPECT_GT(PeakBloat, 10 * PeakHoist);
+}
+
+/// GC stress property: random object graphs survive collection intact.
+class GcStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GcStressTest, RandomGraphSurvivesCollections) {
+  JavaVm Vm(smallVm(1 << 20));
+  JavaThread &T = Vm.startThread("main", 0);
+  TypeId Node = Vm.types().defineClass("Node", 24, {8, 16});
+  RootScope Roots(Vm);
+  Random Rng(GetParam());
+
+  std::vector<ObjectRef *> Nodes;
+  constexpr int kNodes = 64;
+  for (int I = 0; I < kNodes; ++I) {
+    ObjectRef &R = Roots.add(Vm.allocateObject(T, Node));
+    Vm.writeWord(T, R, 0, static_cast<uint64_t>(I));
+    Nodes.push_back(&R);
+  }
+  // Random edges between nodes.
+  for (int I = 0; I < kNodes; ++I) {
+    Vm.writeRef(T, *Nodes[I], 8, *Nodes[Rng.nextBelow(kNodes)]);
+    Vm.writeRef(T, *Nodes[I], 16, *Nodes[Rng.nextBelow(kNodes)]);
+  }
+  // Garbage + collections interleaved.
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int I = 0; I < 50; ++I)
+      Vm.allocateArray(T, Vm.types().longArray(), 64);
+    Vm.requestGc();
+    for (int I = 0; I < kNodes; ++I) {
+      ASSERT_TRUE(Vm.heap().isObjectStart(*Nodes[I]));
+      EXPECT_EQ(Vm.readWord(T, *Nodes[I], 0), static_cast<uint64_t>(I));
+      ObjectRef E1 = Vm.readRef(T, *Nodes[I], 8);
+      ASSERT_TRUE(E1 == kNullRef || Vm.heap().isObjectStart(E1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcStressTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- pmu_test.cpp - Unit tests for src/pmu ---------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/Pmu.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+AccessResult l1MissResult() {
+  AccessResult R;
+  R.L1Miss = true;
+  R.LatencyCycles = 12;
+  R.HomeNode = 0;
+  return R;
+}
+
+AccessResult hitResult() {
+  AccessResult R;
+  R.LatencyCycles = 4;
+  return R;
+}
+
+TEST(Pmu, DisabledCountsNothing) {
+  PmuContext P(1);
+  int Fd = P.openEvent(PerfEventAttr{PerfEventKind::L1Miss, 10, 64});
+  P.observeAccess(0, 0x100, l1MissResult());
+  EXPECT_EQ(P.eventCount(Fd), 0u);
+}
+
+TEST(Pmu, CountsMatchingEventsOnly) {
+  PmuContext P(1);
+  int Fd = P.openEvent(PerfEventAttr{PerfEventKind::L1Miss, 1000, 64});
+  P.enable();
+  P.observeAccess(0, 0x100, l1MissResult());
+  P.observeAccess(0, 0x140, hitResult());
+  P.observeAccess(0, 0x180, l1MissResult());
+  EXPECT_EQ(P.eventCount(Fd), 2u);
+}
+
+TEST(Pmu, OverflowDeliversPreciseSample) {
+  PmuContext P(7);
+  P.openEvent(PerfEventAttr{PerfEventKind::L1Miss, 3, 64});
+  std::vector<PerfSample> Samples;
+  P.setSampleHandler([&](const PerfSample &S) { Samples.push_back(S); });
+  P.enable();
+  for (int I = 0; I < 7; ++I)
+    P.observeAccess(2, 0x1000 + static_cast<uint64_t>(I) * 64,
+                    l1MissResult());
+  // Period 3: samples at occurrences 3 and 6.
+  ASSERT_EQ(Samples.size(), 2u);
+  EXPECT_EQ(Samples[0].EffectiveAddress, 0x1000u + 2 * 64);
+  EXPECT_EQ(Samples[1].EffectiveAddress, 0x1000u + 5 * 64);
+  EXPECT_EQ(Samples[0].Cpu, 2u);
+  EXPECT_EQ(Samples[0].ThreadId, 7u);
+  EXPECT_EQ(Samples[0].Kind, PerfEventKind::L1Miss);
+  EXPECT_EQ(Samples[0].LatencyCycles, 12u);
+}
+
+TEST(Pmu, MemAccessEventCountsEverything) {
+  PmuContext P(1);
+  int Fd = P.openEvent(PerfEventAttr{PerfEventKind::MemAccess, 1000, 64});
+  P.enable();
+  P.observeAccess(0, 0, hitResult());
+  P.observeAccess(0, 0, l1MissResult());
+  EXPECT_EQ(P.eventCount(Fd), 2u);
+}
+
+TEST(Pmu, LoadLatencyThreshold) {
+  PmuContext P(1);
+  int Fd = P.openEvent(PerfEventAttr{PerfEventKind::LoadLatency, 1000, 100});
+  P.enable();
+  AccessResult Slow;
+  Slow.LatencyCycles = 250;
+  AccessResult Fast;
+  Fast.LatencyCycles = 40;
+  P.observeAccess(0, 0, Slow);
+  P.observeAccess(0, 0, Fast);
+  EXPECT_EQ(P.eventCount(Fd), 1u);
+}
+
+TEST(Pmu, RemoteAccessEvent) {
+  PmuContext P(1);
+  int Fd = P.openEvent(PerfEventAttr{PerfEventKind::RemoteAccess, 1, 64});
+  std::vector<PerfSample> Samples;
+  P.setSampleHandler([&](const PerfSample &S) { Samples.push_back(S); });
+  P.enable();
+  AccessResult Remote;
+  Remote.L1Miss = Remote.L2Miss = Remote.L3Miss = true;
+  Remote.RemoteAccess = true;
+  Remote.HomeNode = 1;
+  P.observeAccess(0, 0x42, Remote);
+  EXPECT_EQ(P.eventCount(Fd), 1u);
+  ASSERT_EQ(Samples.size(), 1u);
+  EXPECT_TRUE(Samples[0].RemoteAccess);
+  EXPECT_EQ(Samples[0].HomeNode, 1);
+}
+
+TEST(Pmu, TlbAndLevelEvents) {
+  PmuContext P(1);
+  int L2 = P.openEvent(PerfEventAttr{PerfEventKind::L2Miss, 1000, 64});
+  int L3 = P.openEvent(PerfEventAttr{PerfEventKind::L3Miss, 1000, 64});
+  int Tlb = P.openEvent(PerfEventAttr{PerfEventKind::TlbMiss, 1000, 64});
+  P.enable();
+  AccessResult R;
+  R.L1Miss = R.L2Miss = true;
+  R.TlbMiss = true;
+  P.observeAccess(0, 0, R);
+  EXPECT_EQ(P.eventCount(L2), 1u);
+  EXPECT_EQ(P.eventCount(L3), 0u);
+  EXPECT_EQ(P.eventCount(Tlb), 1u);
+}
+
+TEST(Pmu, MultipleEventsSampleIndependently) {
+  PmuContext P(1);
+  P.openEvent(PerfEventAttr{PerfEventKind::MemAccess, 2, 64});
+  P.openEvent(PerfEventAttr{PerfEventKind::L1Miss, 1, 64});
+  int Delivered = 0;
+  P.setSampleHandler([&](const PerfSample &) { ++Delivered; });
+  P.enable();
+  P.observeAccess(0, 0, l1MissResult()); // L1 fires; MemAccess at 1/2.
+  P.observeAccess(0, 0, hitResult());    // MemAccess fires.
+  EXPECT_EQ(Delivered, 2);
+  EXPECT_EQ(P.samplesDelivered(), 2u);
+}
+
+TEST(Pmu, DisableStopsSampling) {
+  PmuContext P(1);
+  P.openEvent(PerfEventAttr{PerfEventKind::MemAccess, 1, 64});
+  int Delivered = 0;
+  P.setSampleHandler([&](const PerfSample &) { ++Delivered; });
+  P.enable();
+  P.observeAccess(0, 0, hitResult());
+  P.disable();
+  P.observeAccess(0, 0, hitResult());
+  EXPECT_EQ(Delivered, 1);
+}
+
+TEST(Pmu, PeriodRestartsAfterSample) {
+  PmuContext P(1);
+  P.openEvent(PerfEventAttr{PerfEventKind::MemAccess, 4, 64});
+  int Delivered = 0;
+  P.setSampleHandler([&](const PerfSample &) { ++Delivered; });
+  P.enable();
+  for (int I = 0; I < 12; ++I)
+    P.observeAccess(0, 0, hitResult());
+  EXPECT_EQ(Delivered, 3);
+}
+
+TEST(Pmu, EventNamesMatchIntelMnemonics) {
+  EXPECT_EQ(perfEventName(PerfEventKind::L1Miss),
+            "MEM_LOAD_UOPS_RETIRED:L1_MISS");
+  EXPECT_EQ(perfEventName(PerfEventKind::TlbMiss), "DTLB_LOAD_MISSES");
+  EXPECT_EQ(perfEventName(PerfEventKind::LoadLatency),
+            "MEM_TRANS_RETIRED:LOAD_LATENCY");
+}
+
+/// Sampling-rate property: delivered samples == floor(events / period).
+class PmuPeriodTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PmuPeriodTest, SampleCountMatchesPeriod) {
+  uint64_t Period = GetParam();
+  PmuContext P(1);
+  P.openEvent(PerfEventAttr{PerfEventKind::MemAccess, Period, 64});
+  uint64_t Delivered = 0;
+  P.setSampleHandler([&](const PerfSample &) { ++Delivered; });
+  P.enable();
+  constexpr uint64_t kEvents = 1000;
+  for (uint64_t I = 0; I < kEvents; ++I)
+    P.observeAccess(0, I, hitResult());
+  EXPECT_EQ(Delivered, kEvents / Period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PmuPeriodTest,
+                         ::testing::Values(1, 2, 7, 32, 100, 999, 1001));
+
+} // namespace

@@ -1,0 +1,305 @@
+//===- sim_test.cpp - Unit tests for src/sim --------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+#include "sim/MemoryHierarchy.h"
+#include "sim/NumaTopology.h"
+#include "sim/Tlb.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+// --- Cache -------------------------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  Cache C(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(63)); // Same line.
+  EXPECT_FALSE(C.access(64)); // Next line.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2-way, 8 sets (1024/64/2). Lines 0, 8, 16 map to set 0.
+  Cache C(CacheConfig{1024, 64, 2});
+  uint64_t A = 0, B = 8 * 64, D = 16 * 64;
+  C.access(A);
+  C.access(B);
+  C.access(A);    // A is MRU.
+  C.access(D);    // Evicts B (LRU).
+  EXPECT_TRUE(C.access(A));
+  EXPECT_FALSE(C.access(B));
+  EXPECT_EQ(C.evictions(), 2u); // D evicted B; B refill evicted someone.
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines) {
+  Cache C(CacheConfig{4096, 64, 4}); // 16 sets, 4 ways.
+  // Four lines in the same set must all be resident.
+  for (int I = 0; I < 4; ++I)
+    C.access(static_cast<uint64_t>(I) * 16 * 64);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(C.contains(static_cast<uint64_t>(I) * 16 * 64));
+}
+
+TEST(Cache, InvalidateAndFlush) {
+  Cache C(CacheConfig{1024, 64, 2});
+  C.access(0);
+  C.access(128);
+  C.invalidate(0);
+  EXPECT_FALSE(C.contains(0));
+  EXPECT_TRUE(C.contains(128));
+  C.flush();
+  EXPECT_FALSE(C.contains(128));
+}
+
+TEST(Cache, SequentialWalkMissesOncePerLine) {
+  Cache C(CacheConfig{32 * 1024, 64, 8});
+  for (uint64_t Addr = 0; Addr < 16 * 1024; Addr += 8)
+    C.access(Addr);
+  EXPECT_EQ(C.misses(), 16 * 1024 / 64);
+}
+
+/// Capacity property across configurations: touching exactly as many
+/// distinct lines as the cache holds keeps all of them resident.
+class CacheCapacityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheCapacityTest, WorkingSetAtCapacityStaysResident) {
+  auto [SizeKb, Ways] = GetParam();
+  CacheConfig Cfg{static_cast<uint64_t>(SizeKb) * 1024, 64,
+                  static_cast<uint32_t>(Ways)};
+  Cache C(Cfg);
+  uint64_t Lines = Cfg.SizeBytes / Cfg.LineBytes;
+  for (uint64_t I = 0; I < Lines; ++I)
+    C.access(I * 64);
+  for (uint64_t I = 0; I < Lines; ++I)
+    EXPECT_TRUE(C.contains(I * 64)) << "line " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheCapacityTest,
+                         ::testing::Combine(::testing::Values(4, 32, 256),
+                                            ::testing::Values(1, 2, 8)));
+
+// --- TLB ----------------------------------------------------------------------
+
+TEST(Tlb, HitOnSamePage) {
+  Tlb T(TlbConfig{4, 4096});
+  EXPECT_FALSE(T.access(0));
+  EXPECT_TRUE(T.access(4095));
+  EXPECT_FALSE(T.access(4096));
+  EXPECT_EQ(T.misses(), 2u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity) {
+  Tlb T(TlbConfig{2, 4096});
+  T.access(0 * 4096);
+  T.access(1 * 4096);
+  T.access(0 * 4096);      // Page 0 MRU.
+  T.access(2 * 4096);      // Evicts page 1.
+  EXPECT_TRUE(T.access(0 * 4096));
+  EXPECT_FALSE(T.access(1 * 4096));
+}
+
+TEST(Tlb, FlushDropsAll) {
+  Tlb T(TlbConfig{8, 4096});
+  T.access(0);
+  T.flush();
+  EXPECT_FALSE(T.access(0));
+}
+
+// --- NumaTopology ---------------------------------------------------------------
+
+TEST(Numa, CpuToNodeMapping) {
+  NumaTopology N(NumaConfig{2, 12, 4096});
+  EXPECT_EQ(N.numCpus(), 24u);
+  EXPECT_EQ(N.nodeOfCpu(0), 0);
+  EXPECT_EQ(N.nodeOfCpu(11), 0);
+  EXPECT_EQ(N.nodeOfCpu(12), 1);
+  EXPECT_EQ(N.nodeOfCpu(23), 1);
+}
+
+TEST(Numa, FirstTouchPlacesOnToucherNode) {
+  NumaTopology N(NumaConfig{2, 12, 4096});
+  EXPECT_EQ(N.nodeOfAddr(0x5000), kInvalidNode);
+  EXPECT_EQ(N.touch(0x5000, 15), 1); // CPU 15 is on node 1.
+  EXPECT_EQ(N.nodeOfAddr(0x5000), 1);
+  // Second toucher does not move the page.
+  EXPECT_EQ(N.touch(0x5800, 0), 1); // Same page.
+  EXPECT_EQ(N.nodeOfAddr(0x5000), 1);
+}
+
+TEST(Numa, MovePagesQueryAndMigrate) {
+  NumaTopology N(NumaConfig{2, 4, 4096});
+  N.touch(0x1000, 0);
+  EXPECT_TRUE(N.movePage(0x1000, 1));
+  EXPECT_EQ(N.nodeOfAddr(0x1000), 1);
+  EXPECT_FALSE(N.movePage(0x1000, 5)); // No such node.
+  EXPECT_FALSE(N.movePage(0x1000, -1));
+}
+
+TEST(Numa, InterleaveRangeRoundRobins) {
+  NumaTopology N(NumaConfig{2, 4, 4096});
+  N.interleaveRange(0, 8 * 4096);
+  int Node0 = 0, Node1 = 0;
+  for (int P = 0; P < 8; ++P) {
+    NumaNodeId Id = N.nodeOfAddr(static_cast<uint64_t>(P) * 4096);
+    ASSERT_NE(Id, kInvalidNode);
+    (Id == 0 ? Node0 : Node1)++;
+  }
+  EXPECT_EQ(Node0, 4);
+  EXPECT_EQ(Node1, 4);
+}
+
+TEST(Numa, InterleaveDefeatsFirstTouch) {
+  NumaTopology N(NumaConfig{2, 4, 4096});
+  N.interleaveRange(0, 2 * 4096);
+  NumaNodeId Before = N.nodeOfAddr(4096);
+  N.touch(4096, 0); // First touch must not re-place.
+  EXPECT_EQ(N.nodeOfAddr(4096), Before);
+}
+
+TEST(Numa, BindAndReleaseRange) {
+  NumaTopology N(NumaConfig{2, 4, 4096});
+  N.bindRange(0, 4 * 4096, 1);
+  EXPECT_EQ(N.nodeOfAddr(3 * 4096), 1);
+  N.releaseRange(0, 4 * 4096);
+  EXPECT_EQ(N.nodeOfAddr(0), kInvalidNode);
+  EXPECT_EQ(N.numPlacedPages(), 0u);
+}
+
+// --- MemoryHierarchy -------------------------------------------------------------
+
+MachineConfig tinyMachine() {
+  MachineConfig M;
+  M.L1 = CacheConfig{1024, 64, 2};
+  M.L2 = CacheConfig{4096, 64, 4};
+  M.L3 = CacheConfig{16384, 64, 8};
+  M.Dtlb = TlbConfig{4, 4096};
+  M.Numa = NumaConfig{2, 2, 4096};
+  return M;
+}
+
+TEST(MemoryHierarchy, ColdAccessMissesEverywhere) {
+  MemoryHierarchy M(tinyMachine());
+  AccessResult R = M.accessMemory(0, 0x10000);
+  EXPECT_TRUE(R.L1Miss);
+  EXPECT_TRUE(R.L2Miss);
+  EXPECT_TRUE(R.L3Miss);
+  EXPECT_TRUE(R.TlbMiss);
+  EXPECT_FALSE(R.RemoteAccess); // First touch = local.
+  EXPECT_EQ(R.HomeNode, 0);
+  LatencyModel Lat;
+  EXPECT_EQ(R.LatencyCycles, Lat.TlbMissPenalty + Lat.LocalDram);
+}
+
+TEST(MemoryHierarchy, WarmAccessHitsL1) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0x10000);
+  AccessResult R = M.accessMemory(0, 0x10008);
+  EXPECT_FALSE(R.L1Miss);
+  EXPECT_FALSE(R.TlbMiss);
+  LatencyModel Lat;
+  EXPECT_EQ(R.LatencyCycles, Lat.L1Hit);
+}
+
+TEST(MemoryHierarchy, PrivateL1PerCpu) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0x10000);
+  // Another CPU on the same node: misses L1/L2, hits shared L3.
+  AccessResult R = M.accessMemory(1, 0x10000);
+  EXPECT_TRUE(R.L1Miss);
+  EXPECT_TRUE(R.L2Miss);
+  EXPECT_FALSE(R.L3Miss);
+}
+
+TEST(MemoryHierarchy, RemoteAccessDetectedAcrossNodes) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0x20000); // CPU0 (node0) first-touches.
+  // CPU on node 1 misses its own L3 and reaches node0's DRAM.
+  AccessResult R = M.accessMemory(2, 0x20000);
+  EXPECT_TRUE(R.L3Miss);
+  EXPECT_TRUE(R.RemoteAccess);
+  EXPECT_EQ(R.HomeNode, 0);
+}
+
+TEST(MemoryHierarchy, RemoteCostsMoreThanLocal) {
+  MachineConfig Cfg = tinyMachine();
+  Cfg.Latency.DramContentionMaxPenalty = 0; // Isolate base latencies.
+  MemoryHierarchy MLocal(Cfg), MRemote(Cfg);
+  uint32_t Local = MLocal.accessMemory(0, 0x0).LatencyCycles;
+  MRemote.numa().bindRange(0x0, 64, 1);
+  uint32_t Remote = MRemote.accessMemory(0, 0x0).LatencyCycles;
+  EXPECT_GT(Remote, Local);
+  EXPECT_EQ(Remote - Local, Cfg.Latency.RemoteDram - Cfg.Latency.LocalDram);
+}
+
+TEST(MemoryHierarchy, ContentionRaisesLatencyForOtherCpus) {
+  MachineConfig Cfg = tinyMachine();
+  MemoryHierarchy M(Cfg);
+  // CPU1 blasts node-0 DRAM (each access a distinct line).
+  for (int I = 0; I < 2000; ++I)
+    M.accessMemory(1, 0x100000 + static_cast<uint64_t>(I) * 4096);
+  // A fresh CPU0 access to node-0 DRAM now pays a contention penalty.
+  M.numa().bindRange(0x900000, 64, 0);
+  AccessResult R = M.accessMemory(0, 0x900000);
+  ASSERT_TRUE(R.L3Miss);
+  EXPECT_GT(R.LatencyCycles,
+            Cfg.Latency.LocalDram + Cfg.Latency.TlbMissPenalty);
+}
+
+TEST(MemoryHierarchy, NoSelfContention) {
+  MachineConfig Cfg = tinyMachine();
+  MemoryHierarchy M(Cfg);
+  // One CPU alone never pays contention, no matter how much it streams.
+  uint32_t First = 0, Last = 0;
+  for (int I = 0; I < 2000; ++I) {
+    AccessResult R =
+        M.accessMemory(0, 0x100000 + static_cast<uint64_t>(I) * 4096);
+    if (I == 0)
+      First = R.LatencyCycles;
+    Last = R.LatencyCycles;
+  }
+  EXPECT_EQ(First, Last);
+}
+
+TEST(MemoryHierarchy, StatsAccumulate) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0);
+  M.accessMemory(0, 0);
+  const HierarchyStats &S = M.stats();
+  EXPECT_EQ(S.Accesses, 2u);
+  EXPECT_EQ(S.L1Misses, 1u);
+  EXPECT_GT(S.TotalLatency, 0u);
+  M.resetStats();
+  EXPECT_EQ(M.stats().Accesses, 0u);
+}
+
+TEST(MemoryHierarchy, FlushKeepingL3) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0x40000);
+  M.flushCaches(/*IncludeL3=*/false);
+  AccessResult R = M.accessMemory(0, 0x40000);
+  EXPECT_TRUE(R.L1Miss);
+  EXPECT_TRUE(R.L2Miss);
+  EXPECT_FALSE(R.L3Miss) << "L3 should stay warm";
+  M.flushCaches(/*IncludeL3=*/true);
+  EXPECT_TRUE(M.accessMemory(0, 0x40000).L3Miss);
+}
+
+TEST(MemoryHierarchy, InvalidateLineEverywhere) {
+  MemoryHierarchy M(tinyMachine());
+  M.accessMemory(0, 0x40000);
+  M.invalidateLine(0x40000);
+  AccessResult R = M.accessMemory(0, 0x40000);
+  EXPECT_TRUE(R.L1Miss && R.L2Miss && R.L3Miss);
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+//===- workloads_test.cpp - Workload catalog and shape regression ------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks over the workload catalogs plus parameterized shape
+/// regressions: every Table 1 case study's measured speedup must stay in
+/// its acceptance band, and every Table 2 case must stay flat.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AccuracyCases.h"
+#include "workloads/CaseStudies.h"
+#include "workloads/Insignificant.h"
+#include "workloads/Kernels.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+using namespace djx;
+
+namespace {
+
+uint64_t cyclesOf(const VmConfig &Cfg,
+                  const std::function<void(JavaVm &)> &Fn) {
+  JavaVm Vm(Cfg);
+  Fn(Vm);
+  return Vm.totalCycles();
+}
+
+// --- Catalog structure -------------------------------------------------------
+
+TEST(Catalog, Table1HasThirteenRows) {
+  auto All = table1CaseStudies();
+  EXPECT_EQ(All.size(), 13u);
+  for (const CaseStudy &C : All) {
+    EXPECT_FALSE(C.Application.empty());
+    EXPECT_FALSE(C.ProblematicCode.empty());
+    EXPECT_TRUE(C.Baseline && C.Optimized);
+    EXPECT_GT(C.PaperSpeedup, 1.0);
+    EXPECT_LT(C.MinSpeedup, C.MaxSpeedup);
+    EXPECT_FALSE(C.ExpectClass.empty());
+  }
+}
+
+TEST(Catalog, Table2HasNineRows) {
+  auto All = table2InsignificantCases();
+  EXPECT_EQ(All.size(), 9u);
+  for (const InsignificantCase &IC : All) {
+    EXPECT_GT(IC.PaperAllocationTimes, 0u);
+    EXPECT_LE(IC.Study.PaperSpeedup, 1.02);
+  }
+}
+
+TEST(Catalog, AccuracyHasFiveCases) {
+  EXPECT_EQ(section6AccuracyCases().size(), 5u);
+}
+
+TEST(Catalog, Figure4HasFiftyEntriesInThreeSuites) {
+  auto All = figure4Suites();
+  ASSERT_EQ(All.size(), 50u);
+  size_t Ren = 0, Dac = 0, Spec = 0;
+  for (const SuiteEntry &E : All) {
+    if (E.Suite == "Renaissance")
+      ++Ren;
+    else if (E.Suite == "Dacapo 9.12")
+      ++Dac;
+    else if (E.Suite == "SPECjvm2008")
+      ++Spec;
+  }
+  EXPECT_EQ(Ren, 24u);
+  EXPECT_EQ(Dac, 11u);
+  EXPECT_EQ(Spec, 15u);
+}
+
+TEST(Catalog, CallbackHeavyEntriesHaveMostSmallAllocs) {
+  // The paper singles out mnemonics/akka-uct/... as callback storms; the
+  // derived parameters must preserve that ordering vs quiet entries.
+  auto All = figure4Suites();
+  auto Find = [&](const char *Name) -> const SuiteEntry & {
+    for (const SuiteEntry &E : All)
+      if (E.Name == Name)
+        return E;
+    ADD_FAILURE() << "missing " << Name;
+    return All.front();
+  };
+  EXPECT_GT(Find("akka-uct").SmallAllocs, Find("dotty").SmallAllocs * 5);
+  EXPECT_GT(Find("mnemonics").SmallAllocs, Find("als").SmallAllocs * 5);
+}
+
+// --- Kernel sanity -----------------------------------------------------------
+
+TEST(Kernels, BloatHoistingReducesAllocations) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 2 << 20;
+  BloatParams P;
+  P.Iterations = 50;
+  P.ObjectBytes = 2048;
+  P.AccessesPerObject = 32;
+  auto CountAllocs = [&](bool Hoist) {
+    P.Hoist = Hoist;
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("m", 0);
+    runBloatKernel(Vm, T, P);
+    return Vm.heap().allocationsCount();
+  };
+  uint64_t Loop = CountAllocs(false);
+  uint64_t Hoisted = CountAllocs(true);
+  EXPECT_GE(Loop, 50u);
+  EXPECT_LE(Hoisted, Loop - 49u + 2u);
+}
+
+TEST(Kernels, GrowSmallInitialCapacityCopiesMore) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 2 << 20;
+  auto AllocsFor = [&](uint64_t Init) {
+    GrowParams P;
+    P.InitialCapacity = Init;
+    P.FinalElements = 300;
+    P.Rounds = 3;
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("m", 0);
+    runGrowKernel(Vm, T, P);
+    return Vm.heap().allocationsCount();
+  };
+  EXPECT_GT(AllocsFor(8), AllocsFor(512) + 3 * 4);
+}
+
+TEST(Kernels, FftInterchangeReducesMisses) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 8 << 20;
+  Cfg.Machine.L2 = CacheConfig{128 * 1024, 64, 8};
+  Cfg.Machine.L3 = CacheConfig{256 * 1024, 64, 16};
+  auto MissesFor = [&](bool Interchanged) {
+    FftParams P;
+    P.LogN = 12;
+    P.Interchanged = Interchanged;
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("m", 0);
+    runFftKernel(Vm, T, P);
+    return Vm.machine().stats().L1Misses;
+  };
+  uint64_t Strided = MissesFor(false);
+  uint64_t Sequential = MissesFor(true);
+  EXPECT_GT(Strided, Sequential * 2) << "interchange must slash misses";
+}
+
+TEST(Kernels, TilingReducesMisses) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 16 << 20;
+  auto MissesFor = [&](bool Tiled) {
+    TilingParams P;
+    P.Rows = 256;
+    P.Cols = 128;
+    P.Reps = 1;
+    P.RowMajorPasses = 0;
+    P.Tiled = Tiled;
+    JavaVm Vm(Cfg);
+    JavaThread &T = Vm.startThread("m", 0);
+    runTilingKernel(Vm, T, P);
+    return Vm.machine().stats().L1Misses;
+  };
+  EXPECT_GT(MissesFor(false), MissesFor(true) * 2);
+}
+
+TEST(Kernels, NumaMasterPlacementCausesRemoteTraffic) {
+  VmConfig Cfg;
+  Cfg.HeapBytes = 32 << 20;
+  Cfg.Machine.L3 = CacheConfig{256 * 1024, 64, 16};
+  NumaParams P;
+  P.ArrayBytes = 2ULL << 20;
+  P.Workers = 4;
+  P.ReadsPerWorker = 1 << 14;
+  auto RemoteFor = [&](NumaParams::Placement Place) {
+    P.Place = Place;
+    JavaVm Vm(Cfg);
+    runNumaKernel(Vm, P);
+    return Vm.machine().stats().RemoteAccesses;
+  };
+  uint64_t Master = RemoteFor(NumaParams::Placement::MasterFirstTouch);
+  uint64_t Partitioned =
+      RemoteFor(NumaParams::Placement::WorkerPartitions);
+  EXPECT_GT(Master, 100u);
+  EXPECT_LT(Partitioned, Master / 5);
+}
+
+// --- Shape regressions (1 repetition each; the bench runs 3) ------------------
+
+class Table1ShapeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Table1ShapeTest, SpeedupWithinBand) {
+  CaseStudy C = table1CaseStudies()[GetParam()];
+  uint64_t Base = cyclesOf(C.Config, C.Baseline);
+  uint64_t Opt = cyclesOf(C.Config, C.Optimized);
+  double S = static_cast<double>(Base) / static_cast<double>(Opt);
+  EXPECT_GE(S, C.MinSpeedup) << C.Application;
+  EXPECT_LE(S, C.MaxSpeedup) << C.Application;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1ShapeTest,
+                         ::testing::Range<size_t>(0, 13));
+
+class Table2ShapeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Table2ShapeTest, OptimizationStaysFlat) {
+  CaseStudy C = table2InsignificantCases()[GetParam()].Study;
+  uint64_t Base = cyclesOf(C.Config, C.Baseline);
+  uint64_t Opt = cyclesOf(C.Config, C.Optimized);
+  double S = static_cast<double>(Base) / static_cast<double>(Opt);
+  EXPECT_GE(S, C.MinSpeedup) << C.Application;
+  EXPECT_LE(S, C.MaxSpeedup) << C.Application;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table2ShapeTest,
+                         ::testing::Range<size_t>(0, 9));
+
+} // namespace

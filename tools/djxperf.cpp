@@ -1,0 +1,244 @@
+//===- djxperf.cpp - Command-line launcher ----------------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `djxperf` command-line tool: the moral equivalent of launching the
+/// real profiler via JVM agent options (Figure 3's workflow). Picks a
+/// workload from the built-in catalog, configures the agent from flags,
+/// runs collector + analyzer, and emits text/HTML reports and per-thread
+/// profile files.
+///
+/// Examples:
+///   djxperf --list
+///   djxperf "ObjectLayout 1.0.5"
+///   djxperf --event tlbmiss --period 128 "SPECjvm2008: Scimark.fft.large"
+///   djxperf --optimized --html /tmp/druid.html "Apache Druid"
+///   djxperf --size-threshold 0 --write-profiles /tmp/prof figure1
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DjxPerf.h"
+#include "core/HtmlReport.h"
+#include "core/Report.h"
+#include "workloads/AccuracyCases.h"
+#include "workloads/CaseStudies.h"
+#include "workloads/Figure1.h"
+#include "workloads/Insignificant.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace djx;
+
+namespace {
+
+struct CliWorkload {
+  std::string Name;
+  std::string Kind; // "case-study" | "accuracy" | "table2" | "suite" | ...
+  VmConfig Config;
+  std::function<void(JavaVm &)> Baseline;
+  std::function<void(JavaVm &)> Optimized; // May be null.
+};
+
+std::vector<CliWorkload> catalog() {
+  std::vector<CliWorkload> All;
+  for (const CaseStudy &C : table1CaseStudies())
+    All.push_back({C.Application, "case-study", C.Config, C.Baseline,
+                   C.Optimized});
+  for (const CaseStudy &C : section6AccuracyCases())
+    All.push_back(
+        {C.Application, "accuracy", C.Config, C.Baseline, C.Optimized});
+  for (const InsignificantCase &IC : table2InsignificantCases())
+    All.push_back({IC.Study.Application + " (table2)", "table2",
+                   IC.Study.Config, IC.Study.Baseline,
+                   IC.Study.Optimized});
+  for (const SuiteEntry &E : figure4Suites())
+    All.push_back({E.Suite + "/" + E.Name, "suite", E.Config,
+                   [E](JavaVm &Vm) { runSuiteEntry(Vm, E); }, nullptr});
+  {
+    CliWorkload W;
+    W.Name = "figure1";
+    W.Kind = "motivation";
+    W.Config.HeapBytes = 8 << 20;
+    W.Baseline = [](JavaVm &Vm) { runFigure1Workload(Vm); };
+    All.push_back(std::move(W));
+  }
+  return All;
+}
+
+std::optional<PerfEventKind> parseEvent(const std::string &S) {
+  if (S == "access")
+    return PerfEventKind::MemAccess;
+  if (S == "l1miss")
+    return PerfEventKind::L1Miss;
+  if (S == "l2miss")
+    return PerfEventKind::L2Miss;
+  if (S == "l3miss")
+    return PerfEventKind::L3Miss;
+  if (S == "tlbmiss")
+    return PerfEventKind::TlbMiss;
+  if (S == "latency")
+    return PerfEventKind::LoadLatency;
+  if (S == "remote")
+    return PerfEventKind::RemoteAccess;
+  return std::nullopt;
+}
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s [options] <workload>\n"
+      "  --list                 list available workloads\n"
+      "  --optimized            run the workload's optimized variant\n"
+      "  --event <kind>         access|l1miss|l2miss|l3miss|tlbmiss|"
+      "latency|remote (default l1miss)\n"
+      "  --period <n>           sampling period in events (default 64)\n"
+      "  --size-threshold <n>   size filter S in bytes (default 1024; 0 ="
+      " monitor everything)\n"
+      "  --no-gc-handling       disable the GC relocation machinery\n"
+      "  --no-numa              disable NUMA remote-access diagnosis\n"
+      "  --report <which>       object|code|both (default object)\n"
+      "  --top <n>              groups to show (default 10)\n"
+      "  --html <file>          also write a self-contained HTML report\n"
+      "  --write-profiles <dir> dump one .djxprof file per thread\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DjxPerfConfig Agent;
+  PerfEventKind Kind = PerfEventKind::L1Miss;
+  uint64_t Period = 64;
+  std::string Report = "object";
+  std::string HtmlPath, ProfileDir, Target;
+  bool RunOptimized = false;
+  unsigned Top = 10;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NeedsValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--list") {
+      for (const CliWorkload &W : catalog())
+        std::printf("%-12s %s\n", W.Kind.c_str(), W.Name.c_str());
+      return 0;
+    }
+    if (A == "--help" || A == "-h") {
+      usage(Argv[0]);
+      return 0;
+    }
+    if (A == "--optimized") {
+      RunOptimized = true;
+    } else if (A == "--event") {
+      std::string V = NeedsValue("--event");
+      auto K = parseEvent(V);
+      if (!K) {
+        std::fprintf(stderr, "error: unknown event '%s'\n", V.c_str());
+        return 2;
+      }
+      Kind = *K;
+    } else if (A == "--period") {
+      Period = std::strtoull(NeedsValue("--period"), nullptr, 10);
+      if (Period == 0) {
+        std::fprintf(stderr, "error: period must be positive\n");
+        return 2;
+      }
+    } else if (A == "--size-threshold") {
+      Agent.MinObjectSize =
+          std::strtoull(NeedsValue("--size-threshold"), nullptr, 10);
+    } else if (A == "--no-gc-handling") {
+      Agent.HandleGcMoves = Agent.HandleGcFrees = false;
+    } else if (A == "--no-numa") {
+      Agent.TrackNuma = false;
+    } else if (A == "--report") {
+      Report = NeedsValue("--report");
+    } else if (A == "--top") {
+      Top = static_cast<unsigned>(
+          std::strtoul(NeedsValue("--top"), nullptr, 10));
+    } else if (A == "--html") {
+      HtmlPath = NeedsValue("--html");
+    } else if (A == "--write-profiles") {
+      ProfileDir = NeedsValue("--write-profiles");
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", A.c_str());
+      usage(Argv[0]);
+      return 2;
+    } else {
+      Target = A;
+    }
+  }
+  if (Target.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  const auto All = catalog();
+  const CliWorkload *Chosen = nullptr;
+  for (const CliWorkload &W : All)
+    if (W.Name == Target)
+      Chosen = &W;
+  if (!Chosen) {
+    std::fprintf(stderr,
+                 "error: unknown workload '%s' (try --list)\n",
+                 Target.c_str());
+    return 2;
+  }
+  if (RunOptimized && !Chosen->Optimized) {
+    std::fprintf(stderr, "error: '%s' has no optimized variant\n",
+                 Target.c_str());
+    return 2;
+  }
+
+  Agent.Events = {PerfEventAttr{Kind, Period, 64}};
+  JavaVm Vm(Chosen->Config);
+  DjxPerf Profiler(Vm, Agent);
+  Profiler.start();
+  (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
+  Profiler.stop();
+
+  std::fprintf(stderr,
+               "djxperf: %llu cycles, %llu allocation callbacks, %llu"
+               " tracked, %llu samples, %zu KiB profiler state\n",
+               (unsigned long long)Vm.totalCycles(),
+               (unsigned long long)Profiler.allocationCallbacks(),
+               (unsigned long long)Profiler.allocationsTracked(),
+               (unsigned long long)Profiler.samplesHandled(),
+               Profiler.memoryFootprint() / 1024);
+
+  MergedProfile P = Profiler.analyze();
+  ReportOptions Opts;
+  Opts.SortKind = Kind;
+  Opts.TopGroups = Top;
+  Opts.ShowNuma = Agent.TrackNuma;
+  if (Report == "object" || Report == "both")
+    std::fputs(renderObjectCentric(P, Vm.methods(), Opts).c_str(), stdout);
+  if (Report == "code" || Report == "both")
+    std::fputs(renderCodeCentric(P, Vm.methods(), Opts).c_str(), stdout);
+  if (!HtmlPath.empty()) {
+    if (!writeHtmlReport(P, Vm.methods(), HtmlPath, Opts,
+                         "DJXPerf: " + Chosen->Name)) {
+      std::fprintf(stderr, "error: cannot write %s\n", HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "djxperf: wrote %s\n", HtmlPath.c_str());
+  }
+  if (!ProfileDir.empty()) {
+    unsigned N = Profiler.writeProfiles(ProfileDir);
+    std::fprintf(stderr, "djxperf: wrote %u profile file(s) to %s\n", N,
+                 ProfileDir.c_str());
+  }
+  return 0;
+}
