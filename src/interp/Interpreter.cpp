@@ -75,7 +75,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
     // Re-fetch each iteration: a recursive execute() inside Invoke may
     // reallocate CallStack and invalidate frame references.
     Frame &F = CallStack[FrameIdx];
-    assert(++Steps <= StepLimit && "interpreter step limit exceeded");
+    ++Steps;
+    assert(Steps <= StepLimit && "interpreter step limit exceeded");
     const Instruction &I = M.Code[F.Pc];
     Thread.setBci(static_cast<uint32_t>(F.Pc));
     Vm.tick(Thread, 1);
@@ -301,10 +302,12 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
     case Opcode::AALoad: {
       int64_t Idx = pop(F).asInt();
       ObjectRef Arr = pop(F).asRef();
+#ifndef NDEBUG
       const ObjectInfo &Info = Vm.heap().info(Arr);
       assert(Vm.types().get(Info.Type).ElemIsRef && "aaload needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
+#endif
       push(F, Value::fromRef(
                  Vm.readRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8)));
       break;
@@ -313,11 +316,13 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       ObjectRef V = pop(F).asRef();
       int64_t Idx = pop(F).asInt();
       ObjectRef Arr = pop(F).asRef();
+#ifndef NDEBUG
       const ObjectInfo &Info = Vm.heap().info(Arr);
       assert(Vm.types().get(Info.Type).ElemIsRef &&
              "aastore needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
+#endif
       Vm.writeRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8, V);
       break;
     }

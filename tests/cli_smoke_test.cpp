@@ -1,0 +1,80 @@
+//===- cli_smoke_test.cpp - End-to-end smoke test for the djxperf CLI ----===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the built `djxperf` binary (path passed by ctest as the first
+/// program argument) on a tiny workload and asserts that it exits 0 and
+/// emits a non-empty object-centric report.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+std::string DjxperfPath; // Set from argv in main() below.
+
+// Runs `Cmd`, capturing stdout; returns {exit status, captured output}.
+std::pair<int, std::string> run(const std::string &Cmd) {
+  std::string Out;
+  // Fold stderr in so diagnostic output shows up in test failures.
+  FILE *Pipe = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return {-1, Out};
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  int Exit = (Status >= 0 && WIFEXITED(Status)) ? WEXITSTATUS(Status) : -1;
+  return {Exit, Out};
+}
+
+TEST(CliSmoke, ListWorkloads) {
+  auto [Exit, Out] = run("'" + DjxperfPath + "' --list");
+  EXPECT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("figure1"), std::string::npos) << Out;
+}
+
+TEST(CliSmoke, RunsTinyWorkloadAndEmitsObjectReport) {
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' --period 64 --size-threshold 0 figure1");
+  ASSERT_EQ(Exit, 0) << Out;
+  // Stderr (the stats line) is folded into Out, so assert on markers only
+  // the rendered report itself produces: the header and at least one
+  // ranked object group with its allocation context.
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("#1 object"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("alloc ctx:"), std::string::npos) << Out;
+}
+
+TEST(CliSmoke, UnknownWorkloadFailsCleanly) {
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' definitely-not-a-workload");
+  EXPECT_NE(Exit, 0);
+  EXPECT_NE(Out.find("unknown workload"), std::string::npos) << Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: cli_smoke_test <path-to-djxperf-binary>\n");
+    return 2;
+  }
+  DjxperfPath = argv[1];
+  return RUN_ALL_TESTS();
+}

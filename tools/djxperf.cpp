@@ -165,9 +165,17 @@ int main(int Argc, char **Argv) {
       Agent.TrackNuma = false;
     } else if (A == "--report") {
       Report = NeedsValue("--report");
+      if (Report != "object" && Report != "code" && Report != "both") {
+        std::fprintf(stderr, "error: unknown report '%s'\n", Report.c_str());
+        return 2;
+      }
     } else if (A == "--top") {
       Top = static_cast<unsigned>(
           std::strtoul(NeedsValue("--top"), nullptr, 10));
+      if (Top == 0) {
+        std::fprintf(stderr, "error: --top must be positive\n");
+        return 2;
+      }
     } else if (A == "--html") {
       HtmlPath = NeedsValue("--html");
     } else if (A == "--write-profiles") {
