@@ -1,0 +1,225 @@
+//===- simspeed.cpp - Wall-clock simulator throughput benchmark -----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo's wall-clock perf trajectory. Unlike the figure/table benches
+/// (which report *simulated* cycles), this one measures how fast the
+/// simulator itself runs on the host: interpreter steps per second and
+/// simulated memory accesses per second, both native and under DJXPerf.
+/// Results are written to BENCH_simspeed.json so CI can archive the
+/// trajectory; every hot-path optimisation PR is measured against it.
+///
+/// Usage: bench_simspeed [--quick] [--out PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "bytecode/MethodBuilder.h"
+#include "workloads/BytecodePrograms.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace djx;
+
+namespace {
+
+/// Pre-optimisation baseline measured at the PR 2 fork point with the
+/// release preset (same container class as CI). The JSON reports current
+/// throughput against these so the trajectory is visible in one file;
+/// ratios only carry meaning on comparable hosts.
+constexpr double kBaselineInterpStepsPerSec = 87433966.0;
+constexpr double kBaselineSimAccessesPerSec = 14655322.0;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// One measured phase: best-of-N throughput plus the work/time detail of
+/// the best repetition.
+struct PhaseResult {
+  double PerSec = 0;
+  double Seconds = 0;
+  uint64_t Units = 0;
+};
+
+void keepBest(PhaseResult &Best, uint64_t Units, double Seconds) {
+  double PerSec = Seconds > 0 ? static_cast<double>(Units) / Seconds : 0;
+  if (PerSec > Best.PerSec) {
+    Best.PerSec = PerSec;
+    Best.Seconds = Seconds;
+    Best.Units = Units;
+  }
+}
+
+/// Interpreter phase: batik's makeRoom loop — method calls, allocation,
+/// a primitive-array store loop, and GC churn, i.e. every interpreter
+/// hot path at once.
+PhaseResult interpPhase(bool Profiled, int Reps, int64_t Iters,
+                        int64_t Nlen) {
+  PhaseResult Best;
+  for (int R = 0; R < Reps; ++R) {
+    VmConfig Cfg;
+    Cfg.HeapBytes = 8ULL << 20;
+    JavaVm Vm(Cfg);
+    BytecodeProgram Program = buildBatikProgram(Vm.types());
+    Program.load(Vm);
+    JavaThread &T = Vm.startThread("simspeed", 0);
+    Interpreter Interp(Vm, Program, T);
+
+    std::unique_ptr<DjxPerf> Prof;
+    if (Profiled) {
+      Prof = std::make_unique<DjxPerf>(Vm);
+      Prof->instrument(Program, Interp);
+      Prof->start();
+    }
+
+    Clock::time_point Start = Clock::now();
+    Interp.run("Main.run", {Value::fromInt(Iters), Value::fromInt(Nlen)});
+    double Seconds = secondsSince(Start);
+    if (Prof)
+      Prof->stop();
+    Vm.endThread(T);
+    keepBest(Best, Interp.stepsExecuted(), Seconds);
+  }
+  return Best;
+}
+
+/// Simulated-access phase: a pointer-free hot loop of readWord/writeWord
+/// over an array larger than L1+L2, so the cache/TLB/NUMA/PMU pipeline
+/// runs at full tilt without interpreter dispatch in the way.
+PhaseResult accessPhase(bool Profiled, int Reps, uint64_t Accesses) {
+  PhaseResult Best;
+  for (int R = 0; R < Reps; ++R) {
+    VmConfig Cfg;
+    Cfg.HeapBytes = 8ULL << 20;
+    JavaVm Vm(Cfg);
+
+    std::unique_ptr<DjxPerf> Prof;
+    if (Profiled) {
+      Prof = std::make_unique<DjxPerf>(Vm);
+      Prof->start();
+    }
+
+    JavaThread &T = Vm.startThread("simspeed", 0);
+    MethodId Main =
+        Vm.methods().getOrRegister("SimSpeed", "main", {{0, 1}});
+    FrameScope F(T, Main, 0);
+    RootScope Roots(Vm);
+    constexpr uint64_t Elems = (512 * 1024) / 8; // 512 KiB > L1+L2.
+    ObjectRef &Hot =
+        Roots.add(Vm.allocateArray(T, Vm.types().longArray(), Elems));
+
+    Clock::time_point Start = Clock::now();
+    uint64_t Acc = 0;
+    for (uint64_t I = 0; I < Accesses; ++I) {
+      uint64_t Off = (I % Elems) * 8;
+      if ((I & 7) == 0)
+        Vm.writeWord(T, Hot, Off, Acc);
+      else
+        Acc += Vm.readWord(T, Hot, Off);
+    }
+    double Seconds = secondsSince(Start);
+    uint64_t Done = Vm.machine().stats().Accesses;
+    if (Prof)
+      Prof->stop();
+    Vm.endThread(T);
+    keepBest(Best, Done, Seconds);
+  }
+  return Best;
+}
+
+void jsonPhase(std::FILE *Out, const char *Name, const PhaseResult &P,
+               bool Last = false) {
+  std::fprintf(Out,
+               "    \"%s\": { \"per_sec\": %.0f, \"units\": %llu, "
+               "\"seconds\": %.6f }%s\n",
+               Name, P.PerSec, static_cast<unsigned long long>(P.Units),
+               P.Seconds, Last ? "" : ",");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_simspeed.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  const int Reps = Quick ? 2 : 3;
+  const int64_t Iters = Quick ? 2000 : 10000;
+  const int64_t Nlen = 256;
+  const uint64_t Accesses = Quick ? 1000000 : 5000000;
+
+  std::printf("=== simspeed: simulator wall-clock throughput ===\n");
+
+  PhaseResult InterpNative = interpPhase(false, Reps, Iters, Nlen);
+  std::printf("interpreter (native):    %12.0f steps/s   (%llu steps, "
+              "%.3f s)\n",
+              InterpNative.PerSec,
+              static_cast<unsigned long long>(InterpNative.Units),
+              InterpNative.Seconds);
+
+  PhaseResult InterpProf = interpPhase(true, Reps, Iters, Nlen);
+  std::printf("interpreter (profiled):  %12.0f steps/s   (%llu steps, "
+              "%.3f s)\n",
+              InterpProf.PerSec,
+              static_cast<unsigned long long>(InterpProf.Units),
+              InterpProf.Seconds);
+
+  PhaseResult AccessNative = accessPhase(false, Reps, Accesses);
+  std::printf("sim access (native):     %12.0f accesses/s (%llu accesses, "
+              "%.3f s)\n",
+              AccessNative.PerSec,
+              static_cast<unsigned long long>(AccessNative.Units),
+              AccessNative.Seconds);
+
+  PhaseResult AccessProf = accessPhase(true, Reps, Accesses);
+  std::printf("sim access (profiled):   %12.0f accesses/s (%llu accesses, "
+              "%.3f s)\n",
+              AccessProf.PerSec,
+              static_cast<unsigned long long>(AccessProf.Units),
+              AccessProf.Seconds);
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"simspeed\",\n  \"quick\": %s,\n"
+                    "  \"metrics\": {\n",
+               Quick ? "true" : "false");
+  jsonPhase(Out, "interp_steps_per_sec", InterpNative);
+  jsonPhase(Out, "interp_steps_per_sec_profiled", InterpProf);
+  jsonPhase(Out, "sim_accesses_per_sec", AccessNative);
+  jsonPhase(Out, "sim_accesses_per_sec_profiled", AccessProf, true);
+  std::fprintf(Out,
+               "  },\n  \"baseline_pr2_preopt\": {\n"
+               "    \"interp_steps_per_sec\": %.0f,\n"
+               "    \"sim_accesses_per_sec\": %.0f\n  },\n"
+               "  \"speedup_vs_baseline\": {\n"
+               "    \"interp_steps_per_sec\": %.2f,\n"
+               "    \"sim_accesses_per_sec\": %.2f\n  }\n}\n",
+               kBaselineInterpStepsPerSec, kBaselineSimAccessesPerSec,
+               InterpNative.PerSec / kBaselineInterpStepsPerSec,
+               AccessNative.PerSec / kBaselineSimAccessesPerSec);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

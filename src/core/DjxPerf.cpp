@@ -60,8 +60,15 @@ void DjxPerf::onThreadStart(JavaThread &T) {
   if (PmuProgrammed.insert(T.id()).second) {
     for (const PerfEventAttr &Attr : Config.Events)
       T.pmu().openEvent(Attr);
+    // Devirtualised handler: a raw function pointer + stable context
+    // instead of a std::function dispatch per delivered sample.
+    SampleCtxs.push_back(SampleCtx{this, &T});
     T.pmu().setSampleHandler(
-        [this, &T](const PerfSample &S) { handleSample(T, S); });
+        [](void *Ctx, const PerfSample &S) {
+          auto *C = static_cast<SampleCtx *>(Ctx);
+          C->Prof->handleSample(*C->Thread, S);
+        },
+        &SampleCtxs.back());
   }
   if (Active)
     T.pmu().enable();

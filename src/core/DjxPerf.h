@@ -47,6 +47,7 @@
 #include "interp/Interpreter.h"
 #include "jvm/JavaVm.h"
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -155,10 +156,18 @@ private:
   void handleSample(JavaThread &T, const PerfSample &S);
   ThreadProfile &profileOf(JavaThread &T);
 
+  /// Context for the devirtualised PMU overflow handler (one per
+  /// monitored thread; deque keeps addresses stable).
+  struct SampleCtx {
+    DjxPerf *Prof;
+    JavaThread *Thread;
+  };
+
   JavaVm &Vm;
   DjxPerfConfig Config;
   LiveObjectIndex Index;
   AllocationSiteTable Sites;
+  std::deque<SampleCtx> SampleCtxs;
   std::map<uint64_t, std::unique_ptr<ThreadProfile>> Profiles;
   std::set<uint64_t> PmuProgrammed;
   bool Active = false;

@@ -6,7 +6,10 @@
 
 #include "interp/Interpreter.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace djx;
 
@@ -14,6 +17,7 @@ Interpreter::Interpreter(JavaVm &Vm, BytecodeProgram &Program,
                          JavaThread &Thread)
     : Vm(Vm), Program(Program), Thread(Thread) {
   assert(Program.isLoaded() && "program must be linked before execution");
+  Arena.resize(256);
   RootToken = Vm.addRootProvider(
       [this](std::vector<ObjectRef *> &Slots) { collectRoots(Slots); });
 }
@@ -26,28 +30,49 @@ void Interpreter::setPublishVmAllocationEvents(bool On) {
 
 void Interpreter::collectRoots(std::vector<ObjectRef *> &Slots) {
   for (Frame &F : CallStack) {
-    for (Value &V : F.Locals)
-      if (V.IsRef && V.Bits != kNullRef)
-        Slots.push_back(&V.Bits);
-    for (Value &V : F.Stack)
-      if (V.IsRef && V.Bits != kNullRef)
-        Slots.push_back(&V.Bits);
+    Value *L = Arena.data() + F.LocalsBase;
+    for (uint32_t I = 0, N = F.M->NumLocals; I < N; ++I)
+      if (L[I].IsRef && L[I].Bits != kNullRef)
+        Slots.push_back(&L[I].Bits);
+    Value *S = Arena.data() + F.StackBase;
+    for (uint32_t I = 0, N = F.Sp; I < N; ++I)
+      if (S[I].IsRef && S[I].Bits != kNullRef)
+        Slots.push_back(&S[I].Bits);
   }
 }
 
-Value Interpreter::pop(Frame &F) {
-  assert(!F.Stack.empty() && "operand stack underflow");
-  Value V = F.Stack.back();
-  F.Stack.pop_back();
-  return V;
+void Interpreter::growArena(size_t Needed) {
+  Arena.resize(std::max(Arena.size() * 2, Needed));
 }
 
-Value &Interpreter::peek(Frame &F) {
-  assert(!F.Stack.empty() && "operand stack underflow");
-  return F.Stack.back();
+Interpreter::Frame &Interpreter::pushActivation(size_t MethodIndex,
+                                                uint32_t ArgsBase) {
+  const BytecodeMethod &M = Program.method(MethodIndex);
+  size_t Needed = static_cast<size_t>(ArgsBase) + M.NumLocals;
+  if (Needed > Arena.size())
+    growArena(Needed);
+  // Non-argument locals start zeroed (and must: the GC scans them).
+  std::fill(Arena.begin() + ArgsBase + M.NumArgs,
+            Arena.begin() + ArgsBase + M.NumLocals, Value{});
+  Frame F;
+  F.M = &M;
+  F.MethodIndex = MethodIndex;
+  F.LocalsBase = ArgsBase;
+  F.StackBase = ArgsBase + M.NumLocals;
+  F.Sp = 0;
+  F.Pc = 0;
+  CallStack.push_back(F);
+  ArenaTop = F.StackBase;
+  return CallStack.back();
 }
 
-void Interpreter::push(Frame &F, Value V) { F.Stack.push_back(V); }
+void Interpreter::fatalStepLimit() const {
+  std::fprintf(stderr,
+               "djx: interpreter step limit (%llu) exceeded; aborting "
+               "(runaway loop?)\n",
+               static_cast<unsigned long long>(StepLimit));
+  std::abort();
+}
 
 std::optional<Value> Interpreter::run(const std::string &QualifiedName,
                                       const std::vector<Value> &Args) {
@@ -56,69 +81,121 @@ std::optional<Value> Interpreter::run(const std::string &QualifiedName,
 
 std::optional<Value> Interpreter::execute(size_t MethodIndex,
                                           const std::vector<Value> &Args) {
-  const BytecodeMethod &M = Program.method(MethodIndex);
-  assert(Args.size() == M.NumArgs && "argument count mismatch");
-
-  CallStack.emplace_back();
-  size_t FrameIdx = CallStack.size() - 1;
   {
-    Frame &F = CallStack.back();
-    F.MethodIndex = MethodIndex;
-    F.M = &M;
-    F.Locals.resize(M.NumLocals);
-    for (size_t I = 0; I < Args.size(); ++I)
-      F.Locals[I] = Args[I];
+    const BytecodeMethod &M0 = Program.method(MethodIndex);
+    assert(Args.size() == M0.NumArgs && "argument count mismatch");
+    (void)M0;
   }
-  Thread.pushFrame(M.RegistryId, 0);
+  const size_t BaseDepth = CallStack.size();
+  const uint32_t BaseTop = ArenaTop;
+  // The step limit is per run(): budget from the cumulative counter at
+  // top-level entry (nested entries inherit the outer budget).
+  if (BaseDepth == 0)
+    StepDeadline =
+        Steps > ~0ULL - StepLimit ? ~0ULL : Steps + StepLimit;
 
-  while (CallStack[FrameIdx].Pc < M.Code.size()) {
-    // Re-fetch each iteration: a recursive execute() inside Invoke may
-    // reallocate CallStack and invalidate frame references.
-    Frame &F = CallStack[FrameIdx];
-    ++Steps;
-    assert(Steps <= StepLimit && "interpreter step limit exceeded");
-    const Instruction &I = M.Code[F.Pc];
-    Thread.setBci(static_cast<uint32_t>(F.Pc));
+  // Materialise the entry arguments in the arena, then push the activation
+  // over them (pushActivation treats them as in-place locals 0..N-1).
+  if (ArenaTop + Args.size() > Arena.size())
+    growArena(ArenaTop + Args.size());
+  std::copy(Args.begin(), Args.end(), Arena.begin() + ArenaTop);
+  {
+    Frame &F0 = pushActivation(MethodIndex, BaseTop);
+    Thread.pushFrame(F0.M->RegistryId, 0);
+  }
+
+  // Cached execution registers for the top frame; Reload refreshes them
+  // after any frame switch or arena growth, SyncTop publishes them back
+  // before anything that can trigger a GC (the root scan reads frames).
+  Frame *F = nullptr;
+  const Instruction *Code = nullptr;
+  uint32_t CodeSize = 0;
+  Value *L = nullptr; // Locals base.
+  Value *S = nullptr; // Operand stack base.
+  uint32_t Sp = 0;
+  uint32_t Pc = 0;
+
+  auto Reload = [&] {
+    F = &CallStack.back();
+    Code = F->M->Code.data();
+    CodeSize = static_cast<uint32_t>(F->M->Code.size());
+    L = Arena.data() + F->LocalsBase;
+    S = Arena.data() + F->StackBase;
+    Sp = F->Sp;
+    Pc = F->Pc;
+    ArenaTop = F->StackBase + Sp;
+  };
+  auto SyncTop = [&] {
+    F->Pc = Pc;
+    F->Sp = Sp;
+    ArenaTop = F->StackBase + Sp;
+  };
+  auto Push = [&](Value V) {
+    if (static_cast<size_t>(F->StackBase) + Sp == Arena.size()) {
+      SyncTop();
+      growArena(Arena.size() + 1);
+      Reload();
+    }
+    S[Sp++] = V;
+  };
+  auto Pop = [&]() -> Value {
+    assert(Sp > 0 && "operand stack underflow");
+    return S[--Sp];
+  };
+  Reload();
+
+  for (;;) {
+    if (Pc >= CodeSize) {
+      assert(false && "fell off the end of a method (verifier should catch)");
+      std::fprintf(stderr, "djx: control fell off the end of %s\n",
+                   F->M->qualifiedName().c_str());
+      std::abort();
+    }
+    if (++Steps > StepDeadline)
+      fatalStepLimit();
+    const Instruction &I = Code[Pc];
+    Thread.setBci(Pc);
     Vm.tick(Thread, 1);
-    size_t NextPc = F.Pc + 1;
+    uint32_t NextPc = Pc + 1;
 
     switch (I.Op) {
     case Opcode::Nop:
       break;
     case Opcode::IConst:
-      push(F, Value::fromInt(I.A));
+      Push(Value::fromInt(I.A));
       break;
     case Opcode::ILoad:
-      assert(!F.Locals[I.A].IsRef && "iload of a reference slot");
-      push(F, F.Locals[I.A]);
+      assert(!L[I.A].IsRef && "iload of a reference slot");
+      Push(L[I.A]);
       break;
     case Opcode::IStore: {
-      Value V = pop(F);
+      Value V = Pop();
       assert(!V.IsRef && "istore of a reference");
-      F.Locals[I.A] = V;
+      L[I.A] = V;
       break;
     }
     case Opcode::ALoad:
-      assert((F.Locals[I.A].IsRef || F.Locals[I.A].Bits == kNullRef) &&
+      assert((L[I.A].IsRef || L[I.A].Bits == kNullRef) &&
              "aload of a non-reference slot");
-      push(F, Value::fromRef(F.Locals[I.A].Bits));
+      Push(Value::fromRef(L[I.A].Bits));
       break;
     case Opcode::AStore: {
-      Value V = pop(F);
+      Value V = Pop();
       assert(V.IsRef && "astore of a non-reference");
-      F.Locals[I.A] = V;
+      L[I.A] = V;
       break;
     }
     case Opcode::Pop:
-      pop(F);
+      Pop();
       break;
     case Opcode::Dup:
-      push(F, peek(F));
+      assert(Sp > 0 && "operand stack underflow");
+      Push(S[Sp - 1]);
       break;
     case Opcode::Swap: {
-      Value B = pop(F), A = pop(F);
-      push(F, B);
-      push(F, A);
+      Value B = Pop(), A = Pop();
+      Push(B);
+      Push(A);
       break;
     }
     case Opcode::IAdd:
@@ -131,8 +208,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
     case Opcode::IXor:
     case Opcode::IShl:
     case Opcode::IShr: {
-      int64_t B = pop(F).asInt();
-      int64_t A = pop(F).asInt();
+      int64_t B = Pop().asInt();
+      int64_t A = Pop().asInt();
       int64_t R = 0;
       switch (I.Op) {
       case Opcode::IAdd:
@@ -170,30 +247,30 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       default:
         assert(false && "unreachable");
       }
-      push(F, Value::fromInt(R));
+      Push(Value::fromInt(R));
       break;
     }
     case Opcode::INeg:
-      push(F, Value::fromInt(-pop(F).asInt()));
+      Push(Value::fromInt(-Pop().asInt()));
       break;
     case Opcode::Goto:
-      NextPc = static_cast<size_t>(I.A);
+      NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfEq:
-      if (pop(F).asInt() == 0)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asInt() == 0)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfNe:
-      if (pop(F).asInt() != 0)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asInt() != 0)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfLt:
-      if (pop(F).asInt() < 0)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asInt() < 0)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfGe:
-      if (pop(F).asInt() >= 0)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asInt() >= 0)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfICmpEq:
     case Opcode::IfICmpNe:
@@ -201,8 +278,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
     case Opcode::IfICmpGe:
     case Opcode::IfICmpGt:
     case Opcode::IfICmpLe: {
-      int64_t B = pop(F).asInt();
-      int64_t A = pop(F).asInt();
+      int64_t B = Pop().asInt();
+      int64_t A = Pop().asInt();
       bool Taken = false;
       switch (I.Op) {
       case Opcode::IfICmpEq:
@@ -227,49 +304,60 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
         assert(false && "unreachable");
       }
       if (Taken)
-        NextPc = static_cast<size_t>(I.A);
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     }
     case Opcode::IfNull:
-      if (pop(F).asRef() == kNullRef)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asRef() == kNullRef)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
     case Opcode::IfNonNull:
-      if (pop(F).asRef() != kNullRef)
-        NextPc = static_cast<size_t>(I.A);
+      if (Pop().asRef() != kNullRef)
+        NextPc = static_cast<uint32_t>(I.A);
       break;
-    case Opcode::New:
-      push(F, Value::fromRef(Vm.allocateObject(
-                 Thread, static_cast<TypeId>(I.A))));
+    case Opcode::New: {
+      SyncTop();
+      ObjectRef Obj = Vm.allocateObject(Thread, static_cast<TypeId>(I.A));
+      // Reload: an allocation-event observer may have re-entered run()
+      // and grown the arena under the cached pointers.
+      Reload();
+      Push(Value::fromRef(Obj));
       break;
+    }
     case Opcode::NewArray:
     case Opcode::ANewArray: {
-      int64_t Len = pop(F).asInt();
+      int64_t Len = Pop().asInt();
       assert(Len >= 0 && "negative array length");
-      push(F, Value::fromRef(Vm.allocateArray(
-                 Thread, static_cast<TypeId>(I.A),
-                 static_cast<uint64_t>(Len))));
+      SyncTop();
+      ObjectRef Obj = Vm.allocateArray(Thread, static_cast<TypeId>(I.A),
+                                       static_cast<uint64_t>(Len));
+      Reload();
+      Push(Value::fromRef(Obj));
       break;
     }
     case Opcode::MultiANewArray: {
       std::vector<uint64_t> Dims(static_cast<size_t>(I.B));
       for (size_t D = Dims.size(); D-- > 0;) {
-        int64_t Len = pop(F).asInt();
+        int64_t Len = Pop().asInt();
         assert(Len >= 0 && "negative array length");
         Dims[D] = static_cast<uint64_t>(Len);
       }
-      push(F, Value::fromRef(Vm.allocateMultiArray(
-                 Thread, static_cast<TypeId>(I.A), Dims)));
+      SyncTop();
+      ObjectRef Obj = Vm.allocateMultiArray(
+          Thread, static_cast<TypeId>(I.A), Dims);
+      Reload();
+      Push(Value::fromRef(Obj));
       break;
     }
     case Opcode::PALoad: {
-      int64_t Idx = pop(F).asInt();
-      ObjectRef Arr = pop(F).asRef();
-      const ObjectInfo &Info = Vm.heap().info(Arr);
-      const TypeDescriptor &Desc = Vm.types().get(Info.Type);
+      int64_t Idx = Pop().asInt();
+      ObjectRef Arr = Pop().asRef();
+      const ObjectInfo &Info = Vm.objectInfo(Arr);
+      const TypeDescriptor &Desc = Vm.objectType(Arr);
       assert(Desc.IsArray && !Desc.ElemIsRef && "paload needs a prim array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
+      (void)Info;
       uint64_t Off = static_cast<uint64_t>(Idx) * Desc.ElemSize;
       uint64_t V = 0;
       if (Desc.ElemSize == 1)
@@ -278,18 +366,19 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
         V = Vm.readU32(Thread, Arr, Off);
       else
         V = Vm.readWord(Thread, Arr, Off);
-      push(F, Value::fromInt(static_cast<int64_t>(V)));
+      Push(Value::fromInt(static_cast<int64_t>(V)));
       break;
     }
     case Opcode::PAStore: {
-      uint64_t V = static_cast<uint64_t>(pop(F).asInt());
-      int64_t Idx = pop(F).asInt();
-      ObjectRef Arr = pop(F).asRef();
-      const ObjectInfo &Info = Vm.heap().info(Arr);
-      const TypeDescriptor &Desc = Vm.types().get(Info.Type);
+      uint64_t V = static_cast<uint64_t>(Pop().asInt());
+      int64_t Idx = Pop().asInt();
+      ObjectRef Arr = Pop().asRef();
+      const ObjectInfo &Info = Vm.objectInfo(Arr);
+      const TypeDescriptor &Desc = Vm.objectType(Arr);
       assert(Desc.IsArray && !Desc.ElemIsRef && "pastore needs a prim array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
+      (void)Info;
       uint64_t Off = static_cast<uint64_t>(Idx) * Desc.ElemSize;
       if (Desc.ElemSize == 1)
         Vm.writeU8(Thread, Arr, Off, static_cast<uint8_t>(V));
@@ -300,26 +389,25 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       break;
     }
     case Opcode::AALoad: {
-      int64_t Idx = pop(F).asInt();
-      ObjectRef Arr = pop(F).asRef();
+      int64_t Idx = Pop().asInt();
+      ObjectRef Arr = Pop().asRef();
 #ifndef NDEBUG
-      const ObjectInfo &Info = Vm.heap().info(Arr);
-      assert(Vm.types().get(Info.Type).ElemIsRef && "aaload needs ref array");
+      const ObjectInfo &Info = Vm.objectInfo(Arr);
+      assert(Vm.objectType(Arr).ElemIsRef && "aaload needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
 #endif
-      push(F, Value::fromRef(
-                 Vm.readRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8)));
+      Push(Value::fromRef(
+          Vm.readRef(Thread, Arr, static_cast<uint64_t>(Idx) * 8)));
       break;
     }
     case Opcode::AAStore: {
-      ObjectRef V = pop(F).asRef();
-      int64_t Idx = pop(F).asInt();
-      ObjectRef Arr = pop(F).asRef();
+      ObjectRef V = Pop().asRef();
+      int64_t Idx = Pop().asInt();
+      ObjectRef Arr = Pop().asRef();
 #ifndef NDEBUG
-      const ObjectInfo &Info = Vm.heap().info(Arr);
-      assert(Vm.types().get(Info.Type).ElemIsRef &&
-             "aastore needs ref array");
+      const ObjectInfo &Info = Vm.objectInfo(Arr);
+      assert(Vm.objectType(Arr).ElemIsRef && "aastore needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
 #endif
@@ -327,24 +415,23 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       break;
     }
     case Opcode::ArrayLength: {
-      ObjectRef Arr = pop(F).asRef();
+      ObjectRef Arr = Pop().asRef();
       // Length lives in the header word; touching it is a real access.
       Vm.readWord(Thread, Arr, 0);
-      push(F, Value::fromInt(
-                 static_cast<int64_t>(Vm.heap().info(Arr).Length)));
+      Push(Value::fromInt(static_cast<int64_t>(Vm.objectInfo(Arr).Length)));
       break;
     }
     case Opcode::GetField: {
-      ObjectRef Obj = pop(F).asRef();
+      ObjectRef Obj = Pop().asRef();
       uint64_t V = I.B == 4
                        ? Vm.readU32(Thread, Obj, static_cast<uint64_t>(I.A))
                        : Vm.readWord(Thread, Obj, static_cast<uint64_t>(I.A));
-      push(F, Value::fromInt(static_cast<int64_t>(V)));
+      Push(Value::fromInt(static_cast<int64_t>(V)));
       break;
     }
     case Opcode::PutField: {
-      uint64_t V = static_cast<uint64_t>(pop(F).asInt());
-      ObjectRef Obj = pop(F).asRef();
+      uint64_t V = static_cast<uint64_t>(Pop().asInt());
+      ObjectRef Obj = Pop().asRef();
       if (I.B == 4)
         Vm.writeU32(Thread, Obj, static_cast<uint64_t>(I.A),
                     static_cast<uint32_t>(V));
@@ -353,14 +440,14 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       break;
     }
     case Opcode::GetRefField: {
-      ObjectRef Obj = pop(F).asRef();
-      push(F, Value::fromRef(
-                 Vm.readRef(Thread, Obj, static_cast<uint64_t>(I.A))));
+      ObjectRef Obj = Pop().asRef();
+      Push(Value::fromRef(
+          Vm.readRef(Thread, Obj, static_cast<uint64_t>(I.A))));
       break;
     }
     case Opcode::PutRefField: {
-      ObjectRef V = pop(F).asRef();
-      ObjectRef Obj = pop(F).asRef();
+      ObjectRef V = Pop().asRef();
+      ObjectRef Obj = Pop().asRef();
       Vm.writeRef(Thread, Obj, static_cast<uint64_t>(I.A), V);
       break;
     }
@@ -369,50 +456,64 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       const BytecodeMethod &CM = Program.method(Callee);
       assert(static_cast<uint32_t>(I.B) == CM.NumArgs &&
              "invoke argument count mismatch");
-      std::vector<Value> CallArgs(CM.NumArgs);
-      for (size_t AI = CallArgs.size(); AI-- > 0;)
-        CallArgs[AI] = pop(F);
-      // `F` dangles across execute() (CallStack may reallocate); use the
-      // stable index to touch our frame afterwards.
-      std::optional<Value> RV = execute(Callee, CallArgs);
-      Frame &Self = CallStack[FrameIdx];
-      if (RV)
-        push(Self, *RV);
-      Self.Pc = NextPc;
+      assert(Sp >= CM.NumArgs && "operand stack underflow at invoke");
+      // Consume the arguments in place: they become the callee's first
+      // locals without being copied (the activation overlaps them).
+      Sp -= CM.NumArgs;
+      F->Pc = NextPc;
+      F->Sp = Sp;
+      uint32_t ArgsBase = F->StackBase + Sp;
+      Frame &NF = pushActivation(Callee, ArgsBase);
+      Thread.pushFrame(CM.RegistryId, 0);
+      (void)NF;
+      Reload();
       continue;
     }
     case Opcode::Return:
-      Thread.popFrame();
-      CallStack.pop_back();
-      return std::nullopt;
-    case Opcode::IReturn: {
-      Value V = pop(F);
-      assert(!V.IsRef && "ireturn of a reference");
-      Thread.popFrame();
-      CallStack.pop_back();
-      return V;
-    }
+    case Opcode::IReturn:
     case Opcode::AReturn: {
-      Value V = pop(F);
-      assert(V.IsRef && "areturn of a non-reference");
+      bool HasValue = I.Op != Opcode::Return;
+      Value RV;
+      if (HasValue) {
+        RV = Pop();
+        assert((I.Op == Opcode::IReturn ? !RV.IsRef : RV.IsRef) &&
+               "return value tag mismatch");
+      }
       Thread.popFrame();
       CallStack.pop_back();
-      return V;
+      if (CallStack.size() == BaseDepth) {
+        ArenaTop = BaseTop;
+        if (HasValue)
+          return RV;
+        return std::nullopt;
+      }
+      Reload(); // Caller frame: Pc already advanced past the Invoke.
+      if (HasValue)
+        Push(RV);
+      continue;
     }
     case Opcode::AllocHookPre:
-      if (Hooks.Pre)
+      if (Hooks.Pre) {
+        // Sync/reload around the dispatch: a hook may re-enter run() (the
+        // old recursive interpreter allowed it), which needs fresh frame
+        // state and may grow the arena under our cached pointers.
+        SyncTop();
         Hooks.Pre(static_cast<uint64_t>(I.A));
+        Reload();
+      }
       break;
     case Opcode::AllocHookPost:
       if (Hooks.Post) {
-        Value &Top = peek(F);
-        assert(Top.IsRef && "allochook_post expects the fresh ref on TOS");
-        Hooks.Post(static_cast<uint64_t>(I.A), Top.asRef());
+        assert(Sp > 0 && "operand stack underflow");
+        assert(S[Sp - 1].IsRef &&
+               "allochook_post expects the fresh ref on TOS");
+        ObjectRef Fresh = S[Sp - 1].asRef();
+        SyncTop();
+        Hooks.Post(static_cast<uint64_t>(I.A), Fresh);
+        Reload();
       }
       break;
     }
-    F.Pc = NextPc;
+    Pc = NextPc;
   }
-  assert(false && "fell off the end of a method (verifier should catch)");
-  return std::nullopt;
 }

@@ -12,6 +12,15 @@
 /// positions. Interpreter frames are GC roots via a root provider, so a
 /// collection triggered mid-execution relocates live operands correctly.
 ///
+/// Execution is a flat frame loop over a contiguous Value arena: every
+/// activation's locals and operand stack are slices of one growable
+/// buffer, and Invoke pushes a frame whose locals alias the caller's
+/// argument slots (zero-copy argument passing, as on a real JVM stack).
+/// There is no C++ recursion and no per-call heap allocation.
+/// Re-entering run() from an allocation hook or a JVMTI allocation
+/// observer is supported (the frame state is synced around those
+/// dispatches); re-entering from a PMU overflow handler is not.
+///
 /// The AllocHookPre/AllocHookPost pseudo-instructions inserted by the
 /// instrumenter dispatch to registered hooks — the runtime half of the
 /// paper's ASM-based Java agent.
@@ -78,6 +87,7 @@ public:
                            const std::vector<Value> &Args = {});
 
   /// Upper bound on executed instructions per run() (runaway-loop guard).
+  /// Enforced in every build mode; exceeding it is a fatal error.
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
 
   uint64_t stepsExecuted() const { return Steps; }
@@ -86,30 +96,48 @@ public:
   JavaVm &vm() { return Vm; }
 
 private:
+  /// One activation record. Locals and operand stack are slices of the
+  /// shared arena: locals at [LocalsBase, LocalsBase + M->NumLocals),
+  /// operands at [StackBase, StackBase + Sp).
   struct Frame {
-    size_t MethodIndex = 0;
     const BytecodeMethod *M = nullptr;
-    std::vector<Value> Locals;
-    std::vector<Value> Stack;
-    size_t Pc = 0;
+    size_t MethodIndex = 0;
+    uint32_t LocalsBase = 0;
+    uint32_t StackBase = 0;
+    uint32_t Sp = 0;
+    uint32_t Pc = 0;
   };
 
   std::optional<Value> execute(size_t MethodIndex,
                                const std::vector<Value> &Args);
   void collectRoots(std::vector<ObjectRef *> &Slots);
 
-  Value pop(Frame &F);
-  Value &peek(Frame &F);
-  void push(Frame &F, Value V);
+  /// Pushes the activation of \p MethodIndex whose arguments already sit
+  /// at [ArgsBase, ArgsBase + NumArgs) in the arena; zero-fills the
+  /// remaining locals and claims arena space up to the operand stack base.
+  Frame &pushActivation(size_t MethodIndex, uint32_t ArgsBase);
+
+  /// Grows the arena to hold at least \p Needed slots (geometric).
+  void growArena(size_t Needed);
+
+  [[noreturn]] void fatalStepLimit() const;
 
   JavaVm &Vm;
   BytecodeProgram &Program;
   JavaThread &Thread;
   AllocationHooks Hooks;
+  /// Contiguous locals + operand-stack storage for all live frames.
+  std::vector<Value> Arena;
+  /// First free arena slot (top frame's stack end, kept in sync at any
+  /// point where a GC can occur).
+  uint32_t ArenaTop = 0;
   std::vector<Frame> CallStack;
   uint64_t RootToken = 0;
   uint64_t StepLimit = 1ULL << 32;
   uint64_t Steps = 0;
+  /// Cumulative Steps value at which the current run() overruns its
+  /// per-run StepLimit (saturated; recomputed at each top-level entry).
+  uint64_t StepDeadline = ~0ULL;
 };
 
 } // namespace djx

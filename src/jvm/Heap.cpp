@@ -65,30 +65,6 @@ ObjectRef Heap::objectContaining(uint64_t Addr) const {
   return kNullRef;
 }
 
-uint64_t Heap::rawReadWord(uint64_t Addr) const {
-  assert(Addr + 8 <= Capacity && "read out of arena");
-  uint64_t V;
-  std::memcpy(&V, &Arena[Addr], 8);
-  return V;
-}
-
-void Heap::rawWriteWord(uint64_t Addr, uint64_t Value) {
-  assert(Addr + 8 <= Capacity && "write out of arena");
-  std::memcpy(&Arena[Addr], &Value, 8);
-}
-
-uint32_t Heap::rawReadU32(uint64_t Addr) const {
-  assert(Addr + 4 <= Capacity && "read out of arena");
-  uint32_t V;
-  std::memcpy(&V, &Arena[Addr], 4);
-  return V;
-}
-
-void Heap::rawWriteU32(uint64_t Addr, uint32_t Value) {
-  assert(Addr + 4 <= Capacity && "write out of arena");
-  std::memcpy(&Arena[Addr], &Value, 4);
-}
-
 void Heap::rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size) {
   assert(Dst + Size <= Capacity && Src + Size <= Capacity &&
          "memmove out of arena");

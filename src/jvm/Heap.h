@@ -17,7 +17,9 @@
 
 #include "jvm/ObjectModel.h"
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -45,11 +47,28 @@ public:
 
   /// Raw (unsimulated) little-endian word access into the arena. The
   /// simulated access path lives in JavaVm; these are used by the GC and by
-  /// value plumbing after the access has been charged.
-  uint64_t rawReadWord(uint64_t Addr) const;
-  void rawWriteWord(uint64_t Addr, uint64_t Value);
-  uint32_t rawReadU32(uint64_t Addr) const;
-  void rawWriteU32(uint64_t Addr, uint32_t Value);
+  /// value plumbing after the access has been charged. Inline: they are the
+  /// tail of every simulated load/store.
+  uint64_t rawReadWord(uint64_t Addr) const {
+    assert(Addr + 8 <= Capacity && "read out of arena");
+    uint64_t V;
+    std::memcpy(&V, &Arena[Addr], 8);
+    return V;
+  }
+  void rawWriteWord(uint64_t Addr, uint64_t Value) {
+    assert(Addr + 8 <= Capacity && "write out of arena");
+    std::memcpy(&Arena[Addr], &Value, 8);
+  }
+  uint32_t rawReadU32(uint64_t Addr) const {
+    assert(Addr + 4 <= Capacity && "read out of arena");
+    uint32_t V;
+    std::memcpy(&V, &Arena[Addr], 4);
+    return V;
+  }
+  void rawWriteU32(uint64_t Addr, uint32_t Value) {
+    assert(Addr + 4 <= Capacity && "write out of arena");
+    std::memcpy(&Arena[Addr], &Value, 4);
+  }
 
   /// memmove within the arena; the GC's object-move primitive.
   void rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size);

@@ -43,67 +43,11 @@ std::vector<JavaThread *> JavaVm::allThreads() {
   return Out;
 }
 
-void JavaVm::simulateAccess(JavaThread &T, uint64_t Addr) {
-  AccessResult R = Machine.accessMemory(T.cpu(), Addr);
-  T.addCycles(1 + R.LatencyCycles);
-  T.pmu().observeAccess(T.cpu(), Addr, R);
-}
-
-void JavaVm::checkAccess(const JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                         uint64_t Width) const {
-  (void)T;
-  (void)Obj;
-  (void)Offset;
-  (void)Width;
-  assert(Obj != kNullRef && "null dereference");
-  assert(TheHeap.isObjectStart(Obj) && "access to a non-object");
-  assert(Offset + Width <= TheHeap.info(Obj).Size &&
-         "access beyond object bounds");
-}
-
-uint8_t JavaVm::readU8(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
-  checkAccess(T, Obj, Offset, 1);
-  simulateAccess(T, Obj + Offset);
-  return static_cast<uint8_t>(TheHeap.rawReadU32((Obj + Offset) & ~3ULL) >>
-                              (((Obj + Offset) & 3) * 8));
-}
-
-void JavaVm::writeU8(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                     uint8_t Value) {
-  checkAccess(T, Obj, Offset, 1);
-  simulateAccess(T, Obj + Offset);
-  uint64_t Addr = (Obj + Offset) & ~3ULL;
-  uint32_t Shift = static_cast<uint32_t>(((Obj + Offset) & 3) * 8);
-  uint32_t Old = TheHeap.rawReadU32(Addr);
-  uint32_t New = (Old & ~(0xFFU << Shift)) |
-                 (static_cast<uint32_t>(Value) << Shift);
-  TheHeap.rawWriteU32(Addr, New);
-}
-
-uint64_t JavaVm::readWord(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
-  checkAccess(T, Obj, Offset, 8);
-  simulateAccess(T, Obj + Offset);
-  return TheHeap.rawReadWord(Obj + Offset);
-}
-
-void JavaVm::writeWord(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                       uint64_t Value) {
-  checkAccess(T, Obj, Offset, 8);
-  simulateAccess(T, Obj + Offset);
-  TheHeap.rawWriteWord(Obj + Offset, Value);
-}
-
-uint32_t JavaVm::readU32(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
-  checkAccess(T, Obj, Offset, 4);
-  simulateAccess(T, Obj + Offset);
-  return TheHeap.rawReadU32(Obj + Offset);
-}
-
-void JavaVm::writeU32(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                      uint32_t Value) {
-  checkAccess(T, Obj, Offset, 4);
-  simulateAccess(T, Obj + Offset);
-  TheHeap.rawWriteU32(Obj + Offset, Value);
+// Object-header memo refill: the inline objectInfo() calls this only when
+// the request misses the memo.
+void JavaVm::refreshObjectMemo(ObjectRef Obj) {
+  MemoInfo = &TheHeap.info(Obj);
+  MemoObj = Obj;
 }
 
 double JavaVm::readDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
@@ -118,17 +62,6 @@ void JavaVm::writeDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset,
   uint64_t Bits;
   std::memcpy(&Bits, &Value, 8);
   writeWord(T, Obj, Offset, Bits);
-}
-
-ObjectRef JavaVm::readRef(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
-  return readWord(T, Obj, Offset);
-}
-
-void JavaVm::writeRef(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                      ObjectRef Value) {
-  assert((Value == kNullRef || TheHeap.isObjectStart(Value)) &&
-         "storing a bad reference");
-  writeWord(T, Obj, Offset, Value);
 }
 
 void JavaVm::arrayCopy(JavaThread &T, ObjectRef Src, uint64_t SrcOff,
@@ -256,8 +189,10 @@ GcStats JavaVm::requestGc() {
     Fn(Slots);
   }
   GcStats S = Collector.collect(Slots);
-  // Compaction rearranged memory behind the caches' back; drop the close
-  // levels but keep the large shared L3 warm (see flushCaches).
+  // Compaction moved objects and rewrote the side table: the header memo
+  // is stale, and the close cache levels saw none of it; drop both but
+  // keep the large shared L3 warm (see flushCaches).
+  invalidateObjectMemo();
   Machine.flushCaches(/*IncludeL3=*/false);
   return S;
 }

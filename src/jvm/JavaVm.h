@@ -89,20 +89,71 @@ public:
                                const std::vector<uint64_t> &Dims);
 
   // --- Simulated memory access -------------------------------------------
-  uint8_t readU8(JavaThread &T, ObjectRef Obj, uint64_t Offset);
-  void writeU8(JavaThread &T, ObjectRef Obj, uint64_t Offset, uint8_t Value);
-  uint64_t readWord(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  // All sized accessors are inline one-liners over the same path: bounds
+  // asserts, one simulated access, then a raw arena read/write. Keeping
+  // them in the header lets the compiler fold the whole stack of calls
+  // (interpreter -> JavaVm -> Heap/PMU) into straight-line code.
+  uint8_t readU8(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+    preAccess(T, Obj, Offset, 1);
+    uint64_t A = Obj + Offset;
+    return static_cast<uint8_t>(TheHeap.rawReadU32(A & ~3ULL) >>
+                                ((A & 3) * 8));
+  }
+  void writeU8(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+               uint8_t Value) {
+    preAccess(T, Obj, Offset, 1);
+    uint64_t A = (Obj + Offset) & ~3ULL;
+    uint32_t Shift = static_cast<uint32_t>(((Obj + Offset) & 3) * 8);
+    uint32_t Old = TheHeap.rawReadU32(A);
+    TheHeap.rawWriteU32(A, (Old & ~(0xFFU << Shift)) |
+                               (static_cast<uint32_t>(Value) << Shift));
+  }
+  uint64_t readWord(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+    preAccess(T, Obj, Offset, 8);
+    return TheHeap.rawReadWord(Obj + Offset);
+  }
   void writeWord(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                 uint64_t Value);
-  uint32_t readU32(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+                 uint64_t Value) {
+    preAccess(T, Obj, Offset, 8);
+    TheHeap.rawWriteWord(Obj + Offset, Value);
+  }
+  uint32_t readU32(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+    preAccess(T, Obj, Offset, 4);
+    return TheHeap.rawReadU32(Obj + Offset);
+  }
   void writeU32(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                uint32_t Value);
+                uint32_t Value) {
+    preAccess(T, Obj, Offset, 4);
+    TheHeap.rawWriteU32(Obj + Offset, Value);
+  }
   double readDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset);
   void writeDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset,
                    double Value);
-  ObjectRef readRef(JavaThread &T, ObjectRef Obj, uint64_t Offset);
+  ObjectRef readRef(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
+    return readWord(T, Obj, Offset);
+  }
   void writeRef(JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                ObjectRef Value);
+                ObjectRef Value) {
+    assert((Value == kNullRef || TheHeap.isObjectStart(Value)) &&
+           "storing a bad reference");
+    writeWord(T, Obj, Offset, Value);
+  }
+
+  /// Memoised object-header resolution: returns the same metadata as
+  /// heap().info(Obj) but caches the last resolved object, so array loops
+  /// re-resolving one header pay a pointer compare instead of a map walk.
+  /// The memo is dropped when a GC rewrites the object table.
+  const ObjectInfo &objectInfo(ObjectRef Obj) {
+    if (Obj != MemoObj)
+      refreshObjectMemo(Obj);
+    return *MemoInfo;
+  }
+  /// Type descriptor of \p Obj via the same memo (indexing the registry is
+  /// cheap; descriptors are not cached because defining a new type mid-run
+  /// may relocate them).
+  const TypeDescriptor &objectType(ObjectRef Obj) {
+    return Types.get(objectInfo(Obj).Type);
+  }
 
   /// System.arraycopy analogue: word-granularity copy with simulated
   /// accesses on both source and destination.
@@ -147,11 +198,40 @@ private:
   /// touch, as on a real JVM.
   void touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size);
 
-  /// One simulated access of any width.
-  void simulateAccess(JavaThread &T, uint64_t Addr);
+  /// One simulated access of any width (inline: every load/store funnels
+  /// through here).
+  void simulateAccess(JavaThread &T, uint64_t Addr) {
+    AccessResult R = Machine.accessMemory(T.cpu(), Addr);
+    T.addCycles(1 + R.LatencyCycles);
+    T.pmu().observeAccess(T.cpu(), Addr, R);
+  }
+
+  /// Debug-build bounds/liveness checks followed by the simulated access;
+  /// the shared head of every sized accessor.
+  void preAccess(JavaThread &T, ObjectRef Obj, uint64_t Offset,
+                 uint64_t Width) {
+    checkAccess(T, Obj, Offset, Width);
+    simulateAccess(T, Obj + Offset);
+  }
 
   void checkAccess(const JavaThread &T, ObjectRef Obj, uint64_t Offset,
-                   uint64_t Width) const;
+                   uint64_t Width) const {
+    (void)T;
+    (void)Obj;
+    (void)Offset;
+    (void)Width;
+    assert(Obj != kNullRef && "null dereference");
+    assert(TheHeap.isObjectStart(Obj) && "access to a non-object");
+    assert(Offset + Width <= TheHeap.info(Obj).Size &&
+           "access beyond object bounds");
+  }
+
+  /// Re-points the object memo at \p Obj (out of line: map walk).
+  void refreshObjectMemo(ObjectRef Obj);
+  void invalidateObjectMemo() {
+    MemoObj = kNullRef;
+    MemoInfo = nullptr;
+  }
 
   ObjectRef allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
                         uint64_t Length);
@@ -170,6 +250,10 @@ private:
   uint64_t NextProviderToken = 1;
   uint32_t NextCpu = 0;
   bool AllocationEventsOn = true;
+  /// Last object resolved by objectInfo(); MemoInfo points into the heap's
+  /// side table (node-stable until a GC rewrites the table wholesale).
+  ObjectRef MemoObj = kNullRef;
+  const ObjectInfo *MemoInfo = nullptr;
 };
 
 /// RAII helper: pushes a frame on construction, pops on destruction.

@@ -6,6 +6,7 @@
 
 #include "pmu/Pmu.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace djx;
@@ -36,11 +37,29 @@ int PmuContext::openEvent(const PerfEventAttr &Attr) {
   E.Attr = Attr;
   E.PeriodLeft = Attr.SamplePeriod;
   Events.push_back(E);
+  InterestMask |= kindBit(Attr.Kind);
+  if (Attr.Kind == PerfEventKind::LoadLatency)
+    MinLatencyThreshold = std::min(MinLatencyThreshold, Attr.LatencyThreshold);
   return static_cast<int>(Events.size()) - 1;
 }
 
+void PmuContext::setSampleHandler(RawSampleHandler Fn, void *Ctx) {
+  HandlerFn = Fn;
+  HandlerCtx = Ctx;
+  HandlerFnStore = nullptr;
+}
+
 void PmuContext::setSampleHandler(PerfSampleHandler H) {
-  Handler = std::move(H);
+  HandlerFnStore = std::move(H);
+  if (HandlerFnStore) {
+    HandlerFn = [](void *Ctx, const PerfSample &S) {
+      (*static_cast<PerfSampleHandler *>(Ctx))(S);
+    };
+    HandlerCtx = &HandlerFnStore;
+  } else {
+    HandlerFn = nullptr;
+    HandlerCtx = nullptr;
+  }
 }
 
 bool PmuContext::eventMatches(const EventState &E, const AccessResult &R) {
@@ -63,10 +82,8 @@ bool PmuContext::eventMatches(const EventState &E, const AccessResult &R) {
   return false;
 }
 
-void PmuContext::observeAccess(uint32_t Cpu, uint64_t Addr,
-                               const AccessResult &R) {
-  if (!Enabled)
-    return;
+void PmuContext::observeMatching(uint32_t Cpu, uint64_t Addr,
+                                 const AccessResult &R) {
   for (EventState &E : Events) {
     if (!eventMatches(E, R))
       continue;
@@ -76,7 +93,7 @@ void PmuContext::observeAccess(uint32_t Cpu, uint64_t Addr,
       continue;
     E.PeriodLeft = E.Attr.SamplePeriod;
     ++SamplesDelivered;
-    if (!Handler)
+    if (!HandlerFn)
       continue;
     PerfSample S;
     S.Kind = E.Attr.Kind;
@@ -86,7 +103,7 @@ void PmuContext::observeAccess(uint32_t Cpu, uint64_t Addr,
     S.LatencyCycles = R.LatencyCycles;
     S.HomeNode = R.HomeNode;
     S.RemoteAccess = R.RemoteAccess;
-    Handler(S);
+    HandlerFn(HandlerCtx, S);
   }
 }
 

@@ -13,6 +13,14 @@
 /// "signal handler" — receives a precise PerfSample synchronously, exactly
 /// like a PEBS overflow interrupt delivered to the faulting thread.
 ///
+/// Hot-path design: openEvent() maintains an interest bitmask over event
+/// kinds, and observeAccess() (inlined here) compares it against the
+/// access's own result bitmask — an access that cannot match any
+/// programmed event (e.g. an L1 hit under the default L1-miss preset)
+/// never enters the counter loop. Overflow delivery goes through a raw
+/// function pointer plus context ("devirtualised"); the std::function
+/// overload is kept for convenience and wraps itself in one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DJX_PMU_PMU_H
@@ -31,16 +39,30 @@ namespace djx {
 /// SIGIO/SIGPROF handler.
 using PerfSampleHandler = std::function<void(const PerfSample &)>;
 
+/// Devirtualised overflow handler: plain function pointer plus context,
+/// one indirect call per delivered sample.
+using RawSampleHandler = void (*)(void *Ctx, const PerfSample &Sample);
+
 /// One thread's set of programmed PMU events.
 class PmuContext {
 public:
   explicit PmuContext(uint64_t ThreadId) : ThreadId(ThreadId) {}
 
+  // Non-copyable/movable: HandlerCtx may point at this object's own
+  // HandlerFnStore, which a default copy/move would leave dangling.
+  PmuContext(const PmuContext &) = delete;
+  PmuContext &operator=(const PmuContext &) = delete;
+
   /// Programs an event; the moral equivalent of perf_event_open(2).
   /// \returns an event descriptor usable with eventCount().
   int openEvent(const PerfEventAttr &Attr);
 
-  /// Installs the overflow handler shared by all events of this context.
+  /// Installs the overflow handler shared by all events of this context
+  /// (devirtualised form: \p Fn is called with \p Ctx).
+  void setSampleHandler(RawSampleHandler Fn, void *Ctx);
+
+  /// Convenience overload wrapping an arbitrary callable; the stored
+  /// std::function is invoked through the raw-pointer path.
   void setSampleHandler(PerfSampleHandler Handler);
 
   /// Starts/stops counting (ioctl PERF_EVENT_IOC_ENABLE / DISABLE).
@@ -50,8 +72,16 @@ public:
 
   /// Feeds one retired access into every programmed counter. Called by the
   /// MiniJVM for each load/store this thread performs. Overflowing counters
-  /// deliver samples synchronously before this returns.
-  void observeAccess(uint32_t Cpu, uint64_t Addr, const AccessResult &R);
+  /// deliver samples synchronously before this returns. Inlined fast path:
+  /// accesses whose outcome can't match any programmed event return after
+  /// two bitmask instructions.
+  void observeAccess(uint32_t Cpu, uint64_t Addr, const AccessResult &R) {
+    if (!Enabled)
+      return;
+    if (!(resultMask(R) & InterestMask))
+      return;
+    observeMatching(Cpu, Addr, R);
+  }
 
   /// Total occurrences counted for event descriptor \p Fd.
   uint64_t eventCount(int Fd) const;
@@ -69,12 +99,47 @@ private:
     uint64_t PeriodLeft = 0; // Occurrences until next sample.
   };
 
+  static constexpr uint32_t kindBit(PerfEventKind K) {
+    return 1u << static_cast<uint32_t>(K);
+  }
+
+  /// Bitmask of event kinds this access can satisfy. LoadLatency is
+  /// included when the access is at least as slow as the *least* demanding
+  /// programmed threshold; per-event thresholds re-check in the slow path.
+  uint32_t resultMask(const AccessResult &R) const {
+    uint32_t M = kindBit(PerfEventKind::MemAccess);
+    if (R.L1Miss)
+      M |= kindBit(PerfEventKind::L1Miss);
+    if (R.L2Miss)
+      M |= kindBit(PerfEventKind::L2Miss);
+    if (R.L3Miss)
+      M |= kindBit(PerfEventKind::L3Miss);
+    if (R.TlbMiss)
+      M |= kindBit(PerfEventKind::TlbMiss);
+    if (R.LatencyCycles >= MinLatencyThreshold)
+      M |= kindBit(PerfEventKind::LoadLatency);
+    if (R.RemoteAccess)
+      M |= kindBit(PerfEventKind::RemoteAccess);
+    return M;
+  }
+
+  /// The counter loop, reached only when some event may match.
+  void observeMatching(uint32_t Cpu, uint64_t Addr, const AccessResult &R);
+
   static bool eventMatches(const EventState &E, const AccessResult &R);
 
   uint64_t ThreadId;
   bool Enabled = false;
   std::vector<EventState> Events;
-  PerfSampleHandler Handler;
+  /// Union of kindBit() over programmed events.
+  uint32_t InterestMask = 0;
+  /// Smallest LatencyThreshold among LoadLatency events (~0 when none).
+  uint32_t MinLatencyThreshold = ~0u;
+  /// Devirtualised handler + context; HandlerFnStore owns the callable
+  /// when the std::function overload was used.
+  RawSampleHandler HandlerFn = nullptr;
+  void *HandlerCtx = nullptr;
+  PerfSampleHandler HandlerFnStore;
   uint64_t SamplesDelivered = 0;
 };
 

@@ -6,62 +6,89 @@
 
 #include "sim/Cache.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
 
 using namespace djx;
 
 Cache::Cache(const CacheConfig &Cfg) : Config(Cfg), NumSets(Cfg.numSets()) {
   assert(NumSets > 0 && "cache too small for its associativity");
-  assert((Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+  assert(isPowerOfTwo(Config.LineBytes) &&
          "line size must be a power of two");
+  assert(isPowerOfTwo(NumSets) &&
+         "set count must be a power of two (pick SizeBytes/LineBytes/Ways "
+         "accordingly)");
+  LineShift = floorLog2(Config.LineBytes);
+  SetMask = NumSets - 1;
   Lines.resize(NumSets * Config.Ways);
+}
+
+Cache::Line *Cache::findWay(uint64_t LineAddr) {
+  Line *Base = &Lines[setIndex(LineAddr) * Config.Ways];
+  for (uint32_t W = 0; W < Config.Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == LineAddr)
+      return &Base[W];
+  return nullptr;
 }
 
 bool Cache::access(uint64_t Addr) {
   uint64_t LA = lineAddr(Addr);
-  uint64_t Set = setIndex(LA);
-  Line *Base = &Lines[Set * Config.Ways];
   ++Clock;
-
+  // MRU fast path: repeated access to the line touched last (sequential
+  // sweeps hit the same line LineBytes/stride times in a row).
+  if (LA == LastLineAddr) {
+    LastLine->LastUse = Clock;
+    ++Hits;
+    return true;
+  }
+  if (Line *Hit = findWay(LA)) {
+    Hit->LastUse = Clock;
+    ++Hits;
+    LastLineAddr = LA;
+    LastLine = Hit;
+    return true;
+  }
+  // Miss: pick the victim exactly as the combined scan used to — the last
+  // invalid way if any way is invalid, else the first least-recently-used.
+  Line *Base = &Lines[setIndex(LA) * Config.Ways];
   Line *Victim = nullptr;
   for (uint32_t W = 0; W < Config.Ways; ++W) {
-    Line &L = Base[W];
-    if (L.Valid && L.Tag == LA) {
-      L.LastUse = Clock;
-      ++Hits;
-      return true;
-    }
-    if (!Victim || !L.Valid ||
-        (Victim->Valid && L.Valid && L.LastUse < Victim->LastUse))
-      Victim = &L;
+    Line &Way = Base[W];
+    if (!Victim || !Way.Valid ||
+        (Victim->Valid && Way.Valid && Way.LastUse < Victim->LastUse))
+      Victim = &Way;
   }
   ++Misses;
   if (Victim->Valid)
     ++Evictions;
+  // If the victim happened to be the memoised line, the unconditional
+  // memo update below repoints it at the new tag; no stale entry survives.
   Victim->Valid = true;
   Victim->Tag = LA;
   Victim->LastUse = Clock;
+  LastLineAddr = LA;
+  LastLine = Victim;
   return false;
 }
 
 bool Cache::contains(uint64_t Addr) const {
-  uint64_t LA = lineAddr(Addr);
-  const Line *Base = &Lines[setIndex(LA) * Config.Ways];
-  for (uint32_t W = 0; W < Config.Ways; ++W)
-    if (Base[W].Valid && Base[W].Tag == LA)
-      return true;
-  return false;
+  return findWay(lineAddr(Addr)) != nullptr;
 }
 
 void Cache::invalidate(uint64_t Addr) {
   uint64_t LA = lineAddr(Addr);
-  Line *Base = &Lines[setIndex(LA) * Config.Ways];
-  for (uint32_t W = 0; W < Config.Ways; ++W)
-    if (Base[W].Valid && Base[W].Tag == LA)
-      Base[W].Valid = false;
+  if (LA == LastLineAddr) {
+    LastLineAddr = ~0ULL;
+    LastLine = nullptr;
+  }
+  if (Line *Way = findWay(LA))
+    Way->Valid = false;
 }
 
 void Cache::flush() {
   for (Line &L : Lines)
     L.Valid = false;
+  LastLineAddr = ~0ULL;
+  LastLine = nullptr;
 }

@@ -10,6 +10,13 @@
 /// the paper's evaluation machine (Xeon E5-2650 v4: 32 KiB L1, 256 KiB L2,
 /// 30 MiB shared L3, 64 B lines).
 ///
+/// Hot-path design: line and set indexing are precomputed shift/mask
+/// operations (line size and set count must be powers of two — every real
+/// cache geometry is), and an MRU memo short-circuits the way scan when an
+/// access lands on the line touched immediately before, the overwhelmingly
+/// common case for sequential sweeps. Both paths produce byte-identical
+/// statistics to the plain scan.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DJX_SIM_CACHE_H
@@ -59,12 +66,24 @@ private:
     bool Valid = false;
   };
 
-  uint64_t lineAddr(uint64_t Addr) const { return Addr / Config.LineBytes; }
-  uint64_t setIndex(uint64_t LineAddr) const { return LineAddr % NumSets; }
+  uint64_t lineAddr(uint64_t Addr) const { return Addr >> LineShift; }
+  uint64_t setIndex(uint64_t LineAddr) const { return LineAddr & SetMask; }
+
+  /// First way in \p LineAddr's set holding it, or nullptr. The single
+  /// tag-match loop shared by access/contains/invalidate.
+  Line *findWay(uint64_t LineAddr);
+  const Line *findWay(uint64_t LineAddr) const {
+    return const_cast<Cache *>(this)->findWay(LineAddr);
+  }
 
   CacheConfig Config;
   uint64_t NumSets;
+  uint32_t LineShift; ///< log2(LineBytes).
+  uint64_t SetMask;   ///< NumSets - 1 (sets are a power of two).
   std::vector<Line> Lines; // NumSets * Ways, row-major by set.
+  /// MRU memo: the line (and its tag) hit or filled by the last access.
+  uint64_t LastLineAddr = ~0ULL;
+  Line *LastLine = nullptr;
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;

@@ -6,39 +6,98 @@
 
 #include "sim/NumaTopology.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
+#include <utility>
 
 using namespace djx;
+
+void NumaTopology::PageTable::rehash(size_t NewSize) {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.clear();
+  Slots.resize(NewSize);
+  NumFull = 0;
+  NumUsed = 0;
+  for (const Slot &S : Old)
+    if (S.State == kFull)
+      set(S.Page, S.Node);
+}
+
+void NumaTopology::PageTable::set(uint64_t Page, NumaNodeId Node) {
+  // Keep occupancy (full + tombstones) below 70% so probes stay short.
+  if ((NumUsed + 1) * 10 >= Slots.size() * 7)
+    rehash(Slots.size() * 2);
+  size_t Idx = probeStart(Page);
+  size_t FirstTombstone = SIZE_MAX;
+  for (;;) {
+    Slot &S = Slots[Idx];
+    if (S.State == kFull && S.Page == Page) {
+      S.Node = Node;
+      return;
+    }
+    if (S.State == kTombstone && FirstTombstone == SIZE_MAX)
+      FirstTombstone = Idx;
+    if (S.State == kEmpty) {
+      size_t Target = FirstTombstone != SIZE_MAX ? FirstTombstone : Idx;
+      Slot &T = Slots[Target];
+      if (T.State == kEmpty)
+        ++NumUsed; // Reusing a tombstone does not raise occupancy.
+      T.Page = Page;
+      T.Node = Node;
+      T.State = kFull;
+      ++NumFull;
+      return;
+    }
+    Idx = (Idx + 1) & (Slots.size() - 1);
+  }
+}
+
+void NumaTopology::PageTable::erase(uint64_t Page) {
+  size_t Idx = probeStart(Page);
+  for (;;) {
+    Slot &S = Slots[Idx];
+    if (S.State == kEmpty)
+      return;
+    if (S.State == kFull && S.Page == Page) {
+      S.State = kTombstone;
+      --NumFull;
+      return;
+    }
+    Idx = (Idx + 1) & (Slots.size() - 1);
+  }
+}
 
 NumaTopology::NumaTopology(const NumaConfig &Cfg) : Config(Cfg) {
   assert(Config.NumNodes > 0 && "need at least one NUMA node");
   assert(Config.CpusPerNode > 0 && "need at least one CPU per node");
+  assert(isPowerOfTwo(Config.PageBytes) &&
+         "page size must be a power of two");
+  PageShift = floorLog2(Config.PageBytes);
+  CpuToNode.resize(numCpus());
+  for (uint32_t C = 0; C < numCpus(); ++C)
+    CpuToNode[C] = static_cast<NumaNodeId>(C / Config.CpusPerNode);
+  LastTouch.resize(numCpus());
 }
 
-NumaNodeId NumaTopology::nodeOfCpu(uint32_t Cpu) const {
-  assert(Cpu < numCpus() && "CPU id out of range");
-  return static_cast<NumaNodeId>(Cpu / Config.CpusPerNode);
-}
-
-NumaNodeId NumaTopology::touch(uint64_t Addr, uint32_t Cpu) {
-  uint64_t Page = pageOf(Addr);
-  auto It = PageHome.find(Page);
-  if (It != PageHome.end())
-    return It->second;
+NumaNodeId NumaTopology::touchSlow(uint64_t Page, uint32_t Cpu) {
+  NumaNodeId Home = Pages.find(Page);
+  if (Home != kInvalidNode)
+    return Home;
   NumaNodeId Node = nodeOfCpu(Cpu);
-  PageHome.emplace(Page, Node);
+  Pages.set(Page, Node);
   return Node;
 }
 
 NumaNodeId NumaTopology::nodeOfAddr(uint64_t Addr) const {
-  auto It = PageHome.find(pageOf(Addr));
-  return It == PageHome.end() ? kInvalidNode : It->second;
+  return Pages.find(pageOf(Addr));
 }
 
 bool NumaTopology::movePage(uint64_t Addr, NumaNodeId Node) {
   if (Node < 0 || static_cast<uint32_t>(Node) >= Config.NumNodes)
     return false;
-  PageHome[pageOf(Addr)] = Node;
+  Pages.set(pageOf(Addr), Node);
+  invalidateMemos();
   return true;
 }
 
@@ -48,10 +107,10 @@ void NumaTopology::interleaveRange(uint64_t Start, uint64_t Size) {
   uint64_t FirstPage = pageOf(Start);
   uint64_t LastPage = pageOf(Start + Size - 1);
   for (uint64_t P = FirstPage; P <= LastPage; ++P) {
-    PageHome[P] =
-        static_cast<NumaNodeId>(InterleaveCursor % Config.NumNodes);
+    Pages.set(P, static_cast<NumaNodeId>(InterleaveCursor % Config.NumNodes));
     ++InterleaveCursor;
   }
+  invalidateMemos();
 }
 
 void NumaTopology::bindRange(uint64_t Start, uint64_t Size, NumaNodeId Node) {
@@ -62,7 +121,8 @@ void NumaTopology::bindRange(uint64_t Start, uint64_t Size, NumaNodeId Node) {
   uint64_t FirstPage = pageOf(Start);
   uint64_t LastPage = pageOf(Start + Size - 1);
   for (uint64_t P = FirstPage; P <= LastPage; ++P)
-    PageHome[P] = Node;
+    Pages.set(P, Node);
+  invalidateMemos();
 }
 
 void NumaTopology::releaseRange(uint64_t Start, uint64_t Size) {
@@ -71,5 +131,6 @@ void NumaTopology::releaseRange(uint64_t Start, uint64_t Size) {
   uint64_t FirstPage = pageOf(Start);
   uint64_t LastPage = pageOf(Start + Size - 1);
   for (uint64_t P = FirstPage; P <= LastPage; ++P)
-    PageHome.erase(P);
+    Pages.erase(P);
+  invalidateMemos();
 }

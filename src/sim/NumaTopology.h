@@ -10,14 +10,20 @@
 /// move_pages (query the node a page resides on, or migrate it) and
 /// numa_alloc_interleaved (§4.3, §7.5, §7.6).
 ///
+/// Hot-path design: touch() — called for every simulated access — first
+/// consults a per-CPU last-page memo (sequential sweeps stay on one page
+/// for hundreds of accesses), then a flat open-addressing hash table with
+/// linear probing instead of std::unordered_map's bucket chains. Placement
+/// mutators (move/bind/interleave/release) invalidate the memos.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DJX_SIM_NUMATOPOLOGY_H
 #define DJX_SIM_NUMATOPOLOGY_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace djx {
@@ -42,12 +48,24 @@ public:
   uint32_t numNodes() const { return Config.NumNodes; }
 
   /// Node owning \p Cpu.
-  NumaNodeId nodeOfCpu(uint32_t Cpu) const;
+  NumaNodeId nodeOfCpu(uint32_t Cpu) const {
+    assert(Cpu < numCpus() && "CPU id out of range");
+    return CpuToNode[Cpu];
+  }
 
   /// Records a first touch of \p Addr from \p Cpu: an unplaced page is
   /// allocated on the toucher's node (the default Linux policy).
   /// \returns the node the page resides on after the touch.
-  NumaNodeId touch(uint64_t Addr, uint32_t Cpu);
+  NumaNodeId touch(uint64_t Addr, uint32_t Cpu) {
+    uint64_t Page = pageOf(Addr);
+    PageMemo &M = LastTouch[Cpu];
+    if (M.Page == Page)
+      return M.Node;
+    NumaNodeId Node = touchSlow(Page, Cpu);
+    M.Page = Page;
+    M.Node = Node;
+    return Node;
+  }
 
   /// move_pages query mode: node where the page holding \p Addr resides, or
   /// kInvalidNode when never touched (paper: "return the NUMA node where
@@ -70,15 +88,89 @@ public:
   /// when the heap recycles address ranges.
   void releaseRange(uint64_t Start, uint64_t Size);
 
-  uint64_t pageOf(uint64_t Addr) const { return Addr / Config.PageBytes; }
+  uint64_t pageOf(uint64_t Addr) const { return Addr >> PageShift; }
   const NumaConfig &config() const { return Config; }
 
   /// Number of pages with an assigned home node.
-  size_t numPlacedPages() const { return PageHome.size(); }
+  size_t numPlacedPages() const { return Pages.size(); }
 
 private:
+  /// Open-addressing (linear probe, tombstone-delete) map from page number
+  /// to home node. Pages are dense small integers, so a multiplicative
+  /// hash into a power-of-two table beats unordered_map's chained buckets
+  /// on every probe of the access hot path.
+  class PageTable {
+  public:
+    PageTable() { Slots.resize(kInitialSlots); }
+
+    /// \returns the home of \p Page or kInvalidNode.
+    NumaNodeId find(uint64_t Page) const {
+      size_t Idx = probeStart(Page);
+      for (;;) {
+        const Slot &S = Slots[Idx];
+        if (S.State == kEmpty)
+          return kInvalidNode;
+        if (S.State == kFull && S.Page == Page)
+          return S.Node;
+        Idx = (Idx + 1) & (Slots.size() - 1);
+      }
+    }
+
+    /// Inserts or overwrites \p Page's home.
+    void set(uint64_t Page, NumaNodeId Node);
+
+    /// Removes \p Page if present.
+    void erase(uint64_t Page);
+
+    size_t size() const { return NumFull; }
+
+  private:
+    enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    struct Slot {
+      uint64_t Page = 0;
+      NumaNodeId Node = kInvalidNode;
+      uint8_t State = kEmpty;
+    };
+
+    static uint64_t hash(uint64_t Page) {
+      // splitmix64 finalizer: good avalanche for sequential page numbers.
+      Page ^= Page >> 30;
+      Page *= 0xbf58476d1ce4e5b9ULL;
+      Page ^= Page >> 27;
+      Page *= 0x94d049bb133111ebULL;
+      Page ^= Page >> 31;
+      return Page;
+    }
+    size_t probeStart(uint64_t Page) const {
+      return static_cast<size_t>(hash(Page)) & (Slots.size() - 1);
+    }
+    void rehash(size_t NewSize);
+
+    static constexpr size_t kInitialSlots = 1024;
+    std::vector<Slot> Slots;
+    size_t NumFull = 0;
+    size_t NumUsed = 0; ///< Full + tombstone slots.
+  };
+
+  struct PageMemo {
+    uint64_t Page = ~0ULL;
+    NumaNodeId Node = kInvalidNode;
+  };
+
+  /// Table lookup / first-touch placement; fills the caller's memo.
+  NumaNodeId touchSlow(uint64_t Page, uint32_t Cpu);
+
+  /// Placement changed: no memo may answer from stale state.
+  void invalidateMemos() {
+    for (PageMemo &M : LastTouch)
+      M.Page = ~0ULL;
+  }
+
   NumaConfig Config;
-  std::unordered_map<uint64_t, NumaNodeId> PageHome;
+  uint32_t PageShift; ///< log2(PageBytes).
+  PageTable Pages;
+  std::vector<NumaNodeId> CpuToNode; ///< Precomputed Cpu -> node.
+  std::vector<PageMemo> LastTouch;   ///< Per-CPU last touched page.
   uint64_t InterleaveCursor = 0;
 };
 

@@ -6,25 +6,36 @@
 
 #include "sim/Tlb.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
 
 using namespace djx;
 
 Tlb::Tlb(const TlbConfig &Cfg) : Config(Cfg) {
   assert(Config.Entries > 0 && "TLB needs at least one entry");
-  assert((Config.PageBytes & (Config.PageBytes - 1)) == 0 &&
+  assert(isPowerOfTwo(Config.PageBytes) &&
          "page size must be a power of two");
+  PageShift = floorLog2(Config.PageBytes);
   Entries.resize(Config.Entries);
 }
 
 bool Tlb::access(uint64_t Addr) {
   uint64_t Page = pageOf(Addr);
   ++Clock;
+  // MRU fast path: same page as the previous translation.
+  if (Page == LastPage) {
+    LastEntry->LastUse = Clock;
+    ++Hits;
+    return true;
+  }
   Entry *Victim = nullptr;
   for (Entry &E : Entries) {
     if (E.Valid && E.Page == Page) {
       E.LastUse = Clock;
       ++Hits;
+      LastPage = Page;
+      LastEntry = &E;
       return true;
     }
     if (!Victim || !E.Valid ||
@@ -35,10 +46,14 @@ bool Tlb::access(uint64_t Addr) {
   Victim->Valid = true;
   Victim->Page = Page;
   Victim->LastUse = Clock;
+  LastPage = Page;
+  LastEntry = Victim;
   return false;
 }
 
 void Tlb::flush() {
   for (Entry &E : Entries)
     E.Valid = false;
+  LastPage = ~0ULL;
+  LastEntry = nullptr;
 }

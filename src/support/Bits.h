@@ -1,0 +1,34 @@
+//===- Bits.h - Small bit-manipulation helpers ------------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit tricks shared by the power-of-two-indexed simulator structures
+/// (caches, TLB, NUMA page table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_BITS_H
+#define DJX_SUPPORT_BITS_H
+
+#include <cstdint>
+
+namespace djx {
+
+constexpr bool isPowerOfTwo(uint64_t V) {
+  return V != 0 && (V & (V - 1)) == 0;
+}
+
+/// floor(log2(V)); 0 for V == 0.
+constexpr uint32_t floorLog2(uint64_t V) {
+  uint32_t R = 0;
+  while (V >>= 1)
+    ++R;
+  return R;
+}
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_BITS_H

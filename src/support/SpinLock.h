@@ -20,12 +20,23 @@
 
 namespace djx {
 
+/// Busy-wait hint: tells the core we are spinning so it can yield pipeline
+/// resources to the sibling hyperthread (x86 `pause`, ARM `yield`); a
+/// no-op elsewhere.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
 /// Test-and-set spin lock with acquisition accounting.
 class SpinLock {
 public:
   void lock() {
     while (Flag.test_and_set(std::memory_order_acquire))
-      ;
+      cpuRelax();
     Acquisitions.fetch_add(1, std::memory_order_relaxed);
   }
 

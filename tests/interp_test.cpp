@@ -278,6 +278,26 @@ TEST(Interpreter, ShadowStackTracksBci) {
   EXPECT_GT(I.stepsExecuted(), 0u);
 }
 
+TEST(InterpreterDeathTest, StepLimitAbortsRunawayLoop) {
+  // The step limit must fire in every build mode (it used to live in an
+  // assert that NDEBUG compiled out, letting release builds spin forever).
+  JavaVm Vm;
+  BytecodeProgram P;
+  MethodBuilder B("R", "spin", 0, 0);
+  Label Loop = B.newLabel();
+  B.bind(Loop);
+  B.jmp(Loop);
+  ClassFile C;
+  C.Name = "R";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  P.load(Vm);
+  JavaThread &T = Vm.startThread("t", 0);
+  Interpreter I(Vm, P, T);
+  I.setStepLimit(10000);
+  EXPECT_DEATH(I.run("R.spin"), "step limit");
+}
+
 TEST(Interpreter, GcDuringExecutionRelocatesOperands) {
   // Tiny heap: the loop's allocations force collections while references
   // live in interpreter locals; the root provider must keep them valid.
