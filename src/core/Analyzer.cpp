@@ -105,3 +105,18 @@ std::optional<MergedProfile> djx::mergeProfileDir(const std::string &Dir) {
     Ptrs.push_back(&P);
   return mergeProfiles(Ptrs);
 }
+
+HierarchyStats
+djx::mergeHierarchyStats(const std::vector<HierarchyStats> &Parts) {
+  HierarchyStats Out;
+  for (const HierarchyStats &P : Parts) {
+    Out.Accesses += P.Accesses;
+    Out.L1Misses += P.L1Misses;
+    Out.L2Misses += P.L2Misses;
+    Out.L3Misses += P.L3Misses;
+    Out.TlbMisses += P.TlbMisses;
+    Out.RemoteAccesses += P.RemoteAccesses;
+    Out.TotalLatency += P.TotalLatency;
+  }
+  return Out;
+}

@@ -17,6 +17,7 @@
 #define DJX_CORE_ANALYZER_H
 
 #include "core/ThreadProfile.h"
+#include "sim/MemoryHierarchy.h"
 
 #include <map>
 #include <string>
@@ -64,6 +65,12 @@ MergedProfile mergeProfiles(const std::vector<const ThreadProfile *> &Parts);
 /// Convenience: loads every "*.djxprof" file in \p Dir and merges.
 /// \returns nullopt when the directory holds no readable profiles.
 std::optional<MergedProfile> mergeProfileDir(const std::string &Dir);
+
+/// Deterministic merge of per-CPU / worker-private memory-hierarchy
+/// counters (the parallel runtime keeps one hierarchy per simulated
+/// thread): plain sums, so the result is identical for any host
+/// interleaving. Callers pass parts in thread-id order by convention.
+HierarchyStats mergeHierarchyStats(const std::vector<HierarchyStats> &Parts);
 
 } // namespace djx
 

@@ -14,6 +14,13 @@ using namespace djx;
 
 DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
     : Vm(Vm), Config(std::move(Cfg)) {
+  if (Config.IndexShards > 1) {
+    // Mirror the heap's shard geometry so a thread's inserts and lookups
+    // land in "its" index shard (correct for any geometry; contention-free
+    // for this one).
+    uint64_t Span = Vm.config().HeapBytes / Config.IndexShards;
+    Index.configureShards(Config.IndexShards, Span ? Span : 1);
+  }
   JvmtiEnv &Jvmti = Vm.jvmti();
 
   Jvmti.onThreadStart([this](JavaThread &T) { onThreadStart(T); });
@@ -32,7 +39,8 @@ DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
     if (!Active || !Config.HandleGcMoves)
       return;
     Index.recordMove(E.OldAddr, E.NewAddr, E.Size);
-    AuxCycles += Config.MovePerObjectCycles;
+    AuxCycles.fetch_add(Config.MovePerObjectCycles,
+                        std::memory_order_relaxed);
   });
 
   // finalize interposition: remove reclaimed intervals.
@@ -40,35 +48,49 @@ DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
     if (!Active || !Config.HandleGcFrees)
       return;
     if (Index.erase(E.Addr))
-      AuxCycles += Config.FreePerObjectCycles;
+      AuxCycles.fetch_add(Config.FreePerObjectCycles,
+                          std::memory_order_relaxed);
   });
 
-  // MXBean GC-finish notification: apply the relocation batch.
+  // MXBean GC-finish notification: apply the relocation batch. Under the
+  // Executor this fires at the stop-the-world safepoint — same code path,
+  // same batch semantics.
   Jvmti.onGcFinish([this](const GcStats &) {
     if (!Active || !Config.HandleGcMoves)
       return;
     LiveObject Unknown; // AllocThread 0 / root node = unknown provenance.
     unsigned Applied = Index.applyRelocations(Unknown);
-    AuxCycles += static_cast<uint64_t>(Applied) *
-                 Config.GcBatchPerObjectCycles;
+    AuxCycles.fetch_add(static_cast<uint64_t>(Applied) *
+                            Config.GcBatchPerObjectCycles,
+                        std::memory_order_relaxed);
   });
 }
 
 void DjxPerf::onThreadStart(JavaThread &T) {
   // Program the PMU once per thread, whether or not we are active yet; the
-  // enable bit is what start()/stop() toggle.
-  if (PmuProgrammed.insert(T.id()).second) {
+  // enable bit is what start()/stop() toggle. Lock-guarded: threads may be
+  // started from host workers, and attach-mode start() enumerates
+  // concurrently.
+  SampleCtx *Ctx = nullptr;
+  {
+    SpinLockGuard G(AgentLock);
+    if (PmuProgrammed.insert(T.id()).second) {
+      // Deque keeps context addresses stable across later insertions.
+      SampleCtxs.push_back(SampleCtx{this, &T});
+      Ctx = &SampleCtxs.back();
+    }
+  }
+  if (Ctx) {
     for (const PerfEventAttr &Attr : Config.Events)
       T.pmu().openEvent(Attr);
     // Devirtualised handler: a raw function pointer + stable context
     // instead of a std::function dispatch per delivered sample.
-    SampleCtxs.push_back(SampleCtx{this, &T});
     T.pmu().setSampleHandler(
-        [](void *Ctx, const PerfSample &S) {
-          auto *C = static_cast<SampleCtx *>(Ctx);
-          C->Prof->handleSample(*C->Thread, S);
+        [](void *C, const PerfSample &S) {
+          auto *Sc = static_cast<SampleCtx *>(C);
+          Sc->Prof->handleSample(*Sc->Thread, S);
         },
-        &SampleCtxs.back());
+        Ctx);
   }
   if (Active)
     T.pmu().enable();
@@ -78,7 +100,9 @@ void DjxPerf::onThreadEnd(JavaThread &T) { T.pmu().disable(); }
 
 void DjxPerf::start() {
   Active = true;
-  // Attach mode: threads may already be running.
+  // Attach mode: threads may already be running. allThreads() snapshots
+  // the lock-guarded, reference-stable thread list, so enumeration is safe
+  // even while workers start further threads.
   for (JavaThread *T : Vm.allThreads()) {
     if (!T->isAlive())
       continue;
@@ -93,8 +117,11 @@ void DjxPerf::stop() {
     T->pmu().disable();
 }
 
-unsigned DjxPerf::instrument(BytecodeProgram &Program, Interpreter &Interp) {
-  unsigned Count = instrumentProgram(Program, Sites);
+unsigned DjxPerf::instrument(BytecodeProgram &Program) {
+  return instrumentProgram(Program, Sites);
+}
+
+void DjxPerf::attachInterpreter(Interpreter &Interp) {
   Interp.setPublishVmAllocationEvents(false);
   AllocationHooks Hooks;
   Hooks.Pre = [this, &Interp](uint64_t) {
@@ -111,10 +138,16 @@ unsigned DjxPerf::instrument(BytecodeProgram &Program, Interpreter &Interp) {
                      Info.Size);
   };
   Interp.setAllocationHooks(std::move(Hooks));
+}
+
+unsigned DjxPerf::instrument(BytecodeProgram &Program, Interpreter &Interp) {
+  unsigned Count = instrument(Program);
+  attachInterpreter(Interp);
   return Count;
 }
 
 ThreadProfile &DjxPerf::profileOf(JavaThread &T) {
+  SpinLockGuard G(ProfilesLock);
   auto It = Profiles.find(T.id());
   if (It == Profiles.end())
     It = Profiles
@@ -126,7 +159,7 @@ ThreadProfile &DjxPerf::profileOf(JavaThread &T) {
 
 void DjxPerf::recordAllocation(JavaThread &T, ObjectRef Obj, TypeId Type,
                                const std::string &TypeName, uint64_t Size) {
-  ++AllocCallbacks;
+  AllocCallbacks.fetch_add(1, std::memory_order_relaxed);
   // The hook dispatch itself costs cycles even when the size filter
   // rejects the object — this is why callback-heavy benchmarks (mnemonics,
   // scrabble, ...) show the highest overheads in Figure 4.
@@ -138,13 +171,13 @@ void DjxPerf::recordAllocation(JavaThread &T, ObjectRef Obj, TypeId Type,
   CctNodeId Node = P.cct().insertPath(Vm.asyncGetCallTrace(T));
   P.recordAllocation(Node, TypeName, Size);
   Index.insert(Obj, Size, LiveObject{T.id(), Node, Type, Size});
-  ++Tracked;
+  Tracked.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
   if (!Active)
     return;
-  ++Samples;
+  Samples.fetch_add(1, std::memory_order_relaxed);
   T.addCycles(Config.SampleHandleCycles);
   ThreadProfile &P = profileOf(T);
   CctNodeId AccessNode = P.cct().insertPath(Vm.asyncGetCallTrace(T));
@@ -159,9 +192,11 @@ void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
   bool Remote = false;
   if (Config.TrackNuma) {
     // §4.3: move_pages gives the page's home node; PERF_SAMPLE_CPU gives
-    // the accessing CPU's node.
+    // the accessing CPU's node. Resolved against the *thread's* hierarchy:
+    // the shared machine in serial mode, the worker-private one under the
+    // Executor.
     T.addCycles(Config.NumaQueryCycles);
-    NumaTopology &Numa = Vm.machine().numa();
+    NumaTopology &Numa = T.machine().numa();
     NumaNodeId Home = Numa.nodeOfAddr(S.EffectiveAddress);
     NumaNodeId CpuNode = Numa.nodeOfCpu(S.Cpu);
     Remote = Home != kInvalidNode && Home != CpuNode;
@@ -174,6 +209,7 @@ void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
 }
 
 std::vector<const ThreadProfile *> DjxPerf::profiles() const {
+  SpinLockGuard G(ProfilesLock);
   std::vector<const ThreadProfile *> Out;
   Out.reserve(Profiles.size());
   for (const auto &[Tid, P] : Profiles) {
@@ -184,6 +220,7 @@ std::vector<const ThreadProfile *> DjxPerf::profiles() const {
 }
 
 const ThreadProfile *DjxPerf::profileForThread(uint64_t ThreadId) const {
+  SpinLockGuard G(ProfilesLock);
   auto It = Profiles.find(ThreadId);
   return It == Profiles.end() ? nullptr : It->second.get();
 }

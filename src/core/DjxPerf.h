@@ -46,7 +46,9 @@
 #include "instrument/AllocationInstrumenter.h"
 #include "interp/Interpreter.h"
 #include "jvm/JavaVm.h"
+#include "support/SpinLock.h"
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -75,6 +77,13 @@ struct DjxPerfConfig {
   bool TrackNuma = true;
   /// Also collect the code-centric (perf-style) view.
   bool CollectCodeCentric = true;
+  /// Shards for the live-object index (1 = the paper's single splay tree;
+  /// parallel workloads set one shard per simulated thread so inserts and
+  /// lookups from different threads don't serialize). The shard span is
+  /// derived from the VM's heap geometry. Part of the workload
+  /// configuration, NOT of --jobs: results must not depend on host
+  /// parallelism.
+  unsigned IndexShards = 1;
 
   // --- Measurement cost model (cycles) ----------------------------------
   /// Dispatch of an allocation hook, paid even when the size filter
@@ -123,6 +132,16 @@ public:
   /// \returns the number of allocation sites instrumented.
   unsigned instrument(BytecodeProgram &Program, Interpreter &Interp);
 
+  /// Rewrite-only half of instrument(): instruments \p Program without
+  /// binding an interpreter. Use with attachInterpreter() when several
+  /// interpreters (one per simulated thread) execute the same program.
+  unsigned instrument(BytecodeProgram &Program);
+
+  /// Routes \p Interp's allocation hooks to this agent and disables the
+  /// VM-level allocation channel (no double counting). One call per
+  /// interpreter; must precede execution.
+  void attachInterpreter(Interpreter &Interp);
+
   // --- Results ------------------------------------------------------------
   std::vector<const ThreadProfile *> profiles() const;
   const ThreadProfile *profileForThread(uint64_t ThreadId) const;
@@ -138,11 +157,21 @@ public:
   const AllocationSiteTable &sites() const { return Sites; }
 
   // --- Instrumentation statistics ------------------------------------------
-  uint64_t samplesHandled() const { return Samples; }
-  uint64_t allocationCallbacks() const { return AllocCallbacks; }
-  uint64_t allocationsTracked() const { return Tracked; }
+  // Relaxed atomics: bumped from concurrent host workers under the
+  // Executor; sums are interleaving-independent, so still deterministic.
+  uint64_t samplesHandled() const {
+    return Samples.load(std::memory_order_relaxed);
+  }
+  uint64_t allocationCallbacks() const {
+    return AllocCallbacks.load(std::memory_order_relaxed);
+  }
+  uint64_t allocationsTracked() const {
+    return Tracked.load(std::memory_order_relaxed);
+  }
   /// Profiler work not attributable to one thread (GC batch updates).
-  uint64_t auxOverheadCycles() const { return AuxCycles; }
+  uint64_t auxOverheadCycles() const {
+    return AuxCycles.load(std::memory_order_relaxed);
+  }
   /// Bytes held by profiler data structures (splay tree, CCTs, tables).
   size_t memoryFootprint() const;
 
@@ -170,11 +199,25 @@ private:
   std::deque<SampleCtx> SampleCtxs;
   std::map<uint64_t, std::unique_ptr<ThreadProfile>> Profiles;
   std::set<uint64_t> PmuProgrammed;
+  // Locking order (innermost last; a thread never holds two of these):
+  //   1. LiveObjectIndex shard locks (leaf; applyRelocations takes all
+  //      shard locks in index order, and is the only multi-lock site),
+  //   2. AgentLock  — guards SampleCtxs + PmuProgrammed (thread start/end,
+  //      attach enumeration),
+  //   3. ProfilesLock — guards the Profiles map (find-or-create only; the
+  //      per-thread ThreadProfile itself is owned by the simulated
+  //      thread's worker and needs no lock).
+  // JavaVm's ThreadsLock/RootsLock are independent leaves; DjxPerf code
+  // never calls into the VM while holding AgentLock/ProfilesLock.
+  SpinLock AgentLock;
+  // Mutable: the read-side accessors (profiles(), profileForThread()) are
+  // logically const but still synchronize.
+  mutable SpinLock ProfilesLock;
   bool Active = false;
-  uint64_t Samples = 0;
-  uint64_t AllocCallbacks = 0;
-  uint64_t Tracked = 0;
-  uint64_t AuxCycles = 0;
+  std::atomic<uint64_t> Samples{0};
+  std::atomic<uint64_t> AllocCallbacks{0};
+  std::atomic<uint64_t> Tracked{0};
+  std::atomic<uint64_t> AuxCycles{0};
 };
 
 } // namespace djx

@@ -1,4 +1,4 @@
-//===- LiveObjectIndex.cpp - Shared object interval index -----------------===//
+//===- LiveObjectIndex.cpp - Sharded object interval index -----------------===//
 //
 // Part of the DJXPerf reproduction. MIT licensed.
 //
@@ -6,43 +6,93 @@
 
 #include "core/LiveObjectIndex.h"
 
+#include <cassert>
+#include <vector>
+
 using namespace djx;
+
+void LiveObjectIndex::configureShards(unsigned NumShards,
+                                      uint64_t SpanBytes) {
+  assert(NumShards >= 1 && "index needs at least one shard");
+  assert((NumShards == 1 || SpanBytes > 0) &&
+         "multi-shard index needs an address span");
+#ifndef NDEBUG
+  for (Shard &S : Shards)
+    assert(S.Tree.size() == 0 && S.RelocationMap.empty() &&
+           "reconfiguring a non-empty index");
+#endif
+  Shards.clear();
+  Shards.resize(NumShards);
+  this->SpanBytes = SpanBytes ? SpanBytes : ~0ULL;
+}
 
 void LiveObjectIndex::insert(uint64_t Addr, uint64_t Size,
                              const LiveObject &Obj) {
-  SpinLockGuard G(Lock);
-  Tree.insert(Addr, Size, Obj);
-  ++Inserts;
+  Shard &S = shardFor(Addr);
+  SpinLockGuard G(S.Lock);
+  S.Tree.insert(Addr, Size, Obj);
+  ++S.Inserts;
 }
 
 std::optional<LiveObject> LiveObjectIndex::lookup(uint64_t Addr) {
-  SpinLockGuard G(Lock);
-  ++Lookups;
-  auto E = Tree.lookup(Addr);
-  if (!E) {
-    ++LookupMisses;
-    return std::nullopt;
+  size_t Idx = shardIndexFor(Addr);
+  {
+    Shard &S = Shards[Idx];
+    SpinLockGuard G(S.Lock);
+    ++S.Lookups;
+    auto E = S.Tree.lookup(Addr);
+    if (E)
+      return E->Value;
+    if (Idx == 0) {
+      // No preceding shard to probe: a definitive miss, counted inside
+      // the same critical section (the exact single-shard legacy path).
+      ++S.LookupMisses;
+      return std::nullopt;
+    }
   }
-  return E->Value;
+  // An interval that crosses a shard boundary is keyed (and stored) by
+  // its start address — re-check the preceding shard for a range
+  // enclosing Addr before declaring a miss. Rare, so the extra probe and
+  // the re-lock for the miss counter stay off the hot path.
+  {
+    Shard &P = Shards[Idx - 1];
+    SpinLockGuard G(P.Lock);
+    auto E = P.Tree.lookup(Addr);
+    if (E)
+      return E->Value;
+  }
+  Shard &S = Shards[Idx];
+  SpinLockGuard G(S.Lock);
+  ++S.LookupMisses;
+  return std::nullopt;
 }
 
 bool LiveObjectIndex::erase(uint64_t Addr) {
-  SpinLockGuard G(Lock);
-  ++Erases;
-  return Tree.removeAt(Addr);
+  Shard &S = shardFor(Addr);
+  SpinLockGuard G(S.Lock);
+  ++S.Erases;
+  return S.Tree.removeAt(Addr);
 }
 
 void LiveObjectIndex::recordMove(uint64_t OldAddr, uint64_t NewAddr,
                                  uint64_t Size) {
-  SpinLockGuard G(Lock);
+  // Striped by the *old* address: that is the key applyRelocations()
+  // resolves against the trees.
+  Shard &S = shardFor(OldAddr);
+  SpinLockGuard G(S.Lock);
   // If the object moved earlier in the same GC epoch (it cannot under a
   // single sliding pass, but a future collector might), the latest move
   // wins for its original key.
-  RelocationMap[OldAddr] = Relocation{NewAddr, Size};
+  S.RelocationMap[OldAddr] = Relocation{NewAddr, Size};
 }
 
 unsigned LiveObjectIndex::applyRelocations(const LiveObject &Unknown) {
-  SpinLockGuard G(Lock);
+  // Whole-index operation: moves may cross shard boundaries, so take every
+  // shard lock, in index order (the only place two index locks are ever
+  // held at once).
+  for (Shard &S : Shards)
+    S.Lock.lock();
+
   // Two phases: first detach every moving interval, then re-insert at the
   // new addresses. A one-pass relocate would be order-sensitive, because a
   // new range may overlap the *old* range of an object whose relocation
@@ -53,34 +103,105 @@ unsigned LiveObjectIndex::applyRelocations(const LiveObject &Unknown) {
     LiveObject Obj;
   };
   std::vector<Pending> Moves;
-  Moves.reserve(RelocationMap.size());
-  for (const auto &[OldAddr, R] : RelocationMap) {
-    auto E = Tree.lookup(OldAddr);
-    if (E && E->Start == OldAddr) {
-      Tree.removeAt(OldAddr);
-      Moves.push_back(Pending{R.NewAddr, R.Size, E->Value});
-    } else {
-      // Attach mode missed this allocation: insert the new interval
-      // directly so future samples at least map to the object (§4.5).
-      LiveObject O = Unknown;
-      O.Size = R.Size;
-      Moves.push_back(Pending{R.NewAddr, R.Size, O});
+  for (Shard &S : Shards) {
+    for (const auto &[OldAddr, R] : S.RelocationMap) {
+      auto E = S.Tree.lookup(OldAddr);
+      if (E && E->Start == OldAddr) {
+        S.Tree.removeAt(OldAddr);
+        Moves.push_back(Pending{R.NewAddr, R.Size, E->Value});
+      } else {
+        // Attach mode missed this allocation: insert the new interval
+        // directly so future samples at least map to the object (§4.5).
+        LiveObject O = Unknown;
+        O.Size = R.Size;
+        Moves.push_back(Pending{R.NewAddr, R.Size, O});
+      }
     }
+    S.RelocationMap.clear();
   }
   for (const Pending &P : Moves)
-    Tree.insert(P.NewAddr, P.Size, P.Obj);
-  unsigned Applied = static_cast<unsigned>(Moves.size());
-  RelocationMap.clear();
-  return Applied;
+    shardFor(P.NewAddr).Tree.insert(P.NewAddr, P.Size, P.Obj);
+
+  for (size_t I = Shards.size(); I-- > 0;)
+    Shards[I].Lock.unlock();
+  return static_cast<unsigned>(Moves.size());
+}
+
+void LiveObjectIndex::discardRelocations() {
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    S.RelocationMap.clear();
+  }
 }
 
 size_t LiveObjectIndex::liveCount() {
-  SpinLockGuard G(Lock);
-  return Tree.size();
+  size_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.Tree.size();
+  }
+  return Sum;
+}
+
+size_t LiveObjectIndex::pendingRelocations() {
+  size_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.RelocationMap.size();
+  }
+  return Sum;
 }
 
 size_t LiveObjectIndex::memoryFootprint() {
-  SpinLockGuard G(Lock);
-  return Tree.memoryFootprint() +
-         RelocationMap.size() * (sizeof(uint64_t) + sizeof(Relocation) + 16);
+  size_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.Tree.memoryFootprint() +
+           S.RelocationMap.size() *
+               (sizeof(uint64_t) + sizeof(Relocation) + 16);
+  }
+  return Sum;
+}
+
+uint64_t LiveObjectIndex::inserts() {
+  uint64_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.Inserts;
+  }
+  return Sum;
+}
+
+uint64_t LiveObjectIndex::lookups() {
+  uint64_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.Lookups;
+  }
+  return Sum;
+}
+
+uint64_t LiveObjectIndex::lookupMisses() {
+  uint64_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.LookupMisses;
+  }
+  return Sum;
+}
+
+uint64_t LiveObjectIndex::erases() {
+  uint64_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.Erases;
+  }
+  return Sum;
+}
+
+uint64_t LiveObjectIndex::lockAcquisitions() const {
+  uint64_t Sum = 0;
+  for (const Shard &S : Shards)
+    Sum += S.Lock.acquisitions();
+  return Sum;
 }

@@ -1,15 +1,21 @@
-//===- LiveObjectIndex.h - Shared object interval index ---------*- C++ -*-===//
+//===- LiveObjectIndex.h - Sharded object interval index --------*- C++ -*-===//
 //
 // Part of the DJXPerf reproduction. MIT licensed.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The profiler's only cross-thread data structure (§5.1): an interval
-/// splay tree mapping live object address ranges to their allocation
-/// identity, guarded by a spin lock. Also owns the GC relocation map of
-/// §4.5: moves recorded per memmove interposition are applied to the tree
-/// in one batch when the GC-finish (MXBean) notification arrives.
+/// The profiler's only cross-thread data structure (§5.1): interval splay
+/// trees mapping live object address ranges to their allocation identity,
+/// each guarded by a spin lock. The index is *sharded by address range* so
+/// allocation inserts and sample lookups from different threads (whose
+/// heap shards occupy disjoint address ranges) serialize only when they
+/// genuinely touch the same region; with one shard (the default) it is
+/// exactly the paper's single splay-tree-plus-spin-lock design. Also owns
+/// the GC relocation map of §4.5: moves recorded per memmove interposition
+/// are applied to the trees in one batch when the GC-finish (MXBean)
+/// notification arrives — under the Executor that notification fires at a
+/// stop-the-world safepoint, through this same code path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +28,7 @@
 #include "support/SpinLock.h"
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -37,9 +44,28 @@ struct LiveObject {
   uint64_t Size = 0;
 };
 
-/// Thread-shared splay-tree index of live monitored objects.
+/// Thread-shared, address-sharded splay-tree index of live monitored
+/// objects. All entry points are safe to call concurrently; see the
+/// locking-order note in DjxPerf.h.
 class LiveObjectIndex {
 public:
+  /// Single-shard index (the original design).
+  LiveObjectIndex() { configureShards(1, 0); }
+
+  /// Splits the address space into \p NumShards ranges of \p SpanBytes
+  /// each (addresses at or beyond the last boundary map to the last
+  /// shard). Must be called before any object is tracked. Matching the
+  /// heap's shard geometry gives contention-free operation for
+  /// thread-private data. Geometry constraint: every tracked interval
+  /// must be smaller than \p SpanBytes — an interval is keyed by its
+  /// start address and lookups fall back to exactly one preceding shard
+  /// on a miss, so an interval spanning more than two shards would be
+  /// unfindable for its tail addresses (DjxPerf derives the span from
+  /// the heap, where no object can exceed a shard).
+  void configureShards(unsigned NumShards, uint64_t SpanBytes);
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
   /// Tracks a freshly allocated object.
   void insert(uint64_t Addr, uint64_t Size, const LiveObject &Obj);
 
@@ -51,28 +77,32 @@ public:
   bool erase(uint64_t Addr);
 
   /// memmove interposition: records a move into the relocation map; the
-  /// tree is not touched until applyRelocations().
+  /// trees are not touched until applyRelocations().
   void recordMove(uint64_t OldAddr, uint64_t NewAddr, uint64_t Size);
 
-  /// GC-finish notification: applies the batched relocation map. Objects
-  /// missing from the tree (allocations the attach mode missed, §4.5) are
-  /// inserted fresh with \p UnknownIdentity.
+  /// GC-finish notification: applies the batched relocation maps across
+  /// all shards (moves may cross shard boundaries). Objects missing from
+  /// the trees (allocations the attach mode missed, §4.5) are inserted
+  /// fresh with \p UnknownIdentity. Takes every shard lock in index order.
   /// \returns the number of relocations applied.
   unsigned applyRelocations(const LiveObject &UnknownIdentity);
 
   /// Drops any pending relocations without applying (ablation support).
-  void discardRelocations() { RelocationMap.clear(); }
+  void discardRelocations();
 
   size_t liveCount();
-  size_t pendingRelocations() const { return RelocationMap.size(); }
+  size_t pendingRelocations();
   size_t memoryFootprint();
 
-  /// Total operations, for the overhead model and ablation benches.
-  uint64_t inserts() const { return Inserts; }
-  uint64_t lookups() const { return Lookups; }
-  uint64_t lookupMisses() const { return LookupMisses; }
-  uint64_t erases() const { return Erases; }
-  uint64_t lockAcquisitions() const { return Lock.acquisitions(); }
+  /// Total operations, for the overhead model and ablation benches
+  /// (summed across shards under the shard locks; order-independent, so
+  /// deterministic under any host interleaving).
+  uint64_t inserts();
+  uint64_t lookups();
+  uint64_t lookupMisses();
+  uint64_t erases();
+  /// Lock-free read: SpinLock's acquisition counter is atomic.
+  uint64_t lockAcquisitions() const;
 
 private:
   struct Relocation {
@@ -80,13 +110,31 @@ private:
     uint64_t Size;
   };
 
-  SpinLock Lock;
-  IntervalSplayTree<LiveObject> Tree;
-  std::unordered_map<uint64_t, Relocation> RelocationMap;
-  uint64_t Inserts = 0;
-  uint64_t Lookups = 0;
-  uint64_t LookupMisses = 0;
-  uint64_t Erases = 0;
+  /// One address-range shard: the paper's splay tree + spin lock, plus a
+  /// striped slice of the relocation map and its own op counters.
+  struct Shard {
+    SpinLock Lock;
+    IntervalSplayTree<LiveObject> Tree;
+    std::unordered_map<uint64_t, Relocation> RelocationMap;
+    uint64_t Inserts = 0;
+    uint64_t Lookups = 0;
+    uint64_t LookupMisses = 0;
+    uint64_t Erases = 0;
+  };
+
+  Shard &shardFor(uint64_t Addr) { return Shards[shardIndexFor(Addr)]; }
+  size_t shardIndexFor(uint64_t Addr) const {
+    if (Shards.size() == 1)
+      return 0;
+    uint64_t Idx = Addr / SpanBytes;
+    size_t Last = Shards.size() - 1;
+    return Idx < Last ? static_cast<size_t>(Idx) : Last;
+  }
+
+  /// Deque: shards are non-movable (SpinLock) and addresses must stay
+  /// stable.
+  std::deque<Shard> Shards;
+  uint64_t SpanBytes = 0;
 };
 
 } // namespace djx

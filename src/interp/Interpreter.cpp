@@ -79,18 +79,17 @@ std::optional<Value> Interpreter::run(const std::string &QualifiedName,
   return execute(Program.methodIndex(QualifiedName), Args);
 }
 
-std::optional<Value> Interpreter::execute(size_t MethodIndex,
-                                          const std::vector<Value> &Args) {
+void Interpreter::beginCall(size_t MethodIndex,
+                            const std::vector<Value> &Args) {
   {
     const BytecodeMethod &M0 = Program.method(MethodIndex);
     assert(Args.size() == M0.NumArgs && "argument count mismatch");
     (void)M0;
   }
-  const size_t BaseDepth = CallStack.size();
   const uint32_t BaseTop = ArenaTop;
   // The step limit is per run(): budget from the cumulative counter at
   // top-level entry (nested entries inherit the outer budget).
-  if (BaseDepth == 0)
+  if (CallStack.empty())
     StepDeadline =
         Steps > ~0ULL - StepLimit ? ~0ULL : Steps + StepLimit;
 
@@ -98,12 +97,62 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
   // over them (pushActivation treats them as in-place locals 0..N-1).
   if (ArenaTop + Args.size() > Arena.size())
     growArena(ArenaTop + Args.size());
-  std::copy(Args.begin(), Args.end(), Arena.begin() + ArenaTop);
-  {
-    Frame &F0 = pushActivation(MethodIndex, BaseTop);
-    Thread.pushFrame(F0.M->RegistryId, 0);
-  }
+  std::copy(Args.begin(), Args.end(), Arena.begin() + BaseTop);
+  Frame &F0 = pushActivation(MethodIndex, BaseTop);
+  Thread.pushFrame(F0.M->RegistryId, 0);
+}
 
+std::optional<Value> Interpreter::execute(size_t MethodIndex,
+                                          const std::vector<Value> &Args) {
+  const size_t BaseDepth = CallStack.size();
+  const uint32_t BaseTop = ArenaTop;
+  beginCall(MethodIndex, Args);
+  std::optional<Value> Out;
+  bool Returned = loop(BaseDepth, BaseTop, ~0ULL, Out);
+  assert(Returned && "unbounded loop() paused");
+  (void)Returned;
+  return Out;
+}
+
+void Interpreter::startCall(const std::string &QualifiedName,
+                            const std::vector<Value> &Args) {
+  assert(CallStack.empty() && "a call is already pending");
+  SessionResult.reset();
+  beginCall(Program.methodIndex(QualifiedName), Args);
+}
+
+RunState Interpreter::resume(uint64_t MaxSteps) {
+  assert(!CallStack.empty() && "no pending call to resume");
+  assert(MaxSteps > 0 && "resume needs a positive step budget");
+  uint64_t QuantumEnd =
+      Steps > ~0ULL - MaxSteps ? ~0ULL : Steps + MaxSteps;
+  std::optional<Value> Out;
+  try {
+    if (!loop(/*BaseDepth=*/0, /*BaseTop=*/0, QuantumEnd, Out))
+      return RunState::Paused;
+  } catch (const GcRequest &) {
+    // Executor mode: a shard allocation faulted. The opcode's operands
+    // are still on the stack (peek-then-commit) and its frame state was
+    // synced before the VM call — roll back its step count and dispatch
+    // tick too, so the re-execution after the safepoint GC is observed
+    // exactly once by every counter (and so the Executor can detect a
+    // fault that repeats at the same step count as OutOfMemory).
+    --Steps;
+    Thread.subCycles(1);
+    throw;
+  }
+  SessionResult = Out;
+  return RunState::Done;
+}
+
+std::optional<Value> Interpreter::takeResult() {
+  std::optional<Value> Out = SessionResult;
+  SessionResult.reset();
+  return Out;
+}
+
+bool Interpreter::loop(size_t BaseDepth, uint32_t BaseTop,
+                       uint64_t QuantumEnd, std::optional<Value> &Out) {
   // Cached execution registers for the top frame; Reload refreshes them
   // after any frame switch or arena growth, SyncTop publishes them back
   // before anything that can trigger a GC (the root scan reads frames).
@@ -145,6 +194,13 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
   Reload();
 
   for (;;) {
+    // Quantum boundary: pause *before* the next instruction so it has not
+    // been counted or charged; the frame sync makes the pause a clean GC /
+    // resume point. run() passes ~0 and never pauses.
+    if (Steps >= QuantumEnd) {
+      SyncTop();
+      return false;
+    }
     if (Pc >= CodeSize) {
       assert(false && "fell off the end of a method (verifier should catch)");
       std::fprintf(stderr, "djx: control fell off the end of %s\n",
@@ -326,19 +382,28 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
     }
     case Opcode::NewArray:
     case Opcode::ANewArray: {
-      int64_t Len = Pop().asInt();
+      // Peek the length and pop only after the allocation commits: a
+      // GcRequest unwind (executor mode) must leave the operand stack
+      // intact so this instruction re-executes after the safepoint GC.
+      assert(Sp > 0 && "operand stack underflow");
+      int64_t Len = S[Sp - 1].asInt();
       assert(Len >= 0 && "negative array length");
       SyncTop();
       ObjectRef Obj = Vm.allocateArray(Thread, static_cast<TypeId>(I.A),
                                        static_cast<uint64_t>(Len));
       Reload();
+      --Sp;
       Push(Value::fromRef(Obj));
       break;
     }
     case Opcode::MultiANewArray: {
-      std::vector<uint64_t> Dims(static_cast<size_t>(I.B));
-      for (size_t D = Dims.size(); D-- > 0;) {
-        int64_t Len = Pop().asInt();
+      // Same peek-then-commit discipline as NewArray (dims are ints, so
+      // leaving them on the stack adds no GC roots).
+      uint32_t NDims = static_cast<uint32_t>(I.B);
+      assert(Sp >= NDims && "operand stack underflow");
+      std::vector<uint64_t> Dims(NDims);
+      for (uint32_t D = 0; D < NDims; ++D) {
+        int64_t Len = S[Sp - NDims + D].asInt();
         assert(Len >= 0 && "negative array length");
         Dims[D] = static_cast<uint64_t>(Len);
       }
@@ -346,14 +411,15 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       ObjectRef Obj = Vm.allocateMultiArray(
           Thread, static_cast<TypeId>(I.A), Dims);
       Reload();
+      Sp -= NDims;
       Push(Value::fromRef(Obj));
       break;
     }
     case Opcode::PALoad: {
       int64_t Idx = Pop().asInt();
       ObjectRef Arr = Pop().asRef();
-      const ObjectInfo &Info = Vm.objectInfo(Arr);
-      const TypeDescriptor &Desc = Vm.objectType(Arr);
+      const ObjectInfo &Info = Vm.objectInfo(Thread, Arr);
+      const TypeDescriptor &Desc = Vm.objectType(Thread, Arr);
       assert(Desc.IsArray && !Desc.ElemIsRef && "paload needs a prim array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
@@ -373,8 +439,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       uint64_t V = static_cast<uint64_t>(Pop().asInt());
       int64_t Idx = Pop().asInt();
       ObjectRef Arr = Pop().asRef();
-      const ObjectInfo &Info = Vm.objectInfo(Arr);
-      const TypeDescriptor &Desc = Vm.objectType(Arr);
+      const ObjectInfo &Info = Vm.objectInfo(Thread, Arr);
+      const TypeDescriptor &Desc = Vm.objectType(Thread, Arr);
       assert(Desc.IsArray && !Desc.ElemIsRef && "pastore needs a prim array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
@@ -392,8 +458,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       int64_t Idx = Pop().asInt();
       ObjectRef Arr = Pop().asRef();
 #ifndef NDEBUG
-      const ObjectInfo &Info = Vm.objectInfo(Arr);
-      assert(Vm.objectType(Arr).ElemIsRef && "aaload needs ref array");
+      const ObjectInfo &Info = Vm.objectInfo(Thread, Arr);
+      assert(Vm.objectType(Thread, Arr).ElemIsRef && "aaload needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
 #endif
@@ -406,8 +472,8 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       int64_t Idx = Pop().asInt();
       ObjectRef Arr = Pop().asRef();
 #ifndef NDEBUG
-      const ObjectInfo &Info = Vm.objectInfo(Arr);
-      assert(Vm.objectType(Arr).ElemIsRef && "aastore needs ref array");
+      const ObjectInfo &Info = Vm.objectInfo(Thread, Arr);
+      assert(Vm.objectType(Thread, Arr).ElemIsRef && "aastore needs ref array");
       assert(Idx >= 0 && static_cast<uint64_t>(Idx) < Info.Length &&
              "array index out of bounds");
 #endif
@@ -418,7 +484,7 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       ObjectRef Arr = Pop().asRef();
       // Length lives in the header word; touching it is a real access.
       Vm.readWord(Thread, Arr, 0);
-      Push(Value::fromInt(static_cast<int64_t>(Vm.objectInfo(Arr).Length)));
+      Push(Value::fromInt(static_cast<int64_t>(Vm.objectInfo(Thread, Arr).Length)));
       break;
     }
     case Opcode::GetField: {
@@ -484,8 +550,10 @@ std::optional<Value> Interpreter::execute(size_t MethodIndex,
       if (CallStack.size() == BaseDepth) {
         ArenaTop = BaseTop;
         if (HasValue)
-          return RV;
-        return std::nullopt;
+          Out = RV;
+        else
+          Out = std::nullopt;
+        return true;
       }
       Reload(); // Caller frame: Pc already advanced past the Invoke.
       if (HasValue)

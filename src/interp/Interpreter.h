@@ -21,6 +21,16 @@
 /// observer is supported (the frame state is synced around those
 /// dispatches); re-entering from a PMU overflow handler is not.
 ///
+/// Execution can also be driven in *quanta* (startCall()/resume()) — the
+/// Executor slices each simulated thread into fixed step budgets and runs
+/// them on host workers. The flat frame loop makes suspension trivial:
+/// all activation state already lives in the member CallStack/Arena, so a
+/// pause is one state sync. In executor mode a failed allocation throws
+/// GcRequest; allocation opcodes read their operands without popping and
+/// commit only after the allocation succeeds, so the unwound instruction
+/// re-executes cleanly after the safepoint GC. (Hooks that re-enter run()
+/// and allocate are not supported in executor mode.)
+///
 /// The AllocHookPre/AllocHookPost pseudo-instructions inserted by the
 /// instrumenter dispatch to registered hooks — the runtime half of the
 /// paper's ASM-based Java agent.
@@ -62,6 +72,12 @@ struct AllocationHooks {
   std::function<void(uint64_t SiteId, ObjectRef Obj)> Post;
 };
 
+/// Outcome of one resume() quantum.
+enum class RunState {
+  Done,   ///< The pending call returned; takeResult() has the value.
+  Paused, ///< Step budget exhausted; call resume() again to continue.
+};
+
 /// Executes bytecode on one JavaThread.
 class Interpreter {
 public:
@@ -85,6 +101,25 @@ public:
   /// or std::nullopt for void methods.
   std::optional<Value> run(const std::string &QualifiedName,
                            const std::vector<Value> &Args = {});
+
+  // --- Resumable execution (Executor quanta) ------------------------------
+  /// Begins a top-level call without executing any instruction; drive it
+  /// with resume(). Exactly one call may be pending at a time.
+  void startCall(const std::string &QualifiedName,
+                 const std::vector<Value> &Args = {});
+
+  /// Executes up to \p MaxSteps instructions of the pending call. Frame
+  /// state is fully synced whenever this returns — and also when a
+  /// GcRequest propagates out of an allocation opcode, whose operands stay
+  /// on the stack until the allocation commits, so the instruction
+  /// re-executes cleanly on the next resume() after the safepoint GC.
+  RunState resume(uint64_t MaxSteps);
+
+  /// True while startCall()'s call has not yet returned.
+  bool hasPendingCall() const { return !CallStack.empty(); }
+
+  /// Return value of the completed call (nullopt for void methods).
+  std::optional<Value> takeResult();
 
   /// Upper bound on executed instructions per run() (runaway-loop guard).
   /// Enforced in every build mode; exceeding it is a fatal error.
@@ -110,6 +145,17 @@ private:
 
   std::optional<Value> execute(size_t MethodIndex,
                                const std::vector<Value> &Args);
+
+  /// Pushes the entry activation for \p MethodIndex over \p Args; shared
+  /// prologue of execute() and startCall().
+  void beginCall(size_t MethodIndex, const std::vector<Value> &Args);
+
+  /// The dispatch loop: executes until the call stack returns to
+  /// \p BaseDepth (true; \p Out holds the return value) or the cumulative
+  /// step counter reaches \p QuantumEnd (false; state synced for resume).
+  bool loop(size_t BaseDepth, uint32_t BaseTop, uint64_t QuantumEnd,
+            std::optional<Value> &Out);
+
   void collectRoots(std::vector<ObjectRef *> &Slots);
 
   /// Pushes the activation of \p MethodIndex whose arguments already sit
@@ -138,6 +184,8 @@ private:
   /// Cumulative Steps value at which the current run() overruns its
   /// per-run StepLimit (saturated; recomputed at each top-level entry).
   uint64_t StepDeadline = ~0ULL;
+  /// Result of the last completed startCall() session.
+  std::optional<Value> SessionResult;
 };
 
 } // namespace djx

@@ -68,30 +68,40 @@ GcStats MarkCompactCollector::collect(
 
   mark(RootSlots);
 
-  // Plan the slide: assign each marked object its compacted address, in
-  // ascending address order so every move is leftward (memmove-safe).
+  // Plan the slide shard by shard: each marked object gets its compacted
+  // address within its own shard, in ascending address order so every move
+  // is leftward (memmove-safe) and stays inside the shard. Shard address
+  // ranges ascend with the shard index, so walking shards in order visits
+  // objects in global address order — with one shard this is exactly the
+  // original whole-heap slide.
+  const unsigned NumShards = TheHeap.numShards();
   std::unordered_map<ObjectRef, ObjectRef> Forward;
-  uint64_t Cursor = Heap::kArenaBase;
-  auto &Objects = TheHeap.objects();
-  for (const auto &[Addr, Info] : Objects) {
-    if (!Info.Marked)
-      continue;
-    Forward.emplace(Addr, Cursor);
-    Cursor += alignUp(Info.Size, 8);
+  std::vector<uint64_t> Cursors(NumShards);
+  for (unsigned S = 0; S < NumShards; ++S) {
+    uint64_t Cursor = TheHeap.shardBase(S);
+    for (const auto &[Addr, Info] : TheHeap.objects(S)) {
+      if (!Info.Marked)
+        continue;
+      Forward.emplace(Addr, Cursor);
+      Cursor += alignUp(Info.Size, 8);
+    }
+    Cursors[S] = Cursor;
   }
 
   // Publish frees for the dead (finalize interposition) before their bytes
   // can be overwritten by the slide.
-  for (const auto &[Addr, Info] : Objects) {
-    if (Info.Marked)
-      continue;
-    Jvmti.publishObjectFree(ObjectFreeEvent{Addr, Info.Size});
-    ++Round.ObjectsFreed;
-    Round.BytesFreed += Info.Size;
-  }
+  for (unsigned S = 0; S < NumShards; ++S)
+    for (const auto &[Addr, Info] : TheHeap.objects(S)) {
+      if (Info.Marked)
+        continue;
+      Jvmti.publishObjectFree(ObjectFreeEvent{Addr, Info.Size});
+      ++Round.ObjectsFreed;
+      Round.BytesFreed += Info.Size;
+    }
 
   // Rewrite every reference (heap slots first, then roots) through the
   // forwarding table, while objects still sit at their old addresses.
+  // References may cross shards; the forwarding table is global.
   auto ForwardRef = [&](uint64_t SlotAddr) {
     ObjectRef Child = TheHeap.rawReadWord(SlotAddr);
     if (Child == kNullRef)
@@ -101,19 +111,20 @@ GcStats MarkCompactCollector::collect(
     if (It->second != Child)
       TheHeap.rawWriteWord(SlotAddr, It->second);
   };
-  for (const auto &[Addr, Info] : Objects) {
-    if (!Info.Marked)
-      continue;
-    const TypeDescriptor &Desc = Types.get(Info.Type);
-    if (Desc.IsArray) {
-      if (Desc.ElemIsRef)
-        for (uint64_t I = 0; I < Info.Length; ++I)
-          ForwardRef(Addr + I * 8);
-    } else {
-      for (uint64_t Off : Desc.RefOffsets)
-        ForwardRef(Addr + Off);
+  for (unsigned S = 0; S < NumShards; ++S)
+    for (const auto &[Addr, Info] : TheHeap.objects(S)) {
+      if (!Info.Marked)
+        continue;
+      const TypeDescriptor &Desc = Types.get(Info.Type);
+      if (Desc.IsArray) {
+        if (Desc.ElemIsRef)
+          for (uint64_t I = 0; I < Info.Length; ++I)
+            ForwardRef(Addr + I * 8);
+      } else {
+        for (uint64_t Off : Desc.RefOffsets)
+          ForwardRef(Addr + Off);
+      }
     }
-  }
   for (ObjectRef *Slot : RootSlots) {
     if (*Slot == kNullRef)
       continue;
@@ -122,23 +133,26 @@ GcStats MarkCompactCollector::collect(
     *Slot = It->second;
   }
 
-  // Slide the survivors left and rebuild the side table. Each physical
-  // move is announced through the memmove interposition point.
-  std::map<ObjectRef, ObjectInfo> NewObjects;
-  for (auto &[Addr, Info] : Objects) {
-    if (!Info.Marked)
-      continue;
-    ObjectRef NewAddr = Forward.at(Addr);
-    if (NewAddr != Addr) {
-      TheHeap.rawMemmove(NewAddr, Addr, Info.Size);
-      Jvmti.publishObjectMove(ObjectMoveEvent{Addr, NewAddr, Info.Size});
-      ++Round.ObjectsMoved;
+  // Slide the survivors left within each shard and rebuild the side
+  // tables. Each physical move is announced through the memmove
+  // interposition point.
+  for (unsigned S = 0; S < NumShards; ++S) {
+    std::map<ObjectRef, ObjectInfo> NewObjects;
+    for (auto &[Addr, Info] : TheHeap.objects(S)) {
+      if (!Info.Marked)
+        continue;
+      ObjectRef NewAddr = Forward.at(Addr);
+      if (NewAddr != Addr) {
+        TheHeap.rawMemmove(NewAddr, Addr, Info.Size);
+        Jvmti.publishObjectMove(ObjectMoveEvent{Addr, NewAddr, Info.Size});
+        ++Round.ObjectsMoved;
+      }
+      Info.Marked = false;
+      NewObjects.emplace(NewAddr, Info);
     }
-    Info.Marked = false;
-    NewObjects.emplace(NewAddr, Info);
+    TheHeap.objects(S) = std::move(NewObjects);
+    TheHeap.setBumpTop(Cursors[S], S);
   }
-  Objects = std::move(NewObjects);
-  TheHeap.setBumpTop(Cursor);
 
   Totals.Collections += Round.Collections;
   Totals.ObjectsMoved += Round.ObjectsMoved;

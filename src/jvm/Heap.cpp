@@ -1,4 +1,4 @@
-//===- Heap.cpp - Bump-allocated, compactable heap arena -------------------===//
+//===- Heap.cpp - Bump-allocated, compactable, shardable heap --------------===//
 //
 // Part of the DJXPerf reproduction. MIT licensed.
 //
@@ -11,51 +11,78 @@
 
 using namespace djx;
 
-Heap::Heap(uint64_t CapacityBytes) : Capacity(CapacityBytes) {
-  assert(Capacity > kArenaBase && "heap too small");
-  Arena.resize(Capacity, 0);
-}
-
 static uint64_t alignUp(uint64_t V, uint64_t A) {
   return (V + A - 1) & ~(A - 1);
 }
 
-ObjectRef Heap::allocate(TypeId Type, uint64_t Size, uint64_t Length) {
+Heap::Heap(uint64_t CapacityBytes, unsigned NumShards)
+    : Capacity(CapacityBytes) {
+  assert(NumShards >= 1 && "heap needs at least one shard");
+  assert(Capacity > kArenaBase && "heap too small");
+  Arena.resize(Capacity, 0);
+  Shards.resize(NumShards);
+  // Equal contiguous spans, 8-aligned; the last shard absorbs the
+  // remainder. One shard degenerates to the original single arena. Every
+  // bound is clamped to Capacity so a pathological NumShards-vs-capacity
+  // combination yields empty (allocation-failing) shards, never ranges
+  // outside the arena.
+  assert((Capacity - kArenaBase) / NumShards >= 64 &&
+         "heap too small for this shard count");
+  ShardSpan = ((Capacity - kArenaBase) / NumShards) & ~7ULL;
+  if (ShardSpan < 8)
+    ShardSpan = 8;
+  for (unsigned S = 0; S < NumShards; ++S) {
+    uint64_t Base = kArenaBase + S * ShardSpan;
+    uint64_t Limit =
+        S + 1 == NumShards ? Capacity : kArenaBase + (S + 1) * ShardSpan;
+    Shards[S].Base = Base < Capacity ? Base : Capacity;
+    Shards[S].Limit = Limit < Capacity ? Limit : Capacity;
+    Shards[S].Top = Shards[S].PeakTop = Shards[S].Base;
+  }
+}
+
+ObjectRef Heap::allocate(TypeId Type, uint64_t Size, uint64_t Length,
+                         unsigned Shard) {
   assert(Size > 0 && "zero-sized object");
+  assert(Shard < Shards.size() && "shard out of range");
+  struct Shard &S = Shards[Shard];
   uint64_t Aligned = alignUp(Size, 8);
-  if (Top + Aligned > Capacity)
+  if (S.Top + Aligned > S.Limit)
     return kNullRef;
-  ObjectRef Obj = Top;
-  Top += Aligned;
-  if (Top > PeakTop)
-    PeakTop = Top;
+  ObjectRef Obj = S.Top;
+  S.Top += Aligned;
+  if (S.Top > S.PeakTop)
+    S.PeakTop = S.Top;
   std::memset(&Arena[Obj], 0, Aligned);
   ObjectInfo Info;
   Info.Type = Type;
   Info.Size = Size;
   Info.Length = Length;
-  Info.AllocId = NextAllocId++;
-  Objects.emplace(Obj, Info);
+  Info.AllocId = S.NextAllocId++ * Shards.size() + Shard;
+  S.Objects.emplace(Obj, Info);
   return Obj;
 }
 
 const ObjectInfo &Heap::info(ObjectRef Obj) const {
+  const auto &Objects = Shards[shardOf(Obj)].Objects;
   auto It = Objects.find(Obj);
   assert(It != Objects.end() && "not a live object");
   return It->second;
 }
 
 ObjectInfo &Heap::info(ObjectRef Obj) {
+  auto &Objects = Shards[shardOf(Obj)].Objects;
   auto It = Objects.find(Obj);
   assert(It != Objects.end() && "not a live object");
   return It->second;
 }
 
 bool Heap::isObjectStart(ObjectRef Obj) const {
-  return Objects.count(Obj) != 0;
+  return Shards[shardOf(Obj)].Objects.count(Obj) != 0;
 }
 
 ObjectRef Heap::objectContaining(uint64_t Addr) const {
+  const auto &Objects = Shards[shardOf(Addr)].Objects;
   auto It = Objects.upper_bound(Addr);
   if (It == Objects.begin())
     return kNullRef;
@@ -71,16 +98,46 @@ void Heap::rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size) {
   std::memmove(&Arena[Dst], &Arena[Src], Size);
 }
 
-void Heap::setBumpTop(uint64_t NewTop) {
-  assert(NewTop >= kArenaBase && NewTop <= Capacity && "bad bump top");
-  Top = NewTop;
+void Heap::setBumpTop(uint64_t NewTop, unsigned Shard) {
+  struct Shard &S = Shards[Shard];
+  assert(NewTop >= S.Base && NewTop <= S.Limit && "bad bump top");
+  S.Top = NewTop;
+}
+
+uint64_t Heap::usedBytes() const {
+  uint64_t Sum = 0;
+  for (const Shard &S : Shards)
+    Sum += S.Top - S.Base;
+  return Sum;
+}
+
+uint64_t Heap::peakUsedBytes() const {
+  uint64_t Sum = 0;
+  for (const Shard &S : Shards)
+    Sum += S.PeakTop - S.Base;
+  return Sum;
 }
 
 uint64_t Heap::liveBytes() const {
   uint64_t Sum = 0;
-  for (const auto &[Addr, Info] : Objects) {
-    (void)Addr;
-    Sum += Info.Size;
-  }
+  for (const Shard &S : Shards)
+    for (const auto &[Addr, Info] : S.Objects) {
+      (void)Addr;
+      Sum += Info.Size;
+    }
+  return Sum;
+}
+
+size_t Heap::numObjects() const {
+  size_t Sum = 0;
+  for (const Shard &S : Shards)
+    Sum += S.Objects.size();
+  return Sum;
+}
+
+uint64_t Heap::allocationsCount() const {
+  uint64_t Sum = 0;
+  for (const Shard &S : Shards)
+    Sum += S.NextAllocId;
   return Sum;
 }

@@ -1,14 +1,22 @@
-//===- Heap.h - Bump-allocated, compactable heap arena ----------*- C++ -*-===//
+//===- Heap.h - Bump-allocated, compactable, shardable heap -----*- C++ -*-===//
 //
 // Part of the DJXPerf reproduction. MIT licensed.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The MiniJVM heap: a flat byte arena with bump allocation and a side
-/// table of object metadata ordered by address (so the collector can walk
-/// objects in address order for sliding compaction). The heap knows nothing
-/// about profiling; allocation/GC events are surfaced by JavaVm.
+/// The MiniJVM heap: a flat byte arena divided into one or more *shards*,
+/// each with its own bump pointer and side table of object metadata ordered
+/// by address (so the collector can walk objects in address order for
+/// sliding compaction). With one shard (the default) the heap behaves
+/// exactly as the original single-arena design. With N shards the arena is
+/// partitioned into N contiguous address ranges; the parallel runtime
+/// assigns each simulated thread its own shard, so concurrent allocations
+/// from different threads touch disjoint bump pointers and side tables and
+/// never need a lock. Shard addresses are totally ordered (shard i's range
+/// lies below shard i+1's), so iterating shards in order visits objects in
+/// global address order. The heap knows nothing about profiling;
+/// allocation/GC events are surfaced by JavaVm.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,15 +33,16 @@
 
 namespace djx {
 
-/// Flat-arena heap with a bump pointer and per-object side table.
+/// Flat-arena heap with per-shard bump pointers and side tables.
 class Heap {
 public:
-  explicit Heap(uint64_t CapacityBytes);
+  explicit Heap(uint64_t CapacityBytes, unsigned NumShards = 1);
 
-  /// Allocates \p Size payload bytes (8-byte aligned, zero-filled).
-  /// \returns the new object's address, or kNullRef when the arena is full
-  /// (the caller runs a GC and retries).
-  ObjectRef allocate(TypeId Type, uint64_t Size, uint64_t Length);
+  /// Allocates \p Size payload bytes (8-byte aligned, zero-filled) in
+  /// \p Shard. \returns the new object's address, or kNullRef when the
+  /// shard is full (the caller runs a GC and retries).
+  ObjectRef allocate(TypeId Type, uint64_t Size, uint64_t Length,
+                     unsigned Shard = 0);
 
   /// Object metadata; \p Obj must be a live object start address.
   const ObjectInfo &info(ObjectRef Obj) const;
@@ -73,31 +82,60 @@ public:
   /// memmove within the arena; the GC's object-move primitive.
   void rawMemmove(uint64_t Dst, uint64_t Src, uint64_t Size);
 
-  /// Accessors the collector uses to rewrite the object table wholesale.
-  std::map<ObjectRef, ObjectInfo> &objects() { return Objects; }
-  const std::map<ObjectRef, ObjectInfo> &objects() const { return Objects; }
+  // --- Shard geometry ------------------------------------------------------
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  /// Shard whose address range contains \p Addr.
+  unsigned shardOf(uint64_t Addr) const {
+    if (Shards.size() == 1)
+      return 0;
+    uint64_t Idx = (Addr - kArenaBase) / ShardSpan;
+    unsigned Last = static_cast<unsigned>(Shards.size()) - 1;
+    return Idx < Last ? static_cast<unsigned>(Idx) : Last;
+  }
+  uint64_t shardBase(unsigned Shard) const { return Shards[Shard].Base; }
+  uint64_t shardLimit(unsigned Shard) const { return Shards[Shard].Limit; }
 
-  /// Resets the bump pointer after compaction.
-  void setBumpTop(uint64_t Top);
-  uint64_t bumpTop() const { return Top; }
+  /// Accessors the collector uses to rewrite a shard's object table
+  /// wholesale.
+  std::map<ObjectRef, ObjectInfo> &objects(unsigned Shard = 0) {
+    return Shards[Shard].Objects;
+  }
+  const std::map<ObjectRef, ObjectInfo> &objects(unsigned Shard = 0) const {
+    return Shards[Shard].Objects;
+  }
+
+  /// Resets a shard's bump pointer after compaction.
+  void setBumpTop(uint64_t Top, unsigned Shard = 0);
+  uint64_t bumpTop(unsigned Shard = 0) const { return Shards[Shard].Top; }
 
   uint64_t capacity() const { return Capacity; }
-  uint64_t usedBytes() const { return Top - kArenaBase; }
-  uint64_t peakUsedBytes() const { return PeakTop - kArenaBase; }
+  uint64_t usedBytes() const;
+  uint64_t peakUsedBytes() const;
   uint64_t liveBytes() const;
-  size_t numObjects() const { return Objects.size(); }
-  uint64_t allocationsCount() const { return NextAllocId; }
+  size_t numObjects() const;
+  uint64_t allocationsCount() const;
 
   /// First usable address; 0..kArenaBase-1 are reserved so 0 can be null.
   static constexpr uint64_t kArenaBase = 64;
 
 private:
+  /// One contiguous allocation region: [Base, Limit) with bump pointer Top
+  /// and its own address-ordered side table. Object AllocIds are striped
+  /// (shard-local counter * numShards + shard) so they stay globally unique
+  /// and deterministic however host workers interleave.
+  struct Shard {
+    uint64_t Base = kArenaBase;
+    uint64_t Limit = 0;
+    uint64_t Top = kArenaBase;
+    uint64_t PeakTop = kArenaBase;
+    uint64_t NextAllocId = 0;
+    std::map<ObjectRef, ObjectInfo> Objects;
+  };
+
   uint64_t Capacity;
-  uint64_t Top = kArenaBase;
-  uint64_t PeakTop = kArenaBase;
-  uint64_t NextAllocId = 0;
+  uint64_t ShardSpan = 0;
   std::vector<uint8_t> Arena;
-  std::map<ObjectRef, ObjectInfo> Objects;
+  std::vector<Shard> Shards;
 };
 
 } // namespace djx

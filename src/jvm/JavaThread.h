@@ -7,9 +7,18 @@
 /// \file
 /// Per-thread state: identity, pinned CPU, the shadow call stack that
 /// AsyncGetCallTrace walks, the thread's virtualised PMU context, and the
-/// cycle accumulator used as the simulated clock. Threads are cooperatively
-/// scheduled (deterministic), but carry distinct CPUs so NUMA placement and
-/// per-thread profiles behave as on a real multicore.
+/// cycle accumulator used as the simulated clock. Threads carry distinct
+/// CPUs so NUMA placement and per-thread profiles behave as on a real
+/// multicore.
+///
+/// For the parallel runtime every piece of mutable simulation state a
+/// thread touches on its hot path lives here (or is reached through here):
+/// the memory-hierarchy pointer (the VM's shared machine by default; a
+/// worker-private hierarchy when the Executor adopts the thread), the heap
+/// shard the thread allocates from, and the object-header memo that used
+/// to be a single VM-wide cache. That ownership split is what lets host
+/// workers drive simulated threads concurrently without locks on the
+/// access path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +26,7 @@
 #define DJX_JVM_JAVATHREAD_H
 
 #include "jvm/MethodRegistry.h"
+#include "jvm/ObjectModel.h"
 #include "pmu/Pmu.h"
 
 #include <cstdint>
@@ -60,6 +70,13 @@ public:
 
   /// Simulated clock: cycles this thread has burned.
   void addCycles(uint64_t N) { Cycles += N; }
+  /// Rolls back cycles charged for work that is undone (the interpreter
+  /// un-charges a faulted allocation opcode's dispatch tick so its
+  /// re-execution after a safepoint GC is counted exactly once).
+  void subCycles(uint64_t N) {
+    assert(Cycles >= N && "cycle rollback underflow");
+    Cycles -= N;
+  }
   uint64_t cycles() const { return Cycles; }
 
   PmuContext &pmu() { return Pmu; }
@@ -67,6 +84,37 @@ public:
 
   bool isAlive() const { return Alive; }
   void markDead() { Alive = false; }
+
+  // --- Simulation-state ownership (parallel runtime) ----------------------
+  /// The memory hierarchy this thread's accesses flow through. JavaVm
+  /// points it at the shared machine on startThread(); the Executor
+  /// repoints it at a worker-private hierarchy so concurrent quanta never
+  /// contend on cache/TLB/NUMA state.
+  MemoryHierarchy &machine() {
+    assert(Machine && "thread has no machine attached");
+    return *Machine;
+  }
+  const MemoryHierarchy *machinePtr() const { return Machine; }
+  void setMachine(MemoryHierarchy *M) { Machine = M; }
+
+  /// Heap shard this thread's allocations land in (0 in the serial VM).
+  unsigned heapShard() const { return HeapShard; }
+  void setHeapShard(unsigned S) { HeapShard = S; }
+
+  /// Per-thread object-header memo (see JavaVm::objectInfo): array loops
+  /// re-resolving one header pay a pointer compare instead of a map walk.
+  /// Thread-private so parallel quanta cannot race on it; invalidated when
+  /// a GC rewrites the side tables.
+  ObjectRef memoObj() const { return MemoObj; }
+  const ObjectInfo *memoInfo() const { return MemoInfo; }
+  void setObjectMemo(ObjectRef Obj, const ObjectInfo *Info) {
+    MemoObj = Obj;
+    MemoInfo = Info;
+  }
+  void invalidateObjectMemo() {
+    MemoObj = kNullRef;
+    MemoInfo = nullptr;
+  }
 
 private:
   uint64_t Id;
@@ -76,6 +124,10 @@ private:
   uint64_t Cycles = 0;
   PmuContext Pmu;
   bool Alive = true;
+  MemoryHierarchy *Machine = nullptr;
+  unsigned HeapShard = 0;
+  ObjectRef MemoObj = kNullRef;
+  const ObjectInfo *MemoInfo = nullptr;
 };
 
 } // namespace djx

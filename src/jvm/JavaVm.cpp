@@ -6,6 +6,7 @@
 
 #include "jvm/JavaVm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -14,19 +15,25 @@
 using namespace djx;
 
 JavaVm::JavaVm(const VmConfig &Cfg)
-    : Config(Cfg), Machine(Cfg.Machine), TheHeap(Cfg.HeapBytes),
+    : Config(Cfg), Machine(Cfg.Machine),
+      TheHeap(Cfg.HeapBytes, Cfg.HeapShards),
       Collector(TheHeap, Types, Jvmti) {}
 
 JavaThread &JavaVm::startThread(const std::string &Name, uint32_t Cpu) {
-  if (Cpu == kAnyCpu) {
-    Cpu = NextCpu;
-    NextCpu = (NextCpu + 1) % Machine.numCpus();
+  JavaThread *T;
+  {
+    SpinLockGuard G(ThreadsLock);
+    if (Cpu == kAnyCpu) {
+      Cpu = NextCpu;
+      NextCpu = (NextCpu + 1) % Machine.numCpus();
+    }
+    assert(Cpu < Machine.numCpus() && "CPU id out of range");
+    Threads.emplace_back(NextThreadId++, Name, Cpu);
+    T = &Threads.back();
+    T->setMachine(&Machine);
   }
-  assert(Cpu < Machine.numCpus() && "CPU id out of range");
-  Threads.emplace_back(NextThreadId++, Name, Cpu);
-  JavaThread &T = Threads.back();
-  Jvmti.publishThreadStart(T);
-  return T;
+  Jvmti.publishThreadStart(*T);
+  return *T;
 }
 
 void JavaVm::endThread(JavaThread &T) {
@@ -36,6 +43,7 @@ void JavaVm::endThread(JavaThread &T) {
 }
 
 std::vector<JavaThread *> JavaVm::allThreads() {
+  SpinLockGuard G(ThreadsLock);
   std::vector<JavaThread *> Out;
   Out.reserve(Threads.size());
   for (JavaThread &T : Threads)
@@ -44,10 +52,15 @@ std::vector<JavaThread *> JavaVm::allThreads() {
 }
 
 // Object-header memo refill: the inline objectInfo() calls this only when
-// the request misses the memo.
-void JavaVm::refreshObjectMemo(ObjectRef Obj) {
-  MemoInfo = &TheHeap.info(Obj);
-  MemoObj = Obj;
+// the request misses the thread's memo.
+void JavaVm::refreshObjectMemo(JavaThread &T, ObjectRef Obj) {
+  T.setObjectMemo(Obj, &TheHeap.info(Obj));
+}
+
+void JavaVm::invalidateObjectMemos() {
+  SpinLockGuard G(ThreadsLock);
+  for (JavaThread &T : Threads)
+    T.invalidateObjectMemo();
 }
 
 double JavaVm::readDouble(JavaThread &T, ObjectRef Obj, uint64_t Offset) {
@@ -78,7 +91,7 @@ void JavaVm::arrayCopy(JavaThread &T, ObjectRef Src, uint64_t SrcOff,
 }
 
 void JavaVm::touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size) {
-  uint32_t Line = Machine.config().L1.LineBytes;
+  uint32_t Line = T.machine().config().L1.LineBytes;
   uint64_t First = Obj / Line;
   uint64_t Last = (Obj + Size - 1) / Line;
   for (uint64_t L = First; L <= Last; ++L)
@@ -87,13 +100,15 @@ void JavaVm::touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size) {
 
 ObjectRef JavaVm::allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
                               uint64_t Length) {
-  ObjectRef Obj = TheHeap.allocate(Type, Size, Length);
+  ObjectRef Obj = TheHeap.allocate(Type, Size, Length, T.heapShard());
+  if (Obj == kNullRef && DeferGcToSafepoint)
+    // Executor mode: the world must stop before the collector may run.
+    // The faulting bytecode re-executes after the safepoint GC.
+    throw GcRequest{&T, Size};
   if (Obj == kNullRef && Config.AutoGc) {
     GcStats S = requestGc();
-    T.addCycles(Config.GcPauseBaseCycles +
-                Config.GcPausePerObjectCycles *
-                    (S.ObjectsMoved + S.ObjectsFreed));
-    Obj = TheHeap.allocate(Type, Size, Length);
+    T.addCycles(gcPauseCycles(Config, S));
+    Obj = TheHeap.allocate(Type, Size, Length, T.heapShard());
   }
   if (Obj == kNullRef) {
     std::fprintf(stderr,
@@ -134,11 +149,58 @@ ObjectRef JavaVm::allocateArray(JavaThread &T, TypeId ArrayType,
   return allocateRaw(T, ArrayType, Size, Length);
 }
 
+// Aligned arena footprint of one array allocation (see Heap::allocate).
+static uint64_t alignedArrayBytes(uint64_t Elems, uint64_t ElemSize) {
+  uint64_t Size = Elems * ElemSize;
+  if (Size == 0)
+    Size = 8;
+  return (Size + 7) & ~7ULL;
+}
+
+// Total arena bytes a multianewarray of \p Dims will bump-allocate:
+// one ref array per node of every outer level, leaf arrays below.
+// Saturates at \p Cap (enough to guarantee the preflight fails).
+static uint64_t multiArrayFootprint(const std::vector<uint64_t> &Dims,
+                                    uint64_t LeafElemSize, uint64_t Cap) {
+  uint64_t Total = 0;
+  uint64_t Count = 1;
+  uint64_t Level = 0;
+  for (size_t K = 0; K + 1 < Dims.size(); ++K) {
+    if (__builtin_mul_overflow(Count, alignedArrayBytes(Dims[K], 8),
+                               &Level) ||
+        __builtin_add_overflow(Total, Level, &Total) ||
+        __builtin_mul_overflow(Count, Dims[K], &Count) || Total > Cap ||
+        Count > Cap)
+      return Cap;
+  }
+  if (__builtin_mul_overflow(Count, alignedArrayBytes(Dims.back(),
+                                                      LeafElemSize),
+                             &Level) ||
+      __builtin_add_overflow(Total, Level, &Total))
+    return Cap;
+  return Total > Cap ? Cap : Total;
+}
+
 ObjectRef JavaVm::allocateMultiArray(JavaThread &T, TypeId LeafArrayType,
                                      const std::vector<uint64_t> &Dims) {
   assert(!Dims.empty() && "multianewarray needs at least one dimension");
   if (Dims.size() == 1)
     return allocateArray(T, LeafArrayType, Dims[0]);
+  if (DeferGcToSafepoint) {
+    // Executor mode: the whole multi-level allocation must be GC-atomic.
+    // A GcRequest unwinding from a *partially built* multi-array would
+    // leave the committed inner arrays' events/cycles/samples counted,
+    // and the re-executed bytecode would publish them all again. So
+    // preflight the total footprint against the shard's free space and
+    // fault up front, before anything is committed; after the check the
+    // inner allocations cannot fail (the shard has a single owner).
+    uint64_t Free = TheHeap.shardLimit(T.heapShard()) -
+                    TheHeap.bumpTop(T.heapShard());
+    uint64_t Needed = multiArrayFootprint(
+        Dims, Types.get(LeafArrayType).ElemSize, TheHeap.capacity());
+    if (Needed > Free)
+      throw GcRequest{&T, Needed};
+  }
   // Outer dimensions are reference arrays pointing at the next level.
   TypeId OuterType = Types.refArrayType(Types.get(LeafArrayType).Name);
   RootScope Roots(*this);
@@ -153,10 +215,12 @@ ObjectRef JavaVm::allocateMultiArray(JavaThread &T, TypeId LeafArrayType,
 
 void JavaVm::addRoot(ObjectRef *Slot) {
   assert(Slot && "null root slot");
+  SpinLockGuard G(RootsLock);
   RootSlots.push_back(Slot);
 }
 
 void JavaVm::removeRoot(ObjectRef *Slot) {
+  SpinLockGuard G(RootsLock);
   for (size_t I = RootSlots.size(); I-- > 0;) {
     if (RootSlots[I] == Slot) {
       RootSlots.erase(RootSlots.begin() + I);
@@ -167,12 +231,14 @@ void JavaVm::removeRoot(ObjectRef *Slot) {
 }
 
 uint64_t JavaVm::addRootProvider(RootProvider Fn) {
+  SpinLockGuard G(RootsLock);
   uint64_t Token = NextProviderToken++;
   RootProviders.emplace_back(Token, std::move(Fn));
   return Token;
 }
 
 void JavaVm::removeRootProvider(uint64_t Token) {
+  SpinLockGuard G(RootsLock);
   for (size_t I = RootProviders.size(); I-- > 0;) {
     if (RootProviders[I].first == Token) {
       RootProviders.erase(RootProviders.begin() + I);
@@ -183,17 +249,44 @@ void JavaVm::removeRootProvider(uint64_t Token) {
 }
 
 GcStats JavaVm::requestGc() {
-  std::vector<ObjectRef *> Slots = RootSlots;
-  for (auto &[Token, Fn] : RootProviders) {
-    (void)Token;
-    Fn(Slots);
+  // Snapshot slots and providers under the lock, then run the provider
+  // callbacks with it released: RootsLock is a leaf lock, and a provider
+  // is allowed to call addRoot/addRootProvider (which would self-deadlock
+  // on the non-reentrant spin lock otherwise).
+  std::vector<ObjectRef *> Slots;
+  std::vector<RootProvider> Providers;
+  {
+    SpinLockGuard G(RootsLock);
+    Slots = RootSlots;
+    Providers.reserve(RootProviders.size());
+    for (auto &[Token, Fn] : RootProviders) {
+      (void)Token;
+      Providers.push_back(Fn);
+    }
   }
+  for (const RootProvider &Fn : Providers)
+    Fn(Slots);
   GcStats S = Collector.collect(Slots);
-  // Compaction moved objects and rewrote the side table: the header memo
-  // is stale, and the close cache levels saw none of it; drop both but
-  // keep the large shared L3 warm (see flushCaches).
-  invalidateObjectMemo();
+  // Compaction moved objects and rewrote the side tables: every thread's
+  // header memo is stale, and the close cache levels saw none of it; drop
+  // both but keep the large shared L3 warm (see flushCaches). Under the
+  // Executor threads carry worker-private hierarchies — flush each
+  // distinct one exactly once, in thread order (deterministic).
+  invalidateObjectMemos();
   Machine.flushCaches(/*IncludeL3=*/false);
+  {
+    SpinLockGuard G(ThreadsLock);
+    std::vector<MemoryHierarchy *> Flushed;
+    for (JavaThread &T : Threads) {
+      MemoryHierarchy *M = const_cast<MemoryHierarchy *>(T.machinePtr());
+      if (!M || M == &Machine)
+        continue;
+      if (std::find(Flushed.begin(), Flushed.end(), M) != Flushed.end())
+        continue;
+      M->flushCaches(/*IncludeL3=*/false);
+      Flushed.push_back(M);
+    }
+  }
   return S;
 }
 

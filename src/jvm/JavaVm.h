@@ -14,6 +14,18 @@
 /// thread's cycle clock, and (3) feed the thread's PMU — so DJXPerf's
 /// samples arise from genuine locality behaviour.
 ///
+/// Concurrency model (see docs/ARCHITECTURE.md "Concurrency model"): the
+/// access path is lock-free because every mutable structure it touches is
+/// owned by the accessing JavaThread — its cycle clock, PMU, header memo,
+/// memory hierarchy (worker-private under the Executor), and heap shard.
+/// The VM-wide structures (thread list, root slots/providers) take leaf
+/// spin locks on mutation; registries are immutable while the Executor is
+/// running (freeze()). GC is only entered with the world stopped: either
+/// on the single mutator thread (serial mode, AutoGc) or at an Executor
+/// safepoint — with deferGcToSafepoint(true), a failed allocation throws
+/// GcRequest instead of collecting inline, and the Executor re-executes
+/// the faulting bytecode after the stop-the-world collection.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DJX_JVM_JAVAVM_H
@@ -26,6 +38,7 @@
 #include "jvm/MethodRegistry.h"
 #include "jvm/TypeRegistry.h"
 #include "sim/MemoryHierarchy.h"
+#include "support/SpinLock.h"
 
 #include <deque>
 #include <memory>
@@ -37,6 +50,10 @@ namespace djx {
 struct VmConfig {
   uint64_t HeapBytes = 64ULL * 1024 * 1024;
   MachineConfig Machine;
+  /// Number of heap shards (per-thread allocation regions). 1 is the
+  /// serial single-arena heap; the parallel runtime configures one shard
+  /// per simulated thread.
+  unsigned HeapShards = 1;
   /// Run a collection automatically when allocation fails.
   bool AutoGc = true;
   /// Stop-the-world pause cost charged to the allocating thread when an
@@ -44,6 +61,23 @@ struct VmConfig {
   uint64_t GcPauseBaseCycles = 20000;
   uint64_t GcPausePerObjectCycles = 8;
 };
+
+/// Thrown by the allocation path when GC handling is deferred to an
+/// Executor safepoint (deferGcToSafepoint): the shard is full and the
+/// world must stop before the collector may run. The faulting bytecode
+/// re-executes after the safepoint GC.
+struct GcRequest {
+  JavaThread *Thread = nullptr;
+  uint64_t Bytes = 0;
+};
+
+/// Stop-the-world pause cost of one collection. Single source of truth:
+/// the serial AutoGc path and the Executor's safepoint path must charge
+/// the same cycles or jobs-mode clocks diverge from serial ones.
+inline uint64_t gcPauseCycles(const VmConfig &Config, const GcStats &S) {
+  return Config.GcPauseBaseCycles +
+         Config.GcPausePerObjectCycles * (S.ObjectsMoved + S.ObjectsFreed);
+}
 
 /// The MiniJVM facade.
 class JavaVm {
@@ -61,7 +95,8 @@ public:
 
   // --- Threads ----------------------------------------------------------
   /// Starts a thread pinned to \p Cpu (pass kAnyCpu for round-robin) and
-  /// fires the JVMTI thread-start event.
+  /// fires the JVMTI thread-start event. Safe to call from host worker
+  /// threads (the thread list is lock-guarded and reference-stable).
   JavaThread &startThread(const std::string &Name, uint32_t Cpu = kAnyCpu);
 
   /// Fires the JVMTI thread-end event and marks the thread dead.
@@ -140,19 +175,20 @@ public:
   }
 
   /// Memoised object-header resolution: returns the same metadata as
-  /// heap().info(Obj) but caches the last resolved object, so array loops
-  /// re-resolving one header pay a pointer compare instead of a map walk.
-  /// The memo is dropped when a GC rewrites the object table.
-  const ObjectInfo &objectInfo(ObjectRef Obj) {
-    if (Obj != MemoObj)
-      refreshObjectMemo(Obj);
-    return *MemoInfo;
+  /// heap().info(Obj) but caches the last resolved object *per thread*, so
+  /// array loops re-resolving one header pay a pointer compare instead of
+  /// a map walk, and concurrent quanta never race on the memo. The memo is
+  /// dropped when a GC rewrites the object tables.
+  const ObjectInfo &objectInfo(JavaThread &T, ObjectRef Obj) {
+    if (Obj != T.memoObj())
+      refreshObjectMemo(T, Obj);
+    return *T.memoInfo();
   }
   /// Type descriptor of \p Obj via the same memo (indexing the registry is
   /// cheap; descriptors are not cached because defining a new type mid-run
   /// may relocate them).
-  const TypeDescriptor &objectType(ObjectRef Obj) {
-    return Types.get(objectInfo(Obj).Type);
+  const TypeDescriptor &objectType(JavaThread &T, ObjectRef Obj) {
+    return Types.get(objectInfo(T, Obj).Type);
   }
 
   /// System.arraycopy analogue: word-granularity copy with simulated
@@ -165,7 +201,8 @@ public:
 
   // --- GC ----------------------------------------------------------------
   /// Registers/unregisters an off-heap reference slot as a GC root. The
-  /// collector updates the slot in place when its referent moves.
+  /// collector updates the slot in place when its referent moves. Lock
+  /// guarded; safe from host worker threads.
   void addRoot(ObjectRef *Slot);
   void removeRoot(ObjectRef *Slot);
 
@@ -175,8 +212,18 @@ public:
   uint64_t addRootProvider(RootProvider Fn);
   void removeRootProvider(uint64_t Token);
 
-  /// Explicit System.gc().
+  /// Explicit System.gc(). Must only run with the world stopped: on the
+  /// mutator in serial mode, or at a safepoint under the Executor. Flushes
+  /// every attached memory hierarchy (shared and worker-private) and every
+  /// thread's header memo.
   GcStats requestGc();
+
+  /// When enabled, a failed allocation throws GcRequest instead of
+  /// collecting inline — the Executor's safepoint protocol owns GC. The
+  /// serial path (default off) keeps the original allocate-fail ->
+  /// collect -> retry behaviour.
+  void setDeferGcToSafepoint(bool On) { DeferGcToSafepoint = On; }
+  bool deferGcToSafepoint() const { return DeferGcToSafepoint; }
 
   /// Enables/disables VM-level allocation event publication. Instrumented
   /// bytecode programs disable it so the ASM hooks are the only channel.
@@ -199,9 +246,11 @@ private:
   void touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size);
 
   /// One simulated access of any width (inline: every load/store funnels
-  /// through here).
+  /// through here). Runs against the thread's attached hierarchy — the
+  /// shared machine in serial mode, a worker-private one under the
+  /// Executor — so parallel quanta never contend here.
   void simulateAccess(JavaThread &T, uint64_t Addr) {
-    AccessResult R = Machine.accessMemory(T.cpu(), Addr);
+    AccessResult R = T.machine().accessMemory(T.cpu(), Addr);
     T.addCycles(1 + R.LatencyCycles);
     T.pmu().observeAccess(T.cpu(), Addr, R);
   }
@@ -226,12 +275,9 @@ private:
            "access beyond object bounds");
   }
 
-  /// Re-points the object memo at \p Obj (out of line: map walk).
-  void refreshObjectMemo(ObjectRef Obj);
-  void invalidateObjectMemo() {
-    MemoObj = kNullRef;
-    MemoInfo = nullptr;
-  }
+  /// Re-points \p T's object memo at \p Obj (out of line: map walk).
+  void refreshObjectMemo(JavaThread &T, ObjectRef Obj);
+  void invalidateObjectMemos();
 
   ObjectRef allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
                         uint64_t Length);
@@ -246,14 +292,16 @@ private:
   std::deque<JavaThread> Threads;
   std::vector<ObjectRef *> RootSlots;
   std::vector<std::pair<uint64_t, RootProvider>> RootProviders;
+  /// Leaf locks (never held while calling out; see the locking-order note
+  /// in DjxPerf.h): ThreadsLock guards Threads, RootsLock guards
+  /// RootSlots/RootProviders.
+  SpinLock ThreadsLock;
+  SpinLock RootsLock;
   uint64_t NextThreadId = 1;
   uint64_t NextProviderToken = 1;
   uint32_t NextCpu = 0;
   bool AllocationEventsOn = true;
-  /// Last object resolved by objectInfo(); MemoInfo points into the heap's
-  /// side table (node-stable until a GC rewrites the table wholesale).
-  ObjectRef MemoObj = kNullRef;
-  const ObjectInfo *MemoInfo = nullptr;
+  bool DeferGcToSafepoint = false;
 };
 
 /// RAII helper: pushes a frame on construction, pops on destruction.

@@ -31,7 +31,7 @@ void JvmtiEnv::publishThreadEnd(JavaThread &T) const {
 void JvmtiEnv::publishAllocation(const AllocationEvent &E) const {
   if (AllocationFns.empty())
     return;
-  ++AllocCallbacks;
+  AllocCallbacks.fetch_add(1, std::memory_order_relaxed);
   for (const auto &Fn : AllocationFns)
     Fn(E);
 }

@@ -20,6 +20,7 @@
 #include "jvm/JavaThread.h"
 #include "jvm/ObjectModel.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -102,7 +103,11 @@ public:
   void publishObjectFree(const ObjectFreeEvent &E) const;
 
   /// Number of allocation callbacks delivered (drives the overhead model).
-  uint64_t allocationCallbacksDelivered() const { return AllocCallbacks; }
+  /// Atomic: allocation events are published from concurrent host workers
+  /// under the Executor; a relaxed sum stays deterministic.
+  uint64_t allocationCallbacksDelivered() const {
+    return AllocCallbacks.load(std::memory_order_relaxed);
+  }
 
 private:
   std::vector<ThreadCallback> ThreadStartFns;
@@ -112,7 +117,7 @@ private:
   std::vector<GcFinishCallback> GcFinishFns;
   std::vector<ObjectMoveCallback> ObjectMoveFns;
   std::vector<ObjectFreeCallback> ObjectFreeFns;
-  mutable uint64_t AllocCallbacks = 0;
+  mutable std::atomic<uint64_t> AllocCallbacks{0};
 };
 
 } // namespace djx

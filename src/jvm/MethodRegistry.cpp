@@ -16,6 +16,8 @@ MethodId MethodRegistry::registerMethod(const std::string &ClassName,
     assert(LineTable[I - 1].Bci < LineTable[I].Bci &&
            "line table must be sorted by BCI");
 #endif
+  assert(!Frozen && "method registered while the registry is frozen "
+                    "(parallel execution in progress)");
   MethodInfo Info;
   Info.ClassName = ClassName;
   Info.MethodName = MethodName;

@@ -76,7 +76,15 @@ public:
 
   size_t size() const { return Methods.size(); }
 
+  /// Concurrency contract: read-mostly, immutable after load. The
+  /// Executor freezes the registry while host workers run; registering a
+  /// method then asserts in debug builds. Reads need no lock.
+  void freeze() { Frozen = true; }
+  void unfreeze() { Frozen = false; }
+  bool isFrozen() const { return Frozen; }
+
 private:
+  bool Frozen = false;
   std::vector<MethodInfo> Methods;
 };
 

@@ -25,6 +25,8 @@ TypeRegistry::TypeRegistry() {
 }
 
 TypeId TypeRegistry::addType(TypeDescriptor Desc) {
+  assert(!Frozen && "type registered while the registry is frozen "
+                    "(parallel execution in progress)");
   assert(!NameToId.count(Desc.Name) && "duplicate type name");
   TypeId Id = static_cast<TypeId>(Types.size());
   NameToId.emplace(Desc.Name, Id);

@@ -56,9 +56,18 @@ public:
 
   size_t size() const { return Types.size(); }
 
+  /// Concurrency contract: the registry is *read-mostly, immutable after
+  /// load*. The Executor freezes it while host workers run; defining a
+  /// type then is a bug (it could relocate descriptors under concurrent
+  /// readers) and asserts in debug builds. Reads need no lock.
+  void freeze() { Frozen = true; }
+  void unfreeze() { Frozen = false; }
+  bool isFrozen() const { return Frozen; }
+
 private:
   TypeId addType(TypeDescriptor Desc);
 
+  bool Frozen = false;
   std::vector<TypeDescriptor> Types;
   std::unordered_map<std::string, TypeId> NameToId;
   TypeId ByteArrayTy = 0;

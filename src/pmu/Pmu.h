@@ -44,6 +44,13 @@ using PerfSampleHandler = std::function<void(const PerfSample &)>;
 using RawSampleHandler = void (*)(void *Ctx, const PerfSample &Sample);
 
 /// One thread's set of programmed PMU events.
+///
+/// Concurrency contract: thread-confined. A PmuContext belongs to one
+/// JavaThread and is only driven from whichever host worker is executing
+/// that thread's quantum (the Executor's round barriers order those
+/// handoffs); overflow handlers run synchronously on the same worker.
+/// Configuration (openEvent/setSampleHandler) happens at thread start,
+/// before any concurrent execution.
 class PmuContext {
 public:
   explicit PmuContext(uint64_t ThreadId) : ThreadId(ThreadId) {}

@@ -1,0 +1,250 @@
+//===- Executor.cpp - Host-thread executor for simulated threads -----------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Executor.h"
+
+#include "core/Analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace djx;
+
+Executor::Executor(JavaVm &Vm, ExecutorConfig Cfg)
+    : Vm(Vm), Config(Cfg) {
+  assert(Config.QuantumSteps > 0 && "quantum must be positive");
+  Jobs = Config.Jobs ? Config.Jobs
+                     : std::max(1u, std::thread::hardware_concurrency());
+}
+
+Executor::~Executor() { stopWorkers(); }
+
+size_t Executor::addThread(BytecodeProgram &Program,
+                           const std::string &Entry,
+                           const std::vector<Value> &Args,
+                           const std::string &Name, uint32_t Cpu) {
+  auto T = std::make_unique<Task>();
+  T->Index = Tasks.size();
+  // One heap shard per task is a hard requirement: Heap::allocate is
+  // lock-free precisely because each shard has a single owner, and the
+  // determinism argument rests on it. Configure VmConfig.HeapShards >=
+  // the number of simulated threads (parallelVmConfig does).
+  if (T->Index >= Vm.heap().numShards()) {
+    std::fprintf(stderr,
+                 "djx: Executor task %zu needs its own heap shard but the "
+                 "VM has only %u (set VmConfig.HeapShards >= task count)\n",
+                 T->Index, Vm.heap().numShards());
+    std::abort();
+  }
+  // Deterministic CPU placement: task-index round-robin, independent of
+  // the VM's own NextCpu state.
+  if (Cpu == JavaVm::kAnyCpu)
+    Cpu = static_cast<uint32_t>(T->Index) % Vm.machine().numCpus();
+  T->Thread = &Vm.startThread(Name, Cpu);
+  // Worker-private hierarchy: same machine configuration, private
+  // cache/TLB/NUMA/stats state. Merged deterministically afterwards.
+  T->Machine = std::make_unique<MemoryHierarchy>(Vm.config().Machine);
+  T->Thread->setMachine(T->Machine.get());
+  T->Thread->setHeapShard(static_cast<unsigned>(T->Index));
+  T->Interp = std::make_unique<Interpreter>(Vm, Program, *T->Thread);
+  T->Interp->startCall(Entry, Args);
+  Tasks.push_back(std::move(T));
+  return Tasks.size() - 1;
+}
+
+void Executor::runQuantum(Task &T) {
+  uint64_t Before = T.Interp->stepsExecuted();
+  try {
+    RunState St = T.Interp->resume(T.StepsLeft);
+    uint64_t Used = T.Interp->stepsExecuted() - Before;
+    T.StepsLeft -= std::min(T.StepsLeft, Used);
+    if (St == RunState::Done) {
+      T.Done = true;
+      T.StepsLeft = 0;
+    }
+    // Paused: quantum budget exhausted; picked up again next round.
+  } catch (const GcRequest &R) {
+    // The faulting bytecode did not execute (and the interpreter rolled
+    // back its step/tick), so a park that repeats at the same step count
+    // means the previous safepoint collection freed nothing useful:
+    // OutOfMemory, reported like the serial path. (Only shard-local data
+    // goes in the message — other workers are still mutating their own
+    // shards, so whole-heap queries are off limits here.)
+    uint64_t Now = T.Interp->stepsExecuted();
+    if (T.LastParkSteps == Now) {
+      std::fprintf(
+          stderr,
+          "djx: OutOfMemoryError: %llu bytes requested in heap shard %u "
+          "(%llu-byte shard) after a safepoint GC freed nothing\n",
+          static_cast<unsigned long long>(R.Bytes), T.Thread->heapShard(),
+          static_cast<unsigned long long>(
+              Vm.heap().shardLimit(T.Thread->heapShard()) -
+              Vm.heap().shardBase(T.Thread->heapShard())));
+      std::abort();
+    }
+    T.LastParkSteps = Now;
+    uint64_t Used = Now - Before;
+    T.StepsLeft -= std::min(T.StepsLeft, Used);
+    // Guarantee forward progress after the safepoint even when the fault
+    // landed exactly on the quantum's last step.
+    if (T.StepsLeft == 0)
+      T.StepsLeft = 1;
+    T.Parked = true;
+  }
+}
+
+void Executor::runBatch(const std::vector<Task *> &Batch) {
+  if (Batch.empty())
+    return;
+  // Legacy serial path (and trivial batches): run inline in thread-id
+  // order on the calling host thread.
+  if (Jobs == 1 || Batch.size() == 1 || Workers.empty()) {
+    for (Task *T : Batch)
+      runQuantum(*T);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> L(PoolMutex);
+    CurrentBatch = &Batch;
+    NextTask.store(0, std::memory_order_relaxed);
+    TasksFinished = 0;
+    ++BatchGeneration;
+    PoolCv.notify_all();
+    // Wait until every task ran AND every claiming worker left the batch:
+    // only then may the batch vector be reused by the caller.
+    DoneCv.wait(L, [&] {
+      return TasksFinished == Batch.size() && ActiveWorkers == 0;
+    });
+    CurrentBatch = nullptr;
+  }
+}
+
+void Executor::startWorkers(unsigned N) {
+  if (!Workers.empty())
+    return;
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+void Executor::stopWorkers() {
+  {
+    std::lock_guard<std::mutex> L(PoolMutex);
+    ShuttingDown = true;
+    PoolCv.notify_all();
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  ShuttingDown = false;
+}
+
+void Executor::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::vector<Task *> *Batch;
+    {
+      std::unique_lock<std::mutex> L(PoolMutex);
+      PoolCv.wait(L, [&] {
+        return ShuttingDown ||
+               (CurrentBatch && BatchGeneration != SeenGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = BatchGeneration;
+      Batch = CurrentBatch;
+      ++ActiveWorkers;
+    }
+    size_t Completed = 0;
+    for (;;) {
+      size_t I = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Batch->size())
+        break;
+      runQuantum(*(*Batch)[I]);
+      ++Completed;
+    }
+    {
+      std::lock_guard<std::mutex> L(PoolMutex);
+      TasksFinished += Completed;
+      --ActiveWorkers;
+      if (TasksFinished == Batch->size() && ActiveWorkers == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void Executor::run() {
+  if (Tasks.empty())
+    return;
+  // Shared layers become parallel-safe for the duration of the run:
+  // registries freeze (immutable after load), and a failed allocation
+  // defers GC to the safepoint protocol instead of collecting inline.
+  Vm.setDeferGcToSafepoint(true);
+  Vm.types().freeze();
+  Vm.methods().freeze();
+  if (Jobs > 1 && Tasks.size() > 1)
+    startWorkers(std::min<size_t>(Jobs, Tasks.size()));
+
+  std::vector<Task *> Batch;
+  for (;;) {
+    // Open a round: every live task gets one quantum.
+    bool AnyActive = false;
+    for (auto &T : Tasks)
+      if (!T->Done) {
+        T->StepsLeft = Config.QuantumSteps;
+        AnyActive = true;
+      }
+    if (!AnyActive)
+      break;
+    ++Rounds;
+    // Drain the round: run all tasks with budget left; any park triggers
+    // one safepoint GC serving every requester, then parked tasks finish
+    // their budget. Both the park points (shard occupancy at a given step)
+    // and the barrier are functions of logical state only, so this
+    // schedule — and all its GCs — is identical for any Jobs value.
+    for (;;) {
+      Batch.clear();
+      for (auto &T : Tasks)
+        if (!T->Done && T->StepsLeft > 0 && !T->Parked)
+          Batch.push_back(T.get());
+      if (!Batch.empty())
+        runBatch(Batch);
+      std::vector<JavaThread *> Requesters;
+      for (auto &T : Tasks)
+        if (T->Parked)
+          Requesters.push_back(T->Thread);
+      if (Requesters.empty())
+        break;
+      Safepoint.stopTheWorldGc(Vm, Requesters);
+      for (auto &T : Tasks)
+        T->Parked = false;
+    }
+    // Round barrier: every task is Done or out of budget.
+  }
+
+  stopWorkers();
+  Vm.methods().unfreeze();
+  Vm.types().unfreeze();
+  Vm.setDeferGcToSafepoint(false);
+}
+
+uint64_t Executor::totalSteps() const {
+  uint64_t Sum = 0;
+  for (const auto &T : Tasks)
+    Sum += T->Interp->stepsExecuted();
+  return Sum;
+}
+
+HierarchyStats Executor::mergedMachineStats() const {
+  std::vector<HierarchyStats> Parts;
+  Parts.reserve(Tasks.size() + 1);
+  Parts.push_back(Vm.machine().stats());
+  for (const auto &T : Tasks)
+    Parts.push_back(T->Machine->stats());
+  return mergeHierarchyStats(Parts);
+}

@@ -1,0 +1,160 @@
+//===- Executor.h - Host-thread executor for simulated threads --*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N simulated JavaThreads concurrently on a pool of host workers,
+/// with results invariant to host parallelism.
+///
+/// Logical schedule: execution proceeds in rounds. Each round, every live
+/// simulated thread runs one fixed interpreter quantum (QuantumSteps
+/// bytecodes) against state only it owns — its heap shard, its
+/// worker-private memory hierarchy, its PMU/CCT/profile — so quanta of
+/// different threads commute and may run on any workers in any order.
+/// Cross-thread effects happen only at the round barrier: a thread whose
+/// allocation faults parks (GcRequest unwind, bytecode not yet executed),
+/// the barrier drains the remaining quanta, the SafepointController runs
+/// one stop-the-world collection in thread-id order over all shards, and
+/// parked threads finish their quantum budget. Because parking depends
+/// only on shard occupancy (logical state) and the barrier is jobs-
+/// independent, the merged profile is byte-identical for --jobs 1/2/4;
+/// --jobs 1 *is* the legacy serial path — the same schedule driven inline
+/// on the calling host thread with no workers spawned.
+///
+/// Shared layers are made safe under this protocol rather than by locks on
+/// hot paths: registries are frozen for the duration of run() (immutable
+/// after load), the live-object index is sharded by address range, the
+/// Profiles map and thread list take leaf spin locks, and per-CPU
+/// cache/TLB/NUMA state is worker-private with a deterministic merge
+/// (mergedMachineStats(), summed in thread-id order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_RUNTIME_EXECUTOR_H
+#define DJX_RUNTIME_EXECUTOR_H
+
+#include "interp/Interpreter.h"
+#include "jvm/JavaVm.h"
+#include "runtime/Safepoint.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace djx {
+
+struct ExecutorConfig {
+  /// Host worker threads. 0 = hardware concurrency; 1 = legacy serial
+  /// path (no workers spawned, quanta run inline in thread-id order).
+  /// Affects wall-clock only — never results.
+  unsigned Jobs = 0;
+  /// Interpreter steps per simulated thread per round. Part of the
+  /// *logical* schedule: changing it changes where GCs land, so it is a
+  /// workload parameter, not a tuning knob derived from Jobs.
+  uint64_t QuantumSteps = 65536;
+};
+
+/// Drives simulated threads to completion on host workers.
+class Executor {
+public:
+  Executor(JavaVm &Vm, ExecutorConfig Config = ExecutorConfig());
+  ~Executor();
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  /// Adds a simulated thread: starts a JavaThread named \p Name pinned to
+  /// \p Cpu (kAnyCpu: task-index round-robin, deterministic), attaches a
+  /// worker-private memory hierarchy, assigns heap shard = task index
+  /// (one shard per task is mandatory — lock-free shard allocation
+  /// assumes a single owner; aborts if the VM has too few shards), and
+  /// prepares an interpreter session for \p Entry(\p Args) of \p Program.
+  /// Call before run(), after any profiler is constructed (so its
+  /// thread-start hooks fire). \returns the task index.
+  size_t addThread(BytecodeProgram &Program, const std::string &Entry,
+                   const std::vector<Value> &Args, const std::string &Name,
+                   uint32_t Cpu = JavaVm::kAnyCpu);
+
+  /// Runs every task to completion under the round/safepoint protocol.
+  void run();
+
+  // --- Results ------------------------------------------------------------
+  size_t numTasks() const { return Tasks.size(); }
+  JavaThread &thread(size_t Task) { return *Tasks[Task]->Thread; }
+  Interpreter &interpreter(size_t Task) { return *Tasks[Task]->Interp; }
+  /// Return value of task \p Task's entry call (after run()).
+  std::optional<Value> result(size_t Task) {
+    return Tasks[Task]->Interp->takeResult();
+  }
+
+  /// Aggregate interpreter steps across all tasks.
+  uint64_t totalSteps() const;
+  /// Deterministic merge of the shared machine plus every worker-private
+  /// hierarchy, in thread-id order.
+  HierarchyStats mergedMachineStats() const;
+  /// Stop-the-world pauses taken during run().
+  uint64_t safepoints() const { return Safepoint.safepoints(); }
+  /// Rounds executed (quantum barriers crossed).
+  uint64_t rounds() const { return Rounds; }
+
+  unsigned jobs() const { return Jobs; }
+
+private:
+  struct Task {
+    size_t Index = 0;
+    JavaThread *Thread = nullptr;
+    /// Worker-private machine: same config as the VM's, private state.
+    std::unique_ptr<MemoryHierarchy> Machine;
+    std::unique_ptr<Interpreter> Interp;
+    bool Done = false;
+    /// Set when a quantum unwound with GcRequest; cleared at the safepoint.
+    bool Parked = false;
+    /// Remaining step budget within the current round.
+    uint64_t StepsLeft = 0;
+    /// Step count at the last GC park: parking twice at the same count
+    /// means the safepoint collection did not help — OutOfMemory.
+    uint64_t LastParkSteps = ~0ULL;
+  };
+
+  /// Executes one quantum of \p T (worker context).
+  void runQuantum(Task &T);
+  /// Runs Fn-per-task over \p Batch on the worker pool (or inline when
+  /// Jobs == 1 / single task).
+  void runBatch(const std::vector<Task *> &Batch);
+
+  // Minimal persistent worker pool (started lazily by run()).
+  void startWorkers(unsigned N);
+  void stopWorkers();
+  void workerLoop();
+
+  JavaVm &Vm;
+  ExecutorConfig Config;
+  unsigned Jobs;
+  std::vector<std::unique_ptr<Task>> Tasks;
+  SafepointController Safepoint;
+  uint64_t Rounds = 0;
+
+  // Worker pool state. Dispatch is a generation-stamped batch: workers
+  // claim task indices from an atomic cursor, so which worker runs which
+  // quantum is timing-dependent — harmless, since quanta commute.
+  std::vector<std::thread> Workers;
+  std::mutex PoolMutex;
+  std::condition_variable PoolCv;   // Workers wait for a new batch.
+  std::condition_variable DoneCv;   // run() waits for batch completion.
+  const std::vector<Task *> *CurrentBatch = nullptr;
+  uint64_t BatchGeneration = 0;
+  std::atomic<size_t> NextTask{0};
+  size_t TasksFinished = 0;
+  size_t ActiveWorkers = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace djx
+
+#endif // DJX_RUNTIME_EXECUTOR_H

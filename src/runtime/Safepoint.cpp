@@ -1,0 +1,29 @@
+//===- Safepoint.cpp - Stop-the-world coordination --------------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Safepoint.h"
+
+using namespace djx;
+
+GcStats SafepointController::stopTheWorldGc(
+    JavaVm &Vm, const std::vector<JavaThread *> &Requesters) {
+  // The world is stopped by construction (the Executor's round barrier
+  // drained every quantum), so the serial collection entry point is safe:
+  // it gathers roots from all threads' synced frames, compacts every heap
+  // shard, fires the move/free interpositions and the GC-finish (MXBean)
+  // notification — which applies the LiveObjectIndex relocation batch —
+  // and flushes each worker-private hierarchy.
+  GcStats S = Vm.requestGc();
+  uint64_t Pause = gcPauseCycles(Vm.config(), S);
+  for (JavaThread *T : Requesters)
+    T->addCycles(Pause);
+  ++Safepoints;
+  Totals.Collections += S.Collections;
+  Totals.ObjectsMoved += S.ObjectsMoved;
+  Totals.ObjectsFreed += S.ObjectsFreed;
+  Totals.BytesFreed += S.BytesFreed;
+  return S;
+}

@@ -1,0 +1,60 @@
+//===- Safepoint.h - Stop-the-world coordination ----------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Safepoint protocol of the parallel runtime. A simulated thread whose
+/// heap-shard allocation fails cannot collect inline — other host workers
+/// are still mutating — so the VM throws GcRequest, the worker unwinds to
+/// the Executor with the interpreter parked *before* the faulting
+/// bytecode, and the thread is marked as a GC requester. When every
+/// in-flight quantum has drained (the Executor's round barrier), the world
+/// is stopped by construction and the SafepointController runs one
+/// collection serving all requesters: roots are gathered from every
+/// thread's synced interpreter frames, the mark-compact collector runs,
+/// the GC-finish (MXBean) notification applies the LiveObjectIndex
+/// relocation batch exactly as in the serial path, every worker-private
+/// memory hierarchy is flushed, and each requester is charged the paper's
+/// stop-the-world pause cost. Requesters then re-execute their faulting
+/// bytecode. Everything is keyed to logical execution state (step counts,
+/// shard occupancy), never to host timing, so the safepoint schedule — and
+/// therefore every profile byte — is identical for any --jobs value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_RUNTIME_SAFEPOINT_H
+#define DJX_RUNTIME_SAFEPOINT_H
+
+#include "jvm/JavaVm.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace djx {
+
+/// Runs stop-the-world operations for the Executor and accounts for them.
+class SafepointController {
+public:
+  /// Performs one collection on behalf of \p Requesters (threads whose
+  /// allocation faulted since the last safepoint). Must only be called
+  /// when no quantum is in flight. Charges each requester the configured
+  /// pause cost — the deterministic analogue of every stalled thread
+  /// waiting out the pause.
+  GcStats stopTheWorldGc(JavaVm &Vm,
+                         const std::vector<JavaThread *> &Requesters);
+
+  /// Number of stop-the-world pauses performed.
+  uint64_t safepoints() const { return Safepoints; }
+  /// GC work aggregated across all safepoints.
+  const GcStats &totals() const { return Totals; }
+
+private:
+  uint64_t Safepoints = 0;
+  GcStats Totals;
+};
+
+} // namespace djx
+
+#endif // DJX_RUNTIME_SAFEPOINT_H

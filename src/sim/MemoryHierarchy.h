@@ -79,6 +79,13 @@ struct HierarchyStats {
 };
 
 /// The simulated memory system of the whole machine.
+///
+/// Concurrency contract: a MemoryHierarchy instance is single-writer —
+/// it has no internal locking, and every access mutates cache/TLB/NUMA
+/// state. The serial VM drives one shared instance; the parallel runtime
+/// gives each simulated thread a worker-private instance (JavaThread::
+/// setMachine) and merges the per-instance stats deterministically in
+/// thread-id order (Analyzer::mergeHierarchyStats).
 class MemoryHierarchy {
 public:
   explicit MemoryHierarchy(const MachineConfig &Config);

@@ -10,6 +10,13 @@
 /// threads"). Acquisition counts are tracked so the profiler cost model can
 /// charge for synchronisation.
 ///
+/// Since the parallel runtime landed, SpinLock also guards each
+/// LiveObjectIndex shard and the VM/profiler leaf structures (thread
+/// list, root registry, Profiles map). All of those are leaf locks —
+/// never held while calling out — except LiveObjectIndex::
+/// applyRelocations, which takes its shard locks in index order; the
+/// full ordering is documented in core/DjxPerf.h.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DJX_SUPPORT_SPINLOCK_H

@@ -65,6 +65,89 @@ BytecodeProgram djx::buildBatikProgram(TypeRegistry &Types) {
   return P;
 }
 
+BytecodeProgram djx::buildParallelWorkerProgram(TypeRegistry &Types) {
+  BytecodeProgram P;
+  ClassFile WorkerClass;
+  WorkerClass.Name = "Worker";
+
+  // Worker.churn(nlen): batik makeRoom — float[] tmp = new float[nlen];
+  // for (j = 0; j < nlen; j++) tmp[j] = j; return tmp (caller drops it).
+  {
+    MethodBuilder B("Worker", "churn", /*NumArgs=*/1, /*NumLocals=*/3);
+    B.line(40);
+    B.iload(0);
+    B.newArray(Types.floatArray());
+    B.astore(1);
+    B.iconst(0).istore(2);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(2).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(42);
+    B.aload(1).iload(2).iload(2).paStore();
+    B.iload(2).iconst(1).iadd().istore(2);
+    B.jmp(Loop);
+    B.bind(End);
+    B.aload(1).aret();
+    WorkerClass.Methods.push_back(B.build());
+  }
+
+  // Worker.sweep(hot, hotlen): acc = 0;
+  // for (j = 0; j < hotlen; j += 8) acc += hot[j];  return acc.
+  // Stride 8 longs = one 64-byte line per access.
+  {
+    MethodBuilder B("Worker", "sweep", /*NumArgs=*/2, /*NumLocals=*/4);
+    B.line(50);
+    B.iconst(0).istore(2);
+    B.iconst(0).istore(3);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(2).iload(1).ifICmp(Opcode::IfICmpGe, End);
+    B.line(52);
+    B.aload(0).iload(2).paLoad();
+    B.iload(3).iadd().istore(3);
+    B.iload(2).iconst(8).iadd().istore(2);
+    B.jmp(Loop);
+    B.bind(End);
+    B.iload(3).iret();
+    WorkerClass.Methods.push_back(B.build());
+  }
+  P.addClass(std::move(WorkerClass));
+
+  // Main.run(iters, nlen, hotlen): hot = new long[hotlen]; acc = 0;
+  // for (i = 0; i < iters; i++) { churn(nlen); acc += sweep(hot, hotlen); }
+  // return acc.
+  {
+    MethodBuilder B("Main", "run", /*NumArgs=*/3, /*NumLocals=*/6);
+    B.line(10);
+    B.iload(2);
+    B.newArray(Types.longArray());
+    B.astore(3);
+    B.iconst(0).istore(4);
+    B.iconst(0).istore(5);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(4).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(12);
+    B.iload(1);
+    B.invoke("Worker.churn", 1);
+    B.pop();
+    B.line(13);
+    B.aload(3).iload(2);
+    B.invoke("Worker.sweep", 2);
+    B.iload(5).iadd().istore(5);
+    B.iload(4).iconst(1).iadd().istore(4);
+    B.jmp(Loop);
+    B.bind(End);
+    B.iload(5).iret();
+
+    ClassFile C;
+    C.Name = "Main";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  return P;
+}
+
 BytecodeProgram djx::buildLusearchProgram(TypeRegistry &Types) {
   BytecodeProgram P;
   // TopDocCollector: a small instance with two scalar fields.

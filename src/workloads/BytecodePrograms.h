@@ -30,6 +30,14 @@ BytecodeProgram buildBatikProgram(TypeRegistry &Types);
 /// touches it — the insignificant-object counterpart.
 BytecodeProgram buildLusearchProgram(TypeRegistry &Types);
 
+/// Per-thread body of the parallel executor workloads:
+/// Main.run(iters, nlen, hotlen) allocates a long-lived long[hotlen] and
+/// then interleaves batik-style float[nlen] churn (GC pressure on the
+/// thread's heap shard) with a strided sweep of the hot array (one access
+/// per cache line, so a hot array larger than L1 yields attributable
+/// L1-miss samples). Returns the sweep checksum.
+BytecodeProgram buildParallelWorkerProgram(TypeRegistry &Types);
+
 } // namespace djx
 
 #endif // DJX_WORKLOADS_BYTECODEPROGRAMS_H

@@ -1,0 +1,62 @@
+//===- Parallel.cpp - Multi-threaded executor workloads --------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Parallel.h"
+
+#include "runtime/Executor.h"
+#include "workloads/BytecodePrograms.h"
+
+#include <string>
+#include <vector>
+
+using namespace djx;
+
+VmConfig djx::parallelVmConfig(const ParallelConfig &Config) {
+  VmConfig Vc;
+  Vc.HeapBytes = Config.HeapBytesPerThread * Config.SimThreads;
+  Vc.HeapShards = Config.SimThreads;
+  return Vc;
+}
+
+DjxPerfConfig djx::parallelAgentConfig(const ParallelConfig &Config,
+                                       DjxPerfConfig Base) {
+  Base.IndexShards = Config.SimThreads;
+  return Base;
+}
+
+ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
+                                         const ParallelConfig &Config) {
+  BytecodeProgram Program = buildParallelWorkerProgram(Vm.types());
+  Program.load(Vm);
+  if (Prof && Config.Instrumented)
+    Prof->instrument(Program);
+
+  ExecutorConfig Ec;
+  Ec.Jobs = Config.Jobs;
+  Ec.QuantumSteps = Config.QuantumSteps;
+  Executor Ex(Vm, Ec);
+  for (unsigned I = 0; I < Config.SimThreads; ++I) {
+    size_t Task = Ex.addThread(
+        Program, "Main.run",
+        {Value::fromInt(Config.Iters), Value::fromInt(Config.Nlen),
+         Value::fromInt(Config.HotElems)},
+        "worker-" + std::to_string(I));
+    if (Prof && Config.Instrumented)
+      Prof->attachInterpreter(Ex.interpreter(Task));
+  }
+
+  Ex.run();
+
+  ParallelOutcome Out;
+  Out.Steps = Ex.totalSteps();
+  Out.Safepoints = Ex.safepoints();
+  Out.Rounds = Ex.rounds();
+  Out.Machine = Ex.mergedMachineStats();
+  // End threads in task (= thread-id) order, deterministically.
+  for (size_t I = 0; I < Ex.numTasks(); ++I)
+    Vm.endThread(Ex.thread(I));
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- Parallel.h - Multi-threaded executor workloads -----------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-threaded workloads driven through the runtime Executor: N
+/// simulated threads, each interpreting a worker program (batik-style
+/// makeRoom churn plus a hot-array sweep) on its own heap shard with a
+/// worker-private machine model.
+/// The paper's measurement setting is exactly this shape — per-thread PMU
+/// sampling feeding one shared live-object index — so these workloads are
+/// what exercises DJXPerf's cross-thread path. Host parallelism (--jobs)
+/// changes wall-clock only; the profile is byte-identical for any value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_WORKLOADS_PARALLEL_H
+#define DJX_WORKLOADS_PARALLEL_H
+
+#include "core/DjxPerf.h"
+#include "jvm/JavaVm.h"
+#include "sim/MemoryHierarchy.h"
+
+#include <cstdint>
+
+namespace djx {
+
+/// Shape of one parallel run. SimThreads/QuantumSteps/Iters/Nlen define
+/// the *logical* workload (they change results); Jobs is host-side only.
+struct ParallelConfig {
+  unsigned SimThreads = 4;
+  /// Host worker threads (0 = hardware concurrency, 1 = serial).
+  unsigned Jobs = 1;
+  /// Interpreter steps per simulated thread per round.
+  uint64_t QuantumSteps = 32768;
+  /// Per-thread iterations / churn-array length / hot-array length
+  /// (Main.run arguments; see buildParallelWorkerProgram). The default
+  /// hot array (16384 longs = 128 KiB) exceeds L1, so sweeps produce
+  /// attributable L1-miss samples.
+  int64_t Iters = 400;
+  int64_t Nlen = 256;
+  int64_t HotElems = 16384;
+  /// Heap bytes *per simulated thread* (one shard each). Small enough by
+  /// default that safepoint GCs actually happen.
+  uint64_t HeapBytesPerThread = 4ULL << 20;
+  /// Route allocations through ASM-style bytecode instrumentation instead
+  /// of VM allocation events (requires a profiler).
+  bool Instrumented = false;
+};
+
+/// VM configuration matching \p Config: sharded heap (one shard per
+/// simulated thread) and the default machine model.
+VmConfig parallelVmConfig(const ParallelConfig &Config);
+
+/// Profiler configuration matching \p Config: the live-object index is
+/// sharded like the heap. Workload-determined, never Jobs-determined.
+DjxPerfConfig parallelAgentConfig(const ParallelConfig &Config,
+                                  DjxPerfConfig Base = DjxPerfConfig());
+
+/// Everything observable from one parallel run.
+struct ParallelOutcome {
+  uint64_t Steps = 0;       ///< Aggregate interpreter steps.
+  uint64_t Safepoints = 0;  ///< Stop-the-world pauses taken.
+  uint64_t Rounds = 0;      ///< Executor rounds (quantum barriers).
+  HierarchyStats Machine;   ///< Deterministic merge across hierarchies.
+};
+
+/// Runs SimThreads interpreted batik instances to completion under the
+/// Executor. \p Prof may be null (native run); when given and
+/// Config.Instrumented is set, the program is instrumented and every
+/// interpreter attached — otherwise VM allocation events feed the agent.
+/// The caller owns profiler start()/stop().
+ParallelOutcome runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
+                                    const ParallelConfig &Config);
+
+} // namespace djx
+
+#endif // DJX_WORKLOADS_PARALLEL_H

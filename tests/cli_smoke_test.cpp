@@ -66,6 +66,44 @@ TEST(CliSmoke, UnknownWorkloadFailsCleanly) {
   EXPECT_NE(Out.find("unknown workload"), std::string::npos) << Out;
 }
 
+TEST(CliSmoke, JobsValidationRejectsZero) {
+  auto [Exit, Out] = run("'" + DjxperfPath + "' --jobs 0 parallel2");
+  EXPECT_NE(Exit, 0);
+  EXPECT_NE(Out.find("--jobs must be positive"), std::string::npos) << Out;
+}
+
+TEST(CliSmoke, ParallelWorkloadRunsUnderJobs) {
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' --jobs 2 parallel2");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("#1 object"), std::string::npos) << Out;
+}
+
+// The tentpole determinism guarantee, end to end through the real binary:
+// stdout (the report) and the stderr stats line are byte-identical for
+// any --jobs value. Streams are captured separately so interleaving
+// cannot produce false mismatches.
+TEST(CliSmoke, ParallelReportIsByteIdenticalAcrossJobs) {
+  // Subshell so the inner 2>/dev/null survives run()'s trailing 2>&1:
+  // only stdout (the report) is compared.
+  auto RunSplit = [&](const std::string &Jobs) {
+    return run("( '" + DjxperfPath + "' --jobs " + Jobs +
+               " parallel4 2>/dev/null )");
+  };
+  auto [Exit1, Out1] = RunSplit("1");
+  auto [Exit2, Out2] = RunSplit("2");
+  auto [Exit4, Out4] = RunSplit("4");
+  ASSERT_EQ(Exit1, 0) << Out1;
+  ASSERT_EQ(Exit2, 0) << Out2;
+  ASSERT_EQ(Exit4, 0) << Out4;
+  EXPECT_EQ(Out1, Out2);
+  EXPECT_EQ(Out1, Out4);
+  EXPECT_NE(Out1.find("#1 object"), std::string::npos) << Out1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {

@@ -17,6 +17,7 @@
 #include "core/DjxPerf.h"
 #include "core/Report.h"
 #include "workloads/BytecodePrograms.h"
+#include "workloads/Parallel.h"
 #include "workloads/Suites.h"
 
 #include <gtest/gtest.h>
@@ -144,6 +145,66 @@ TEST(GoldenDeterminism, InterpWorkloadIsByteIdenticalAcrossRuns) {
   EXPECT_EQ(A.AllocCallbacks, B.AllocCallbacks);
   EXPECT_GT(StepsA, 0u);
   EXPECT_GT(A.AllocCallbacks, 0u);
+}
+
+/// A fixed multi-threaded workload through the parallel runtime: 4
+/// simulated threads on sharded heap/index with safepoint GCs. \p Jobs
+/// sets host parallelism only; every observable byte must be invariant.
+RunOutcome runFixedMtWorkload(unsigned Jobs, uint64_t *SafepointsOut) {
+  ParallelConfig Pc;
+  Pc.SimThreads = 4;
+  Pc.Jobs = Jobs;
+  Pc.QuantumSteps = 8192;
+  Pc.Iters = 500; // 500 KiB churn per 512 KiB shard: safepoints happen.
+  Pc.Nlen = 256;
+  Pc.HotElems = 16384;               // 128 KiB: sweeps miss L1.
+  Pc.HeapBytesPerThread = 512 << 10; // Churn forces safepoint GCs.
+
+  JavaVm Vm(parallelVmConfig(Pc));
+  DjxPerf Prof(Vm, parallelAgentConfig(Pc));
+  Prof.start();
+  ParallelOutcome Run = runParallelWorkload(Vm, &Prof, Pc);
+  Prof.stop();
+
+  RunOutcome O;
+  MergedProfile P = Prof.analyze();
+  O.ObjectReport = renderObjectCentric(P, Vm.methods());
+  O.CodeReport = renderCodeCentric(P, Vm.methods());
+  O.Machine = Run.Machine; // Deterministic merge across worker machines.
+  O.TotalCycles = Vm.totalCycles();
+  O.PeakHeap = Vm.peakHeapBytes();
+  O.Samples = Prof.samplesHandled();
+  O.AllocCallbacks = Prof.allocationCallbacks();
+  if (SafepointsOut)
+    *SafepointsOut = Run.Safepoints;
+  return O;
+}
+
+/// The tentpole guarantee of the parallel runtime: the merged profile and
+/// reports are byte-identical for any --jobs value (1 = legacy serial
+/// path), even with safepoint GCs and index relocation batches in play.
+TEST(GoldenDeterminism, MtWorkloadIsByteIdenticalAcrossJobs) {
+  uint64_t Sp1 = 0, Sp2 = 0, Sp4 = 0;
+  RunOutcome J1 = runFixedMtWorkload(1, &Sp1);
+  RunOutcome J2 = runFixedMtWorkload(2, &Sp2);
+  RunOutcome J4 = runFixedMtWorkload(4, &Sp4);
+
+  for (const RunOutcome *O : {&J2, &J4}) {
+    EXPECT_EQ(O->ObjectReport, J1.ObjectReport);
+    EXPECT_EQ(O->CodeReport, J1.CodeReport);
+    expectSameStats(O->Machine, J1.Machine);
+    EXPECT_EQ(O->TotalCycles, J1.TotalCycles);
+    EXPECT_EQ(O->PeakHeap, J1.PeakHeap);
+    EXPECT_EQ(O->Samples, J1.Samples);
+    EXPECT_EQ(O->AllocCallbacks, J1.AllocCallbacks);
+  }
+  EXPECT_EQ(Sp2, Sp1);
+  EXPECT_EQ(Sp4, Sp1);
+  // Sanity: the run exercised the cross-thread machinery for real.
+  EXPECT_GT(Sp1, 0u);
+  EXPECT_GT(J1.Samples, 0u);
+  EXPECT_NE(J1.ObjectReport.find("long[]"), std::string::npos)
+      << J1.ObjectReport;
 }
 
 /// Native (unprofiled) runs must also be reproducible: the simulator's

@@ -27,13 +27,16 @@
 #include "workloads/CaseStudies.h"
 #include "workloads/Figure1.h"
 #include "workloads/Insignificant.h"
+#include "workloads/Parallel.h"
 #include "workloads/Suites.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace djx;
@@ -46,29 +49,58 @@ struct CliWorkload {
   VmConfig Config;
   std::function<void(JavaVm &)> Baseline;
   std::function<void(JavaVm &)> Optimized; // May be null.
+  /// Multi-threaded executor workload: ignores Baseline/Optimized and runs
+  /// Parallel.SimThreads simulated threads under --jobs host workers.
+  bool MultiThreaded = false;
+  ParallelConfig Parallel;
 };
 
 std::vector<CliWorkload> catalog() {
   std::vector<CliWorkload> All;
+  auto Add = [&All](std::string Name, std::string Kind, VmConfig Config,
+                    std::function<void(JavaVm &)> Baseline,
+                    std::function<void(JavaVm &)> Optimized) {
+    CliWorkload W;
+    W.Name = std::move(Name);
+    W.Kind = std::move(Kind);
+    W.Config = std::move(Config);
+    W.Baseline = std::move(Baseline);
+    W.Optimized = std::move(Optimized);
+    All.push_back(std::move(W));
+  };
   for (const CaseStudy &C : table1CaseStudies())
-    All.push_back({C.Application, "case-study", C.Config, C.Baseline,
-                   C.Optimized});
+    Add(C.Application, "case-study", C.Config, C.Baseline, C.Optimized);
   for (const CaseStudy &C : section6AccuracyCases())
-    All.push_back(
-        {C.Application, "accuracy", C.Config, C.Baseline, C.Optimized});
+    Add(C.Application, "accuracy", C.Config, C.Baseline, C.Optimized);
   for (const InsignificantCase &IC : table2InsignificantCases())
-    All.push_back({IC.Study.Application + " (table2)", "table2",
-                   IC.Study.Config, IC.Study.Baseline,
-                   IC.Study.Optimized});
+    Add(IC.Study.Application + " (table2)", "table2", IC.Study.Config,
+        IC.Study.Baseline, IC.Study.Optimized);
   for (const SuiteEntry &E : figure4Suites())
-    All.push_back({E.Suite + "/" + E.Name, "suite", E.Config,
-                   [E](JavaVm &Vm) { runSuiteEntry(Vm, E); }, nullptr});
+    Add(E.Suite + "/" + E.Name, "suite", E.Config,
+        [E](JavaVm &Vm) { runSuiteEntry(Vm, E); }, nullptr);
   {
     CliWorkload W;
     W.Name = "figure1";
     W.Kind = "motivation";
     W.Config.HeapBytes = 8 << 20;
     W.Baseline = [](JavaVm &Vm) { runFigure1Workload(Vm); };
+    All.push_back(std::move(W));
+  }
+  // Multi-threaded executor workloads: N simulated batik threads on a
+  // sharded heap; --jobs picks the host worker count (results identical
+  // for any value).
+  for (unsigned SimThreads : {2u, 4u, 8u}) {
+    CliWorkload W;
+    W.Name = "parallel" + std::to_string(SimThreads);
+    W.Kind = "mt";
+    W.MultiThreaded = true;
+    W.Parallel.SimThreads = SimThreads;
+    // 512 KiB shards with a 128 KiB live hot array: the churn fills each
+    // shard every ~350 iterations, so safepoint GCs actually happen.
+    W.Parallel.Iters = 400;
+    W.Parallel.Nlen = 256;
+    W.Parallel.HeapBytesPerThread = 512 << 10;
+    W.Config = parallelVmConfig(W.Parallel);
     All.push_back(std::move(W));
   }
   return All;
@@ -106,6 +138,9 @@ void usage(const char *Argv0) {
       "  --no-numa              disable NUMA remote-access diagnosis\n"
       "  --report <which>       object|code|both (default object)\n"
       "  --top <n>              groups to show (default 10)\n"
+      "  --jobs <n>             host worker threads for mt workloads "
+      "(default: hardware concurrency; 1 = serial; results are identical "
+      "for any value)\n"
       "  --html <file>          also write a self-contained HTML report\n"
       "  --write-profiles <dir> dump one .djxprof file per thread\n",
       Argv0);
@@ -121,6 +156,7 @@ int main(int Argc, char **Argv) {
   std::string HtmlPath, ProfileDir, Target;
   bool RunOptimized = false;
   unsigned Top = 10;
+  unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -176,6 +212,13 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: --top must be positive\n");
         return 2;
       }
+    } else if (A == "--jobs") {
+      Jobs = static_cast<unsigned>(
+          std::strtoul(NeedsValue("--jobs"), nullptr, 10));
+      if (Jobs == 0) {
+        std::fprintf(stderr, "error: --jobs must be positive\n");
+        return 2;
+      }
     } else if (A == "--html") {
       HtmlPath = NeedsValue("--html");
     } else if (A == "--write-profiles") {
@@ -211,10 +254,18 @@ int main(int Argc, char **Argv) {
   }
 
   Agent.Events = {PerfEventAttr{Kind, Period, 64}};
+  if (Chosen->MultiThreaded)
+    Agent = parallelAgentConfig(Chosen->Parallel, Agent);
   JavaVm Vm(Chosen->Config);
   DjxPerf Profiler(Vm, Agent);
   Profiler.start();
-  (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
+  if (Chosen->MultiThreaded) {
+    ParallelConfig Pc = Chosen->Parallel;
+    Pc.Jobs = Jobs;
+    runParallelWorkload(Vm, &Profiler, Pc);
+  } else {
+    (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
+  }
   Profiler.stop();
 
   std::fprintf(stderr,
