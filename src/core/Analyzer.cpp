@@ -37,6 +37,31 @@ double MergedProfile::shareOf(const MergedGroup &G,
          static_cast<double>(Total);
 }
 
+PlacementAdvice djx::placementAdvice(const MergedGroup &G) {
+  PlacementAdvice Advice;
+  if (G.AddressSamples == 0 || G.RemoteSamples * 20 < G.AddressSamples)
+    return Advice; // Below a 5% remote share the placement is fine.
+  uint64_t TotalAccessSide = 0;
+  uint64_t DominantCount = 0;
+  NumaNodeId DominantNode = kInvalidNode;
+  for (const auto &[Node, Count] : G.AccessNodeSamples) {
+    TotalAccessSide += Count;
+    if (Count > DominantCount) { // '>' keeps the lowest node id on ties.
+      DominantCount = Count;
+      DominantNode = Node;
+    }
+  }
+  if (TotalAccessSide == 0)
+    return Advice; // No node attribution (NUMA tracking off).
+  if (DominantCount * 4 >= TotalAccessSide * 3) {
+    Advice.Hint = PlacementHint::Bind;
+    Advice.TargetNode = DominantNode;
+  } else {
+    Advice.Hint = PlacementHint::Interleave;
+  }
+  return Advice;
+}
+
 MergedProfile
 djx::mergeProfiles(const std::vector<const ThreadProfile *> &Parts) {
   MergedProfile Out;
@@ -74,6 +99,10 @@ djx::mergeProfiles(const std::vector<const ThreadProfile *> &Parts) {
       M.Metrics += G.Metrics;
       M.RemoteSamples += G.RemoteSamples;
       M.AddressSamples += G.AddressSamples;
+      for (const auto &[Node, Count] : G.HomeNodeSamples)
+        M.HomeNodeSamples[Node] += Count;
+      for (const auto &[Node, Count] : G.AccessNodeSamples)
+        M.AccessNodeSamples[Node] += Count;
       for (const auto &[Node, Counts] : G.AccessBreakdown)
         M.AccessBreakdown[Remap(Node)] += Counts;
     }

@@ -35,9 +35,35 @@ struct MergedGroup {
   MetricCounts Metrics;
   uint64_t RemoteSamples = 0;
   uint64_t AddressSamples = 0;
+  /// Merged NUMA residency histograms (sums of the per-thread ones):
+  /// where the sampled pages lived, and which nodes the accesses came
+  /// from. Plain keyed sums, so the merge is interleaving-independent.
+  std::map<NumaNodeId, uint64_t> HomeNodeSamples;
+  std::map<NumaNodeId, uint64_t> AccessNodeSamples;
   /// Access contexts in the merged CCT.
   std::map<CctNodeId, MetricCounts> AccessBreakdown;
 };
+
+/// Placement remediation suggested for one merged group, mirroring the
+/// paper's §7.5/§7.6 fixes.
+enum class PlacementHint {
+  None,       ///< Remote share too low to bother.
+  Bind,       ///< One node issues nearly all accesses: numa_alloc_onnode.
+  Interleave, ///< Accesses spread across nodes: numa_alloc_interleaved.
+};
+
+struct PlacementAdvice {
+  PlacementHint Hint = PlacementHint::None;
+  /// Bind target (the dominant accessing node); kInvalidNode otherwise.
+  NumaNodeId TargetNode = kInvalidNode;
+};
+
+/// Derives the remediation hint from a group's access-node distribution:
+/// no hint below a 5% remote share; bind to the dominant accessing node
+/// when it issues >= 75% of the node-attributed accesses; interleave when
+/// accesses are spread. Deterministic (ties break toward the lowest node
+/// id via the ordered map).
+PlacementAdvice placementAdvice(const MergedGroup &G);
 
 /// The analyzer's output: one merged CCT plus merged tables.
 struct MergedProfile {

@@ -190,6 +190,8 @@ void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
     return;
   }
   bool Remote = false;
+  NumaNodeId Home = kInvalidNode;
+  NumaNodeId CpuNode = kInvalidNode;
   if (Config.TrackNuma) {
     // §4.3: move_pages gives the page's home node; PERF_SAMPLE_CPU gives
     // the accessing CPU's node. Resolved against the *thread's* hierarchy:
@@ -197,15 +199,15 @@ void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
     // Executor.
     T.addCycles(Config.NumaQueryCycles);
     NumaTopology &Numa = T.machine().numa();
-    NumaNodeId Home = Numa.nodeOfAddr(S.EffectiveAddress);
-    NumaNodeId CpuNode = Numa.nodeOfCpu(S.Cpu);
+    Home = Numa.nodeOfAddr(S.EffectiveAddress);
+    CpuNode = Numa.nodeOfCpu(S.Cpu);
     Remote = Home != kInvalidNode && Home != CpuNode;
   }
   bool Unknown = Obj->AllocThread == 0 && Obj->AllocNode == kCctRoot;
   const std::string &TypeName =
       Unknown ? std::string("<unknown>") : Vm.types().get(Obj->Type).Name;
   P.recordObjectSample(AllocKey{Obj->AllocThread, Obj->AllocNode}, TypeName,
-                       S.Kind, AccessNode, Remote);
+                       S.Kind, AccessNode, Remote, Home, CpuNode);
 }
 
 std::vector<const ThreadProfile *> DjxPerf::profiles() const {

@@ -116,6 +116,25 @@ std::string djx::renderHtmlReport(const MergedProfile &P,
                    static_cast<double>(G->AddressSamples));
     OS << "\n<div class=\"bar\"><span style=\"width:"
        << fmtPct(Share) << "\"></span></div>\n";
+    if (Opts.ShowNuma && G->RemoteSamples) {
+      // Node residency + remediation, shown only for groups with remote
+      // traffic (NUMA-clean reports keep their previous bytes, so the
+      // style is inline rather than a new rule in the shared header).
+      OS << "<div style=\"color:#6a40a0;font-family:monospace;"
+            "margin:.2em 0\">residency:";
+      for (const auto &[Node, Count] : G->HomeNodeSamples)
+        OS << " node" << Node << ":" << Count;
+      OS << " &middot; accessed-from:";
+      for (const auto &[Node, Count] : G->AccessNodeSamples)
+        OS << " node" << Node << ":" << Count;
+      PlacementAdvice Advice = placementAdvice(*G);
+      if (Advice.Hint == PlacementHint::Bind)
+        OS << " &middot; <b>hint: numa_alloc_onnode(node "
+           << Advice.TargetNode << ")</b>";
+      else if (Advice.Hint == PlacementHint::Interleave)
+        OS << " &middot; <b>hint: numa_alloc_interleaved</b>";
+      OS << "</div>\n";
+    }
     emitPath(OS, P.Tree, G->AllocNode, Methods, "alloc");
 
     std::vector<std::pair<CctNodeId, uint64_t>> Accesses;

@@ -63,6 +63,25 @@ std::string djx::renderObjectCentric(const MergedProfile &P,
                       static_cast<double>(G->AddressSamples);
       OS << "   NUMA: " << pct(Remote) << " remote accesses ("
          << G->RemoteSamples << "/" << G->AddressSamples << ")\n";
+      // Residency + remediation only when there is remote traffic to fix
+      // (keeps NUMA-clean reports unchanged).
+      if (G->RemoteSamples > 0) {
+        OS << "   NUMA residency:";
+        for (const auto &[Node, Count] : G->HomeNodeSamples)
+          OS << " node" << Node << ":" << Count;
+        OS << "  accessed-from:";
+        for (const auto &[Node, Count] : G->AccessNodeSamples)
+          OS << " node" << Node << ":" << Count;
+        OS << "\n";
+        PlacementAdvice Advice = placementAdvice(*G);
+        if (Advice.Hint == PlacementHint::Bind)
+          OS << "   NUMA hint: numa_alloc_onnode(node " << Advice.TargetNode
+             << "), accesses concentrate on node " << Advice.TargetNode
+             << "\n";
+        else if (Advice.Hint == PlacementHint::Interleave)
+          OS << "   NUMA hint: numa_alloc_interleaved, accesses are "
+                "spread across nodes\n";
+      }
     }
     OS << "   alloc ctx: " << renderPath(P.Tree, G->AllocNode, Methods)
        << "\n";

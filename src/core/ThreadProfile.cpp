@@ -27,7 +27,9 @@ void ThreadProfile::recordAllocation(CctNodeId AllocNode,
 void ThreadProfile::recordObjectSample(const AllocKey &Key,
                                        const std::string &TypeName,
                                        PerfEventKind Kind,
-                                       CctNodeId AccessNode, bool Remote) {
+                                       CctNodeId AccessNode, bool Remote,
+                                       NumaNodeId HomeNode,
+                                       NumaNodeId CpuNode) {
   ObjectGroupStats &G = Groups[Key];
   if (G.TypeName.empty())
     G.TypeName = TypeName;
@@ -36,6 +38,10 @@ void ThreadProfile::recordObjectSample(const AllocKey &Key,
   ++G.AddressSamples;
   if (Remote)
     ++G.RemoteSamples;
+  if (HomeNode != kInvalidNode)
+    ++G.HomeNodeSamples[HomeNode];
+  if (CpuNode != kInvalidNode)
+    ++G.AccessNodeSamples[CpuNode];
   Totals.add(Kind);
 }
 
@@ -56,7 +62,9 @@ size_t ThreadProfile::memoryFootprint() const {
     Bytes += sizeof(AllocKey) + sizeof(ObjectGroupStats) +
              G.TypeName.size() +
              G.AccessBreakdown.size() *
-                 (sizeof(CctNodeId) + sizeof(MetricCounts) + 32);
+                 (sizeof(CctNodeId) + sizeof(MetricCounts) + 32) +
+             (G.HomeNodeSamples.size() + G.AccessNodeSamples.size()) *
+                 (sizeof(NumaNodeId) + sizeof(uint64_t) + 32);
   }
   Bytes += CodeCentric.size() *
            (sizeof(CctNodeId) + sizeof(MetricCounts) + 32);
@@ -97,6 +105,13 @@ void ThreadProfile::writeTo(std::ostream &OS) const {
       writeMetrics(OS, M);
       OS << '\n';
     }
+    // NUMA residency histograms (absent when NUMA tracking is off).
+    for (const auto &[Node, Count] : G.HomeNodeSamples)
+      OS << "homenode " << Key.AllocThread << ' ' << Key.AllocNode << ' '
+         << Node << ' ' << Count << '\n';
+    for (const auto &[Node, Count] : G.AccessNodeSamples)
+      OS << "cpunode " << Key.AllocThread << ' ' << Key.AllocNode << ' '
+         << Node << ' ' << Count << '\n';
   }
   for (const auto &[Node, M] : CodeCentric) {
     OS << "code " << Node;
@@ -158,6 +173,15 @@ bool ThreadProfile::readFrom(std::istream &IS) {
       if (!readMetrics(LS, M))
         return false;
       Groups[Key].AccessBreakdown[Node] = M;
+    } else if (Tag == "homenode" || Tag == "cpunode") {
+      AllocKey Key;
+      NumaNodeId Node;
+      uint64_t Count;
+      if (!(LS >> Key.AllocThread >> Key.AllocNode >> Node >> Count))
+        return false;
+      ObjectGroupStats &G = Groups[Key];
+      (Tag == "homenode" ? G.HomeNodeSamples
+                         : G.AccessNodeSamples)[Node] = Count;
     } else if (Tag == "code") {
       CctNodeId Node;
       MetricCounts M;

@@ -23,6 +23,7 @@
 #include "core/Cct.h"
 #include "core/LiveObjectIndex.h"
 #include "core/Metrics.h"
+#include "sim/NumaTopology.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -59,6 +60,13 @@ struct ObjectGroupStats {
   /// node than the accessing CPU (§4.3).
   uint64_t RemoteSamples = 0;
   uint64_t AddressSamples = 0;
+  /// Node residency histogram: per sampled access, the home node the
+  /// move_pages analogue reported for the effective address.
+  std::map<NumaNodeId, uint64_t> HomeNodeSamples;
+  /// Accessing-side histogram: the node of the sampling CPU
+  /// (PERF_SAMPLE_CPU). Together with HomeNodeSamples this drives the
+  /// placement remediation hint (bind vs. interleave, §7.5/§7.6).
+  std::map<NumaNodeId, uint64_t> AccessNodeSamples;
   /// Disaggregated access contexts (nodes of the owning profile's CCT).
   std::map<CctNodeId, MetricCounts> AccessBreakdown;
 };
@@ -83,9 +91,13 @@ public:
 
   /// Attributes one sample to the object group identified by \p Key, with
   /// the access context \p AccessNode (a node of this thread's CCT).
+  /// \p HomeNode / \p CpuNode feed the per-object NUMA residency
+  /// histograms when known (kInvalidNode: NUMA tracking off or the page
+  /// was never placed).
   void recordObjectSample(const AllocKey &Key, const std::string &TypeName,
                           PerfEventKind Kind, CctNodeId AccessNode,
-                          bool Remote);
+                          bool Remote, NumaNodeId HomeNode = kInvalidNode,
+                          NumaNodeId CpuNode = kInvalidNode);
 
   /// Records the code-centric view of one sample.
   void recordCodeSample(CctNodeId AccessNode, PerfEventKind Kind);

@@ -84,9 +84,14 @@ public:
 
   // --- Shard geometry ------------------------------------------------------
   unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
-  /// Shard whose address range contains \p Addr.
+  /// Shard whose address range contains \p Addr. Addresses in the reserved
+  /// range [0, kArenaBase) — kNullRef and the guard bytes below the first
+  /// shard — map to shard 0 in every configuration (the unsigned
+  /// subtraction would otherwise underflow and send them to the *last*
+  /// shard whenever NumShards > 1, inconsistent with the single-shard
+  /// heap).
   unsigned shardOf(uint64_t Addr) const {
-    if (Shards.size() == 1)
+    if (Addr < kArenaBase || Shards.size() == 1)
       return 0;
     uint64_t Idx = (Addr - kArenaBase) / ShardSpan;
     unsigned Last = static_cast<unsigned>(Shards.size()) - 1;

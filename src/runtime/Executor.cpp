@@ -41,10 +41,10 @@ size_t Executor::addThread(BytecodeProgram &Program,
                  T->Index, Vm.heap().numShards());
     std::abort();
   }
-  // Deterministic CPU placement: task-index round-robin, independent of
-  // the VM's own NextCpu state.
+  // Deterministic CPU placement spread across NUMA nodes, independent of
+  // the VM's own NextCpu state (and of Jobs).
   if (Cpu == JavaVm::kAnyCpu)
-    Cpu = static_cast<uint32_t>(T->Index) % Vm.machine().numCpus();
+    Cpu = cpuForTask(T->Index);
   T->Thread = &Vm.startThread(Name, Cpu);
   // Worker-private hierarchy: same machine configuration, private
   // cache/TLB/NUMA/stats state. Merged deterministically afterwards.
@@ -55,6 +55,55 @@ size_t Executor::addThread(BytecodeProgram &Program,
   T->Interp->startCall(Entry, Args);
   Tasks.push_back(std::move(T));
   return Tasks.size() - 1;
+}
+
+uint32_t Executor::cpuForTask(size_t Index) const {
+  const NumaConfig &N = Vm.config().Machine.Numa;
+  uint32_t Node = static_cast<uint32_t>(Index % N.NumNodes);
+  uint32_t Slot = static_cast<uint32_t>((Index / N.NumNodes) % N.CpusPerNode);
+  return Node * N.CpusPerNode + Slot;
+}
+
+void Executor::applyNumaPlacement() {
+  const Heap &H = Vm.heap();
+  auto Apply = [&](MemoryHierarchy &M) {
+    NumaTopology &Numa = M.numa();
+    uint32_t NumNodes = Numa.numNodes();
+    uint64_t PageBytes = Numa.config().PageBytes;
+    for (unsigned S = 0; S < H.numShards(); ++S) {
+      uint64_t Base = H.shardBase(S);
+      uint64_t Limit = H.shardLimit(S);
+      if (Limit <= Base)
+        continue;
+      switch (Config.Policy) {
+      case NumaPolicy::FirstTouch: {
+        // Shard pages are home on the owner's node: the owner's
+        // allocation zero-fill is the first touch of every page of its
+        // shard, so this *is* global first-touch, made deterministic.
+        NumaNodeId Owner = S < Tasks.size()
+                               ? Numa.nodeOfCpu(Tasks[S]->Thread->cpu())
+                               : Numa.nodeOfCpu(cpuForTask(S));
+        Numa.bindRange(Base, Limit - Base, Owner);
+        break;
+      }
+      case NumaPolicy::Bind:
+        // numa_alloc_onnode / membind: one node serves the whole heap.
+        Numa.bindRange(Base, Limit - Base, 0);
+        break;
+      case NumaPolicy::Interleave:
+        // Absolute page-number round-robin (rather than the cursor-based
+        // interleaveRange) so re-application after a compaction maps each
+        // page to the same node it had before.
+        for (uint64_t A = Base; A < Limit; A += PageBytes)
+          Numa.movePage(A, static_cast<NumaNodeId>(Numa.pageOf(A) %
+                                                   NumNodes));
+        break;
+      }
+    }
+  };
+  Apply(Vm.machine());
+  for (auto &T : Tasks)
+    Apply(*T->Machine);
 }
 
 void Executor::runQuantum(Task &T) {
@@ -187,6 +236,9 @@ void Executor::run() {
   Vm.setDeferGcToSafepoint(true);
   Vm.types().freeze();
   Vm.methods().freeze();
+  // Place each shard's pages per the NUMA policy before the first access
+  // (every hierarchy, shared and worker-private, sees the same placement).
+  applyNumaPlacement();
   if (Jobs > 1 && Tasks.size() > 1)
     startWorkers(std::min<size_t>(Jobs, Tasks.size()));
 
@@ -221,6 +273,10 @@ void Executor::run() {
       if (Requesters.empty())
         break;
       Safepoint.stopTheWorldGc(Vm, Requesters);
+      // Re-bind after compaction: objects slid within their shard, and a
+      // future heap recycle may have released pages — placement must be
+      // restored before any post-GC access.
+      applyNumaPlacement();
       for (auto &T : Tasks)
         T->Parked = false;
     }

@@ -58,6 +58,12 @@ struct ExecutorConfig {
   /// *logical* schedule: changing it changes where GCs land, so it is a
   /// workload parameter, not a tuning knob derived from Jobs.
   uint64_t QuantumSteps = 65536;
+  /// Heap-shard placement policy (see NumaPolicy). Applied to every
+  /// attached hierarchy at run() start and re-applied after each
+  /// safepoint compaction. Like QuantumSteps it is a *workload* knob: it
+  /// changes simulated placement (and therefore remote-access counts),
+  /// never the schedule, and results stay independent of Jobs.
+  NumaPolicy Policy = NumaPolicy::FirstTouch;
 };
 
 /// Drives simulated threads to completion on host workers.
@@ -70,7 +76,7 @@ public:
   Executor &operator=(const Executor &) = delete;
 
   /// Adds a simulated thread: starts a JavaThread named \p Name pinned to
-  /// \p Cpu (kAnyCpu: task-index round-robin, deterministic), attaches a
+  /// \p Cpu (kAnyCpu: cpuForTask's node-spread round-robin), attaches a
   /// worker-private memory hierarchy, assigns heap shard = task index
   /// (one shard per task is mandatory — lock-free shard allocation
   /// assumes a single owner; aborts if the VM has too few shards), and
@@ -105,6 +111,14 @@ public:
 
   unsigned jobs() const { return Jobs; }
 
+  /// Deterministic default CPU for task \p Index: round-robin across NUMA
+  /// nodes first (task 0 -> node 0's first CPU, task 1 -> node 1's first
+  /// CPU, ...), then across each node's CPUs — so simulated threads spread
+  /// over the machine's sockets the way a real scheduler spreads runnable
+  /// threads. A function of the task index and the machine shape only,
+  /// never of Jobs.
+  uint32_t cpuForTask(size_t Index) const;
+
 private:
   struct Task {
     size_t Index = 0;
@@ -121,6 +135,14 @@ private:
     /// means the safepoint collection did not help — OutOfMemory.
     uint64_t LastParkSteps = ~0ULL;
   };
+
+  /// Imposes Config.Policy on every attached hierarchy (the VM's shared
+  /// machine and each task's worker-private one): each heap shard's page
+  /// range is placed per the policy, with the shard's owner node derived
+  /// from its task's CPU. Idempotent and a function of logical state only,
+  /// so calling it at run() start and after every safepoint compaction
+  /// keeps placement identical for any Jobs value.
+  void applyNumaPlacement();
 
   /// Executes one quantum of \p T (worker context).
   void runQuantum(Task &T);

@@ -13,6 +13,34 @@
 
 using namespace djx;
 
+const char *djx::numaPolicyName(NumaPolicy Policy) {
+  switch (Policy) {
+  case NumaPolicy::FirstTouch:
+    return "first-touch";
+  case NumaPolicy::Bind:
+    return "bind";
+  case NumaPolicy::Interleave:
+    return "interleave";
+  }
+  return "?";
+}
+
+bool djx::parseNumaPolicy(const std::string &Name, NumaPolicy &Out) {
+  if (Name == "first-touch") {
+    Out = NumaPolicy::FirstTouch;
+    return true;
+  }
+  if (Name == "bind") {
+    Out = NumaPolicy::Bind;
+    return true;
+  }
+  if (Name == "interleave") {
+    Out = NumaPolicy::Interleave;
+    return true;
+  }
+  return false;
+}
+
 void NumaTopology::PageTable::rehash(size_t NewSize) {
   std::vector<Slot> Old = std::move(Slots);
   Slots.clear();
@@ -26,8 +54,13 @@ void NumaTopology::PageTable::rehash(size_t NewSize) {
 
 void NumaTopology::PageTable::set(uint64_t Page, NumaNodeId Node) {
   // Keep occupancy (full + tombstones) below 70% so probes stay short.
+  // Grow only when *live* entries need the room; when tombstones dominate
+  // (erase-heavy churn from releaseRange) rehash at the same size, which
+  // clears them — otherwise steady-state churn would double the table
+  // without bound even though NumFull stays small.
   if ((NumUsed + 1) * 10 >= Slots.size() * 7)
-    rehash(Slots.size() * 2);
+    rehash((NumFull + 1) * 10 >= Slots.size() * 5 ? Slots.size() * 2
+                                                  : Slots.size());
   size_t Idx = probeStart(Page);
   size_t FirstTombstone = SIZE_MAX;
   for (;;) {
@@ -128,9 +161,16 @@ void NumaTopology::bindRange(uint64_t Start, uint64_t Size, NumaNodeId Node) {
 void NumaTopology::releaseRange(uint64_t Start, uint64_t Size) {
   if (Size == 0)
     return;
-  uint64_t FirstPage = pageOf(Start);
-  uint64_t LastPage = pageOf(Start + Size - 1);
-  for (uint64_t P = FirstPage; P <= LastPage; ++P)
+  // Contract: only pages *fully inside* [Start, Start+Size) are forgotten.
+  // A boundary page that the range covers partially may still back a
+  // neighbouring live allocation, whose placement must survive the
+  // release.
+  uint64_t PageBytes = Config.PageBytes;
+  uint64_t FirstFull = (Start + PageBytes - 1) >> PageShift;
+  uint64_t EndFull = (Start + Size) >> PageShift; // Exclusive.
+  if (FirstFull >= EndFull)
+    return; // No page is fully covered.
+  for (uint64_t P = FirstFull; P < EndFull; ++P)
     Pages.erase(P);
   invalidateMemos();
 }

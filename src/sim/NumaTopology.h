@@ -24,6 +24,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace djx {
@@ -31,6 +32,27 @@ namespace djx {
 /// Identifies a NUMA node; kInvalidNode means "page not yet placed".
 using NumaNodeId = int32_t;
 constexpr NumaNodeId kInvalidNode = -1;
+
+/// Heap-placement policy the parallel runtime applies to shard address
+/// ranges (the `--numa-policy` knob):
+///  * FirstTouch — the deterministic model of Linux first-touch under the
+///    Executor: each shard's pages are home on its owner thread's node,
+///    because the owner's allocation zero-fill is the first touch of every
+///    page it ever uses. This is the default and reproduces the emergent
+///    per-thread placement exactly for shard-local workloads.
+///  * Bind — every shard bound to node 0 (numa_alloc_onnode / membind:
+///    one memory controller serves everything).
+///  * Interleave — pages spread round-robin across nodes
+///    (numa_alloc_interleaved, the paper's §7.5/§7.6 fix).
+enum class NumaPolicy : uint8_t { FirstTouch, Bind, Interleave };
+
+/// Stable spelling used by the CLI/bench ("first-touch", "bind",
+/// "interleave").
+const char *numaPolicyName(NumaPolicy Policy);
+
+/// Parses a numaPolicyName spelling. \returns false on unknown names
+/// (\p Out untouched).
+bool parseNumaPolicy(const std::string &Name, NumaPolicy &Out);
 
 /// Shape of the machine: \p NumNodes sockets with \p CpusPerNode each.
 struct NumaConfig {
@@ -94,6 +116,10 @@ public:
   /// Number of pages with an assigned home node.
   size_t numPlacedPages() const { return Pages.size(); }
 
+  /// Slots in the backing page table (diagnostics/tests: erase-heavy churn
+  /// must not grow the table when the live page count stays small).
+  size_t pageTableSlots() const { return Pages.numSlots(); }
+
 private:
   /// Open-addressing (linear probe, tombstone-delete) map from page number
   /// to home node. Pages are dense small integers, so a multiplicative
@@ -123,6 +149,7 @@ private:
     void erase(uint64_t Page);
 
     size_t size() const { return NumFull; }
+    size_t numSlots() const { return Slots.size(); }
 
   private:
     enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };

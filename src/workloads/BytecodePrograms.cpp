@@ -65,8 +65,9 @@ BytecodeProgram djx::buildBatikProgram(TypeRegistry &Types) {
   return P;
 }
 
-BytecodeProgram djx::buildParallelWorkerProgram(TypeRegistry &Types) {
-  BytecodeProgram P;
+/// The "Worker" class shared by the parallel-executor programs: batik
+/// churn plus a strided hot-array sweep.
+static ClassFile buildWorkerClass(TypeRegistry &Types) {
   ClassFile WorkerClass;
   WorkerClass.Name = "Worker";
 
@@ -111,7 +112,12 @@ BytecodeProgram djx::buildParallelWorkerProgram(TypeRegistry &Types) {
     B.iload(3).iret();
     WorkerClass.Methods.push_back(B.build());
   }
-  P.addClass(std::move(WorkerClass));
+  return WorkerClass;
+}
+
+BytecodeProgram djx::buildParallelWorkerProgram(TypeRegistry &Types) {
+  BytecodeProgram P;
+  P.addClass(buildWorkerClass(Types));
 
   // Main.run(iters, nlen, hotlen): hot = new long[hotlen]; acc = 0;
   // for (i = 0; i < iters; i++) { churn(nlen); acc += sweep(hot, hotlen); }
@@ -133,6 +139,43 @@ BytecodeProgram djx::buildParallelWorkerProgram(TypeRegistry &Types) {
     B.pop();
     B.line(13);
     B.aload(3).iload(2);
+    B.invoke("Worker.sweep", 2);
+    B.iload(5).iadd().istore(5);
+    B.iload(4).iconst(1).iadd().istore(4);
+    B.jmp(Loop);
+    B.bind(End);
+    B.iload(5).iret();
+
+    ClassFile C;
+    C.Name = "Main";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  return P;
+}
+
+BytecodeProgram djx::buildNumaWorkerProgram(TypeRegistry &Types) {
+  BytecodeProgram P;
+  P.addClass(buildWorkerClass(Types));
+
+  // Main.run(iters, nlen, hot, hotlen): acc = 0;
+  // for (i = 0; i < iters; i++) { churn(nlen); acc += sweep(hot, hotlen); }
+  // return acc. Identical to the parallel worker except that `hot` is the
+  // third *argument* (a neighbour's array) instead of a local allocation.
+  {
+    MethodBuilder B("Main", "run", /*NumArgs=*/4, /*NumLocals=*/6);
+    B.line(10);
+    B.iconst(0).istore(4);
+    B.iconst(0).istore(5);
+    Label Loop = B.newLabel(), End = B.newLabel();
+    B.bind(Loop);
+    B.iload(4).iload(0).ifICmp(Opcode::IfICmpGe, End);
+    B.line(12);
+    B.iload(1);
+    B.invoke("Worker.churn", 1);
+    B.pop();
+    B.line(13);
+    B.aload(2).iload(3);
     B.invoke("Worker.sweep", 2);
     B.iload(5).iadd().istore(5);
     B.iload(4).iconst(1).iadd().istore(4);

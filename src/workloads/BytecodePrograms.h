@@ -38,6 +38,14 @@ BytecodeProgram buildLusearchProgram(TypeRegistry &Types);
 /// L1-miss samples). Returns the sweep checksum.
 BytecodeProgram buildParallelWorkerProgram(TypeRegistry &Types);
 
+/// Per-thread body of the NUMA case-study pair (§7.5/§7.6 shape):
+/// Main.run(iters, nlen, hot, hotlen) is the parallel worker with one
+/// twist — the long-lived hot array arrives as a *reference argument*
+/// (allocated elsewhere, typically in another thread's heap shard), so
+/// every sweep access crosses shards and, depending on placement policy,
+/// NUMA nodes. The churn keeps GC pressure on the thread's own shard.
+BytecodeProgram buildNumaWorkerProgram(TypeRegistry &Types);
+
 } // namespace djx
 
 #endif // DJX_WORKLOADS_BYTECODEPROGRAMS_H

@@ -9,6 +9,7 @@
 #include "runtime/Executor.h"
 #include "workloads/BytecodePrograms.h"
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ VmConfig djx::parallelVmConfig(const ParallelConfig &Config) {
   VmConfig Vc;
   Vc.HeapBytes = Config.HeapBytesPerThread * Config.SimThreads;
   Vc.HeapShards = Config.SimThreads;
+  return Vc;
+}
+
+VmConfig djx::numaRemoteVmConfig(const ParallelConfig &Config) {
+  VmConfig Vc = parallelVmConfig(Config);
+  Vc.Machine.L2 = CacheConfig{64 * 1024, 64, 8};
+  Vc.Machine.L3 = CacheConfig{128 * 1024, 64, 16};
   return Vc;
 }
 
@@ -37,6 +45,7 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   ExecutorConfig Ec;
   Ec.Jobs = Config.Jobs;
   Ec.QuantumSteps = Config.QuantumSteps;
+  Ec.Policy = Config.Policy;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     size_t Task = Ex.addThread(
@@ -56,6 +65,64 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Out.Rounds = Ex.rounds();
   Out.Machine = Ex.mergedMachineStats();
   // End threads in task (= thread-id) order, deterministically.
+  for (size_t I = 0; I < Ex.numTasks(); ++I)
+    Vm.endThread(Ex.thread(I));
+  return Out;
+}
+
+ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
+                                           const ParallelConfig &Config) {
+  (void)Prof; // Attach-mode: VM allocation events feed the agent.
+  assert(Config.SimThreads >= 2 && "neighbour handoff needs >= 2 threads");
+  BytecodeProgram Program = buildNumaWorkerProgram(Vm.types());
+  Program.load(Vm);
+
+  // Setup phase (serial, before the Executor exists, so it is trivially
+  // Jobs-independent): one thread allocates every worker's hot array into
+  // that worker's shard, each at its own source line — the paper's "one
+  // thread initialises the shared structures" scenario, with per-array
+  // object groups in the report.
+  TypeId LongArr = Vm.types().longArray();
+  std::vector<LineEntry> Lines;
+  for (unsigned I = 0; I < Config.SimThreads; ++I)
+    Lines.push_back(LineEntry{I, 90 + I});
+  MethodId AllocM =
+      Vm.methods().getOrRegister("NumaRemote", "allocateHot", Lines);
+  RootScope Roots(Vm);
+  std::vector<ObjectRef *> Hot(Config.SimThreads);
+  JavaThread &Setup = Vm.startThread("numa-setup", 0);
+  for (unsigned I = 0; I < Config.SimThreads; ++I) {
+    Setup.setHeapShard(I);
+    FrameScope F(Setup, AllocM, I);
+    Hot[I] = &Roots.add();
+    *Hot[I] = Vm.allocateArray(Setup, LongArr, Config.HotElems);
+  }
+  Setup.setHeapShard(0);
+  Vm.endThread(Setup);
+
+  ExecutorConfig Ec;
+  Ec.Jobs = Config.Jobs;
+  Ec.QuantumSteps = Config.QuantumSteps;
+  Ec.Policy = Config.Policy;
+  Executor Ex(Vm, Ec);
+  for (unsigned I = 0; I < Config.SimThreads; ++I) {
+    // Worker I sweeps its neighbour's array: the producer/consumer handoff
+    // that first-touch placement punishes with all-remote sweeps.
+    ObjectRef Neighbour = *Hot[(I + 1) % Config.SimThreads];
+    Ex.addThread(Program, "Main.run",
+                 {Value::fromInt(Config.Iters), Value::fromInt(Config.Nlen),
+                  Value::fromRef(Neighbour),
+                  Value::fromInt(Config.HotElems)},
+                 "numa-worker-" + std::to_string(I));
+  }
+
+  Ex.run();
+
+  ParallelOutcome Out;
+  Out.Steps = Ex.totalSteps();
+  Out.Safepoints = Ex.safepoints();
+  Out.Rounds = Ex.rounds();
+  Out.Machine = Ex.mergedMachineStats();
   for (size_t I = 0; I < Ex.numTasks(); ++I)
     Vm.endThread(Ex.thread(I));
   return Out;

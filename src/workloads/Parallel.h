@@ -48,11 +48,24 @@ struct ParallelConfig {
   /// Route allocations through ASM-style bytecode instrumentation instead
   /// of VM allocation events (requires a profiler).
   bool Instrumented = false;
+  /// Shard placement policy the Executor applies (`--numa-policy`).
+  /// Logical-workload knob: it changes simulated placement and remote
+  /// counts, never the schedule; results stay Jobs-independent.
+  NumaPolicy Policy = NumaPolicy::FirstTouch;
 };
 
 /// VM configuration matching \p Config: sharded heap (one shard per
 /// simulated thread) and the default machine model.
 VmConfig parallelVmConfig(const ParallelConfig &Config);
+
+/// VM configuration for the numaRemote pair: parallelVmConfig on a
+/// machine whose outer cache levels are scaled down (L2 64 KiB, L3
+/// 128 KiB per node) so the neighbour sweeps are DRAM-bound. The paper's
+/// NUMA case studies concern structures that exceed the LLC — remote
+/// traffic that actually reaches the memory controllers — and the
+/// simulator's hot arrays must exceed *its* (scaled) LLC for the same
+/// physics to emerge.
+VmConfig numaRemoteVmConfig(const ParallelConfig &Config);
 
 /// Profiler configuration matching \p Config: the live-object index is
 /// sharded like the heap. Workload-determined, never Jobs-determined.
@@ -74,6 +87,22 @@ struct ParallelOutcome {
 /// The caller owns profiler start()/stop().
 ParallelOutcome runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
                                     const ParallelConfig &Config);
+
+/// The NUMA case-study workload (remote-heavy producer/consumer handoff,
+/// the shape of the paper's §7.5/§7.6 studies): a setup thread allocates
+/// one hot long[HotElems] array *into each worker's heap shard* (distinct
+/// allocation sites, so the profiler reports one group per array), then
+/// every worker churns its own shard while sweeping its *neighbour's* hot
+/// array. Under the default first-touch placement each array is home on
+/// its owner's node, so every sweep access is remote; Config.Policy =
+/// Interleave (or Bind) is the placement fix that lowers the remote
+/// ratio. Config.Instrumented is ignored (the hot arrays are API-level
+/// allocations, so VM events feed the agent). Drive it on a
+/// numaRemoteVmConfig(Config) VM with HotElems * 8 above that machine's
+/// L3, so the sweeps reach DRAM instead of being absorbed by the LLC.
+/// The caller owns profiler start()/stop().
+ParallelOutcome runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
+                                      const ParallelConfig &Config);
 
 } // namespace djx
 

@@ -52,6 +52,9 @@ struct CliWorkload {
   /// Multi-threaded executor workload: ignores Baseline/Optimized and runs
   /// Parallel.SimThreads simulated threads under --jobs host workers.
   bool MultiThreaded = false;
+  /// Drive runNumaRemoteWorkload (the §7.5/§7.6 case-study pair) instead
+  /// of the plain parallel worker.
+  bool NumaRemote = false;
   ParallelConfig Parallel;
 };
 
@@ -103,6 +106,28 @@ std::vector<CliWorkload> catalog() {
     W.Config = parallelVmConfig(W.Parallel);
     All.push_back(std::move(W));
   }
+  // NUMA case-study pair (§7.5/§7.6): a producer/consumer handoff where
+  // each worker sweeps its neighbour's hot array. The baseline is
+  // remote-heavy under first-touch; the "Fixed" entry bakes in the
+  // interleave placement fix. --numa-policy overrides either.
+  for (bool Fixed : {false, true}) {
+    CliWorkload W;
+    W.Name = Fixed ? "numaRemoteFixed" : "numaRemote";
+    W.Kind = "numa-mt";
+    W.MultiThreaded = true;
+    W.NumaRemote = true;
+    W.Parallel.SimThreads = 4;
+    W.Parallel.Iters = 300;
+    W.Parallel.Nlen = 256;
+    // 256 KiB hot arrays: above the numaRemote machine's 128 KiB L3, so
+    // every sweep pass reaches DRAM and remote traffic is real.
+    W.Parallel.HotElems = 32768;
+    W.Parallel.HeapBytesPerThread = 512 << 10;
+    W.Parallel.Policy =
+        Fixed ? NumaPolicy::Interleave : NumaPolicy::FirstTouch;
+    W.Config = numaRemoteVmConfig(W.Parallel);
+    All.push_back(std::move(W));
+  }
   return All;
 }
 
@@ -141,6 +166,9 @@ void usage(const char *Argv0) {
       "  --jobs <n>             host worker threads for mt workloads "
       "(default: hardware concurrency; 1 = serial; results are identical "
       "for any value)\n"
+      "  --numa-policy <p>      shard placement for mt workloads: "
+      "first-touch|bind|interleave (default: the workload's own; "
+      "first-touch unless noted)\n"
       "  --html <file>          also write a self-contained HTML report\n"
       "  --write-profiles <dir> dump one .djxprof file per thread\n",
       Argv0);
@@ -157,6 +185,7 @@ int main(int Argc, char **Argv) {
   bool RunOptimized = false;
   unsigned Top = 10;
   unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
+  std::optional<NumaPolicy> PolicyOverride;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -219,6 +248,14 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: --jobs must be positive\n");
         return 2;
       }
+    } else if (A == "--numa-policy") {
+      std::string V = NeedsValue("--numa-policy");
+      NumaPolicy P;
+      if (!parseNumaPolicy(V, P)) {
+        std::fprintf(stderr, "error: unknown NUMA policy '%s'\n", V.c_str());
+        return 2;
+      }
+      PolicyOverride = P;
     } else if (A == "--html") {
       HtmlPath = NeedsValue("--html");
     } else if (A == "--write-profiles") {
@@ -262,7 +299,12 @@ int main(int Argc, char **Argv) {
   if (Chosen->MultiThreaded) {
     ParallelConfig Pc = Chosen->Parallel;
     Pc.Jobs = Jobs;
-    runParallelWorkload(Vm, &Profiler, Pc);
+    if (PolicyOverride)
+      Pc.Policy = *PolicyOverride;
+    if (Chosen->NumaRemote)
+      runNumaRemoteWorkload(Vm, &Profiler, Pc);
+    else
+      runParallelWorkload(Vm, &Profiler, Pc);
   } else {
     (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
   }
