@@ -6,19 +6,39 @@
 ///
 /// \file
 /// §4.2 picks an interval *splay* tree for object attribution because PMU
-/// samples cluster on hot objects, which splaying moves to the root.
-/// google-benchmark comparison of the splay tree against a std::map
-/// interval index and a linear scan, under skewed (hot-object) and
-/// uniform lookup mixes.
+/// samples cluster on hot objects, which splaying moves to the root. This
+/// bench has two parts:
+///
+///  1. A three-way comparison of the *index designs* the repo has grown
+///     through — inline splay (one tree + one spin lock, the paper's
+///     original), sharded splay (per-address-range trees + locks, PR 3),
+///     and batched snapshot (lock-free epoch-snapshot reads with an
+///     address-sorted batch + hint, this PR) — measured as sample-
+///     resolution lookups/s and emitted to BENCH_index.json so CI archives
+///     the trajectory. Per-mode index lock acquisitions are recorded too:
+///     the snapshot mode's count stays zero.
+///
+///  2. The original google-benchmark micro-comparison of the splay tree
+///     against a std::map interval index and a linear scan, under skewed
+///     (hot-object) and uniform lookup mixes.
+///
+/// Usage: bench_ablation_splay_tree [--quick] [--json-only] [--out PATH]
+///                                  [--benchmark_* flags...]
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/LiveObjectIndex.h"
 #include "support/IntervalSplayTree.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 using namespace djx;
@@ -51,6 +71,163 @@ std::vector<uint64_t> makeQueries(const std::vector<uint64_t> &Starts,
   }
   return Qs;
 }
+
+// --- Part 1: three-way index-design comparison -> BENCH_index.json --------
+
+constexpr unsigned kIndexShards = 4;
+/// Wide enough that the largest (non-quick) population — 16384 objects
+/// per shard at a 512-byte stride, 8 MB — fits its shard range with
+/// room to spare; colliding starts across shards would silently evict
+/// earlier shards' intervals and invalidate the comparison.
+constexpr uint64_t kShardSpan = 1ULL << 24;
+/// Ring capacity of the batched resolver: the snapshot mode resolves in
+/// sorted batches of this size, like the real drain.
+constexpr size_t kDrainBatch = 4096;
+
+/// Objects laid out like a sharded heap: N/kIndexShards per shard-range,
+/// bump-ordered within each.
+std::vector<uint64_t> makeShardedStarts(size_t N) {
+  std::vector<uint64_t> Starts;
+  Starts.reserve(N);
+  size_t PerShard = N / kIndexShards;
+  static_assert(kObjSize * 2 * 16384 + 64 <= kShardSpan,
+                "per-shard layout must fit the shard span");
+  for (unsigned S = 0; S < kIndexShards; ++S)
+    for (size_t I = 0; I < PerShard; ++I)
+      Starts.push_back(S * kShardSpan + 64 + I * kObjSize * 2);
+  return Starts;
+}
+
+void populate(LiveObjectIndex &Idx, const std::vector<uint64_t> &Starts) {
+  for (uint64_t S : Starts)
+    Idx.insert(S, kObjSize, LiveObject{1 + S % 7, kCctRoot, 0, kObjSize});
+}
+
+struct ModeResult {
+  double PerSec = 0;
+  uint64_t Hits = 0;
+  uint64_t LockAcquisitions = 0; ///< On the lookup phase only.
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Measures one lookup mode over \p Queries, best of \p Reps.
+template <typename LookupPhase>
+ModeResult measureMode(const std::vector<uint64_t> &Starts,
+                       const std::vector<uint64_t> &Queries, int Reps,
+                       unsigned Shards, LookupPhase &&Phase) {
+  ModeResult Best;
+  for (int R = 0; R < Reps; ++R) {
+    LiveObjectIndex Idx;
+    if (Shards > 1)
+      Idx.configureShards(Shards, kShardSpan);
+    populate(Idx, Starts);
+    uint64_t LocksBefore = Idx.lockAcquisitions();
+    Clock::time_point T0 = Clock::now();
+    uint64_t Hits = Phase(Idx, Queries);
+    double Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+    double PerSec =
+        Seconds > 0 ? static_cast<double>(Queries.size()) / Seconds : 0;
+    if (PerSec > Best.PerSec) {
+      Best.PerSec = PerSec;
+      Best.Hits = Hits;
+      Best.LockAcquisitions = Idx.lockAcquisitions() - LocksBefore;
+    }
+  }
+  return Best;
+}
+
+uint64_t inlineLookupPhase(LiveObjectIndex &Idx,
+                           const std::vector<uint64_t> &Queries) {
+  uint64_t Hits = 0;
+  for (uint64_t Q : Queries)
+    if (Idx.lookup(Q))
+      ++Hits;
+  return Hits;
+}
+
+/// The batched drain's shape: resolve in ring-sized batches, each sorted
+/// by address, through the lock-free snapshot with the hint memo.
+uint64_t snapshotBatchPhase(LiveObjectIndex &Idx,
+                            const std::vector<uint64_t> &Queries) {
+  uint64_t Hits = 0;
+  std::vector<uint64_t> Batch;
+  Batch.reserve(kDrainBatch);
+  for (size_t I = 0; I < Queries.size(); I += kDrainBatch) {
+    size_t End = std::min(Queries.size(), I + kDrainBatch);
+    Batch.assign(Queries.begin() + I, Queries.begin() + End);
+    std::sort(Batch.begin(), Batch.end());
+    LiveObjectIndex::SnapshotHint Hint;
+    for (uint64_t Q : Batch)
+      if (Idx.lookupSnapshot(Q, &Hint))
+        ++Hits;
+  }
+  return Hits;
+}
+
+int runIndexComparison(bool Quick, const std::string &OutPath) {
+  const size_t NumObjects = Quick ? 4096 : 65536;
+  const size_t NumQueries = Quick ? 1 << 18 : 1 << 21;
+  const int Reps = Quick ? 2 : 3;
+  auto Starts = makeShardedStarts(NumObjects);
+  auto Queries = makeQueries(Starts, NumQueries, /*Skewed=*/true);
+
+  std::printf("=== index designs: %zu objects, %zu skewed lookups ===\n",
+              Starts.size(), Queries.size());
+  ModeResult Inline =
+      measureMode(Starts, Queries, Reps, 1, inlineLookupPhase);
+  ModeResult Sharded =
+      measureMode(Starts, Queries, Reps, kIndexShards, inlineLookupPhase);
+  ModeResult Snapshot =
+      measureMode(Starts, Queries, Reps, kIndexShards, snapshotBatchPhase);
+
+  struct Row {
+    const char *Name;
+    const ModeResult *R;
+  } Rows[] = {{"inline_splay", &Inline},
+              {"sharded_splay", &Sharded},
+              {"batched_snapshot", &Snapshot}};
+  for (const Row &R : Rows)
+    std::printf("%-17s %12.0f lookups/s   (%llu hits, %llu index lock "
+                "acquisitions)\n",
+                R.Name, R.R->PerSec,
+                static_cast<unsigned long long>(R.R->Hits),
+                static_cast<unsigned long long>(R.R->LockAcquisitions));
+  std::printf("speedup vs inline: x%.2f (sharded), x%.2f (snapshot)\n",
+              Inline.PerSec > 0 ? Sharded.PerSec / Inline.PerSec : 0,
+              Inline.PerSec > 0 ? Snapshot.PerSec / Inline.PerSec : 0);
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\n  \"bench\": \"index\",\n  \"quick\": %s,\n"
+               "  \"objects\": %zu,\n  \"queries\": %zu,\n"
+               "  \"lookups_per_sec\": {\n",
+               Quick ? "true" : "false", Starts.size(), Queries.size());
+  for (size_t I = 0; I < 3; ++I)
+    std::fprintf(Out,
+                 "    \"%s\": { \"per_sec\": %.0f, \"hits\": %llu, "
+                 "\"lock_acquisitions\": %llu }%s\n",
+                 Rows[I].Name, Rows[I].R->PerSec,
+                 static_cast<unsigned long long>(Rows[I].R->Hits),
+                 static_cast<unsigned long long>(
+                     Rows[I].R->LockAcquisitions),
+                 I == 2 ? "" : ",");
+  std::fprintf(Out,
+               "  },\n  \"speedup_vs_inline\": {\n"
+               "    \"sharded_splay\": %.2f,\n"
+               "    \"batched_snapshot\": %.2f\n  }\n}\n",
+               Inline.PerSec > 0 ? Sharded.PerSec / Inline.PerSec : 0,
+               Inline.PerSec > 0 ? Snapshot.PerSec / Inline.PerSec : 0);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+// --- Part 2: tree-level micro-benchmarks (google-benchmark) ---------------
 
 void BM_SplayTreeLookup(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
@@ -142,4 +319,31 @@ BENCHMARK(BM_LinearScanLookup)
     ->ArgNames({"objects", "skewed"});
 BENCHMARK(BM_SplayTreeChurn)->Arg(4096)->ArgNames({"objects"});
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  bool JsonOnly = false;
+  std::string OutPath = "BENCH_index.json";
+  std::vector<char *> BenchArgs;
+  BenchArgs.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(Argv[I], "--json-only") == 0)
+      JsonOnly = true;
+    else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else
+      BenchArgs.push_back(Argv[I]); // --benchmark_* passthrough.
+  }
+  if (int Rc = runIndexComparison(Quick, OutPath))
+    return Rc;
+  if (JsonOnly)
+    return 0;
+  int BenchArgc = static_cast<int>(BenchArgs.size());
+  benchmark::Initialize(&BenchArgc, BenchArgs.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, BenchArgs.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

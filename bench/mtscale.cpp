@@ -14,6 +14,14 @@
 /// carry meaning on hosts with at least as many cores as workers — on a
 /// single-core container every jobs value collapses to ~1x.
 ///
+/// A second section measures round-barrier cost directly: the same
+/// workload at QuantumSteps 1k/16k/64k, jobs=1 vs jobs=4. Shrinking the
+/// quantum multiplies the number of round transitions (64x between the
+/// extremes), so the barrier's per-round overhead dominates the jobs=4
+/// column at 1k — visible even on few-core hosts, where no parallel
+/// speedup can mask it. This is the metric the ticket-based barrier
+/// elision moves.
+///
 /// Usage: bench_mtscale [--quick] [--out PATH]
 ///
 //===----------------------------------------------------------------------===//
@@ -40,6 +48,7 @@ struct ScalePoint {
   double Seconds = 0;
   uint64_t Steps = 0;
   uint64_t Safepoints = 0;
+  uint64_t Rounds = 0;
 };
 
 ScalePoint measure(unsigned Jobs, int Reps, const ParallelConfig &Base) {
@@ -60,10 +69,21 @@ ScalePoint measure(unsigned Jobs, int Reps, const ParallelConfig &Base) {
       Best.Seconds = Seconds;
       Best.Steps = Out.Steps;
       Best.Safepoints = Out.Safepoints;
+      Best.Rounds = Out.Rounds;
     }
   }
   return Best;
 }
+
+/// One barrier-cost cell: the scaling workload at a given QuantumSteps
+/// and jobs value. Small quanta mean many rounds; the jobs>1 steps/s
+/// deficit against jobs=1 at the same quantum is (almost entirely) the
+/// per-round transition cost.
+struct BarrierPoint {
+  uint64_t QuantumSteps = 0;
+  ScalePoint J1;
+  ScalePoint J4;
+};
 
 } // namespace
 
@@ -109,6 +129,31 @@ int main(int Argc, char **Argv) {
               Base1 > 0 ? Points[1].StepsPerSec / Base1 : 0,
               Base1 > 0 ? Points[2].StepsPerSec / Base1 : 0);
 
+  // Barrier-cost microbench: same workload, shrinking quanta. A lighter
+  // churn (larger heap, fewer iterations) keeps safepoints out of the
+  // picture so the numbers isolate the round transition itself.
+  std::printf("--- barrier cost: steps/s at shrinking QuantumSteps ---\n");
+  ParallelConfig Bb = Base;
+  Bb.Iters = Quick ? 200 : 800;
+  Bb.HeapBytesPerThread = 4ULL << 20; // Roomy shards: no safepoint GCs.
+  const uint64_t Quanta[] = {1024, 16384, 65536};
+  BarrierPoint Barrier[3];
+  for (int I = 0; I < 3; ++I) {
+    Bb.QuantumSteps = Quanta[I];
+    Barrier[I].QuantumSteps = Quanta[I];
+    Barrier[I].J1 = measure(1, Reps, Bb);
+    Barrier[I].J4 = measure(4, Reps, Bb);
+    double Ratio = Barrier[I].J1.StepsPerSec > 0
+                       ? Barrier[I].J4.StepsPerSec /
+                             Barrier[I].J1.StepsPerSec
+                       : 0;
+    std::printf("quantum=%6llu: jobs1 %12.0f  jobs4 %12.0f steps/s "
+                "(x%.2f, %llu rounds)\n",
+                static_cast<unsigned long long>(Quanta[I]),
+                Barrier[I].J1.StepsPerSec, Barrier[I].J4.StepsPerSec, Ratio,
+                static_cast<unsigned long long>(Barrier[I].J4.Rounds));
+  }
+
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
@@ -130,9 +175,24 @@ int main(int Argc, char **Argv) {
                  Points[I].Seconds, I == 2 ? "" : ",");
   std::fprintf(Out,
                "  },\n  \"speedup_vs_jobs1\": {\n"
-               "    \"jobs2\": %.2f,\n    \"jobs4\": %.2f\n  }\n}\n",
+               "    \"jobs2\": %.2f,\n    \"jobs4\": %.2f\n  },\n",
                Base1 > 0 ? Points[1].StepsPerSec / Base1 : 0,
                Base1 > 0 ? Points[2].StepsPerSec / Base1 : 0);
+  std::fprintf(Out, "  \"barrier_cost\": {\n");
+  for (int I = 0; I < 3; ++I)
+    std::fprintf(
+        Out,
+        "    \"quantum%llu\": { \"jobs1_per_sec\": %.0f, "
+        "\"jobs4_per_sec\": %.0f, \"jobs4_vs_jobs1\": %.2f, "
+        "\"rounds\": %llu }%s\n",
+        static_cast<unsigned long long>(Barrier[I].QuantumSteps),
+        Barrier[I].J1.StepsPerSec, Barrier[I].J4.StepsPerSec,
+        Barrier[I].J1.StepsPerSec > 0
+            ? Barrier[I].J4.StepsPerSec / Barrier[I].J1.StepsPerSec
+            : 0,
+        static_cast<unsigned long long>(Barrier[I].J4.Rounds),
+        I == 2 ? "" : ",");
+  std::fprintf(Out, "  }\n}\n");
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath.c_str());
   return 0;

@@ -6,6 +6,7 @@
 
 #include "core/DjxPerf.h"
 
+#include <algorithm>
 #include <cassert>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,12 @@ using namespace djx;
 
 DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
     : Vm(Vm), Config(std::move(Cfg)) {
+  // Batched resolution requires the index to be mutation-quiescent
+  // between drain points; only the GC interpositions guarantee that
+  // (without them stale intervals linger and later inserts evict them
+  // mid-window, so a deferred lookup could diverge from an inline one).
+  Batching = Config.BatchedSampleResolution && Config.HandleGcMoves &&
+             Config.HandleGcFrees;
   if (Config.IndexShards > 1) {
     // Mirror the heap's shard geometry so a thread's inserts and lookups
     // land in "its" index shard (correct for any geometry; contention-free
@@ -32,6 +39,26 @@ DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
     if (!Active)
       return;
     recordAllocation(*E.Thread, E.Object, E.Type, E.TypeName, E.Size);
+  });
+
+  // GC start: resolve every buffered sample against the pre-GC index
+  // state — the free/move interpositions below are about to mutate it.
+  // The world is stopped wherever a GC runs (the single mutator in
+  // serial mode, a safepoint under the Executor), so draining all rings
+  // here is race-free.
+  Jvmti.onGcStart([this] {
+    if (Batching)
+      drainAllRings();
+  });
+
+  // Executor quantum boundary: drain the thread's ring on the worker
+  // that just ran it (the per-quantum batch point of the hot path).
+  Jvmti.onQuantumEnd([this](JavaThread &T) {
+    if (!Batching)
+      return;
+    auto *Ctx = static_cast<SampleCtx *>(T.agentData());
+    if (Ctx && Ctx->Prof == this)
+      drainSampleRing(*Ctx);
   });
 
   // memmove interposition: append to the relocation map (§4.5).
@@ -60,6 +87,11 @@ DjxPerf::DjxPerf(JavaVm &Vm, DjxPerfConfig Cfg)
       return;
     LiveObject Unknown; // AllocThread 0 / root node = unknown provenance.
     unsigned Applied = Index.applyRelocations(Unknown);
+    // GC finish is the one point where the world is provably stopped
+    // and every ring was drained (at GC start), so no snapshot reader
+    // can be in flight: reclaim the epochs retired by the relocation
+    // batch and by this cycle's appends.
+    Index.reclaimRetiredSnapshots();
     AuxCycles.fetch_add(static_cast<uint64_t>(Applied) *
                             Config.GcBatchPerObjectCycles,
                         std::memory_order_relaxed);
@@ -76,19 +108,22 @@ void DjxPerf::onThreadStart(JavaThread &T) {
     SpinLockGuard G(AgentLock);
     if (PmuProgrammed.insert(T.id()).second) {
       // Deque keeps context addresses stable across later insertions.
-      SampleCtxs.push_back(SampleCtx{this, &T});
+      SampleCtxs.push_back(SampleCtx{this, &T, SampleRing()});
       Ctx = &SampleCtxs.back();
     }
   }
   if (Ctx) {
     for (const PerfEventAttr &Attr : Config.Events)
       T.pmu().openEvent(Attr);
+    // JVMTI thread-local storage: quantum-end callbacks reach the
+    // thread's ring through this slot without a registry lookup.
+    T.setAgentData(Ctx);
     // Devirtualised handler: a raw function pointer + stable context
     // instead of a std::function dispatch per delivered sample.
     T.pmu().setSampleHandler(
         [](void *C, const PerfSample &S) {
           auto *Sc = static_cast<SampleCtx *>(C);
-          Sc->Prof->handleSample(*Sc->Thread, S);
+          Sc->Prof->handleSample(*Sc, S);
         },
         Ctx);
   }
@@ -115,6 +150,11 @@ void DjxPerf::stop() {
   Active = false;
   for (JavaThread *T : Vm.allThreads())
     T->pmu().disable();
+  // Samples buffered since the last drain point still belong to the
+  // profile; the world is quiescent by the stop() contract (no monitored
+  // execution in flight).
+  if (Batching)
+    drainAllRings();
 }
 
 unsigned DjxPerf::instrument(BytecodeProgram &Program) {
@@ -170,23 +210,53 @@ void DjxPerf::recordAllocation(JavaThread &T, ObjectRef Obj, TypeId Type,
   ThreadProfile &P = profileOf(T);
   CctNodeId Node = P.cct().insertPath(Vm.asyncGetCallTrace(T));
   P.recordAllocation(Node, TypeName, Size);
+  // Allocation commit is a mutation batch point: samples this thread
+  // buffered so far (its own zero-fill stores included) predate the
+  // insert and must resolve against the pre-insert index — exactly what
+  // inline resolution would have seen. Other threads cannot hold
+  // pre-insert samples of this address: the object is unpublished until
+  // the hook returns.
+  if (Batching)
+    if (auto *Ctx = static_cast<SampleCtx *>(T.agentData()))
+      if (Ctx->Prof == this)
+        drainSampleRing(*Ctx);
   Index.insert(Obj, Size, LiveObject{T.id(), Node, Type, Size});
   Tracked.fetch_add(1, std::memory_order_relaxed);
 }
 
-void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
+void DjxPerf::handleSample(SampleCtx &Ctx, const PerfSample &S) {
   if (!Active)
     return;
+  JavaThread &T = *Ctx.Thread;
   Samples.fetch_add(1, std::memory_order_relaxed);
   T.addCycles(Config.SampleHandleCycles);
   ThreadProfile &P = profileOf(T);
+  // The access context must be interned while the shadow stack is live —
+  // and interning order defines CCT node ids — so it happens at sample
+  // time in both modes; the code-centric view needs nothing else.
   CctNodeId AccessNode = P.cct().insertPath(Vm.asyncGetCallTrace(T));
   if (Config.CollectCodeCentric)
     P.recordCodeSample(AccessNode, S.Kind);
 
-  std::optional<LiveObject> Obj = Index.lookup(S.EffectiveAddress);
+  if (!Batching) {
+    resolveSampleInline(T, P, S.EffectiveAddress, AccessNode, S.Kind,
+                        S.Cpu);
+    return;
+  }
+  // Batched: identity resolution and the NUMA query are deferred to the
+  // drain. A full ring drains in place on the owning worker, bounding
+  // memory for long GC-free windows.
+  if (Ctx.Ring.push(BufferedSample{S.EffectiveAddress, AccessNode, S.Cpu,
+                                   S.Kind}))
+    drainSampleRing(Ctx);
+}
+
+void DjxPerf::resolveSampleInline(JavaThread &T, ThreadProfile &P,
+                                  uint64_t Addr, CctNodeId AccessNode,
+                                  PerfEventKind Kind, uint32_t Cpu) {
+  std::optional<LiveObject> Obj = Index.lookup(Addr);
   if (!Obj) {
-    P.recordUnattributed(S.Kind);
+    P.recordUnattributed(Kind);
     return;
   }
   bool Remote = false;
@@ -199,18 +269,97 @@ void DjxPerf::handleSample(JavaThread &T, const PerfSample &S) {
     // Executor.
     T.addCycles(Config.NumaQueryCycles);
     NumaTopology &Numa = T.machine().numa();
-    Home = Numa.nodeOfAddr(S.EffectiveAddress);
-    CpuNode = Numa.nodeOfCpu(S.Cpu);
+    Home = Numa.nodeOfAddr(Addr);
+    CpuNode = Numa.nodeOfCpu(Cpu);
     Remote = Home != kInvalidNode && Home != CpuNode;
   }
   bool Unknown = Obj->AllocThread == 0 && Obj->AllocNode == kCctRoot;
   const std::string &TypeName =
       Unknown ? std::string("<unknown>") : Vm.types().get(Obj->Type).Name;
   P.recordObjectSample(AllocKey{Obj->AllocThread, Obj->AllocNode}, TypeName,
-                       S.Kind, AccessNode, Remote, Home, CpuNode);
+                       Kind, AccessNode, Remote, Home, CpuNode);
+}
+
+void DjxPerf::drainSampleRing(SampleCtx &Ctx) {
+  if (Ctx.Ring.empty())
+    return;
+  JavaThread &T = *Ctx.Thread;
+  ThreadProfile &P = profileOf(T);
+  std::vector<BufferedSample> &Batch = Ctx.Ring.entries();
+  // Address order turns the batch's index walk into runs over the same
+  // interval and page: the snapshot hint and the page memo below make
+  // consecutive hits O(1). Deferral is result-invariant — lookups and
+  // move_pages queries answer the same at the drain as at sample time,
+  // because inserts land at fresh bump addresses, erases/relocations only
+  // happen inside a GC (which drains first), and a page's home node
+  // cannot change between its first touch and the next placement
+  // mutation (also GC-fenced). stable_sort keeps equal addresses in
+  // sample order, so aggregation order is deterministic too.
+  std::stable_sort(Batch.begin(), Batch.end(),
+                   [](const BufferedSample &A, const BufferedSample &B) {
+                     return A.EffectiveAddress < B.EffectiveAddress;
+                   });
+  NumaTopology *Numa = Config.TrackNuma ? &T.machine().numa() : nullptr;
+  const std::string UnknownName = "<unknown>";
+  LiveObjectIndex::SnapshotHint Hint;
+  uint64_t MemoPage = ~0ULL;
+  NumaNodeId MemoHome = kInvalidNode;
+  for (const BufferedSample &B : Batch) {
+    std::optional<LiveObject> Obj =
+        Index.lookupSnapshot(B.EffectiveAddress, &Hint);
+    if (!Obj) {
+      P.recordUnattributed(B.Kind);
+      continue;
+    }
+    bool Remote = false;
+    NumaNodeId Home = kInvalidNode;
+    NumaNodeId CpuNode = kInvalidNode;
+    if (Numa) {
+      T.addCycles(Config.NumaQueryCycles);
+      uint64_t Page = Numa->pageOf(B.EffectiveAddress);
+      if (Page != MemoPage) {
+        MemoPage = Page;
+        MemoHome = Numa->nodeOfAddr(B.EffectiveAddress);
+      }
+      Home = MemoHome;
+      CpuNode = Numa->nodeOfCpu(B.Cpu);
+      Remote = Home != kInvalidNode && Home != CpuNode;
+    }
+    bool Unknown = Obj->AllocThread == 0 && Obj->AllocNode == kCctRoot;
+    const std::string &TypeName =
+        Unknown ? UnknownName : Vm.types().get(Obj->Type).Name;
+    P.recordObjectSample(AllocKey{Obj->AllocThread, Obj->AllocNode},
+                         TypeName, B.Kind, B.AccessNode, Remote, Home,
+                         CpuNode);
+  }
+  Ctx.Ring.clear();
+}
+
+void DjxPerf::drainAllRings() {
+  // Serialize whole-profiler drains against each other (concurrent
+  // analyze()/profiles() callers); quantum-end and capacity drains stay
+  // outside this lock because they are confined to the owning worker.
+  std::lock_guard<std::mutex> DrainGuard(DrainAllLock);
+  // Snapshot the context list under the agent lock, then drain without
+  // it: draining touches the Profiles leaf lock and the index, and the
+  // documented lock order forbids holding two profiler locks at once.
+  std::vector<SampleCtx *> All;
+  {
+    SpinLockGuard G(AgentLock);
+    All.reserve(SampleCtxs.size());
+    for (SampleCtx &Ctx : SampleCtxs)
+      All.push_back(&Ctx);
+  }
+  for (SampleCtx *Ctx : All)
+    drainSampleRing(*Ctx);
 }
 
 std::vector<const ThreadProfile *> DjxPerf::profiles() const {
+  // Results must reflect every delivered sample: flush rings that have
+  // not hit a drain point yet (mid-run reads were already specified as
+  // quiescent-only; see drainAllRings).
+  if (Batching)
+    const_cast<DjxPerf *>(this)->drainAllRings();
   SpinLockGuard G(ProfilesLock);
   std::vector<const ThreadProfile *> Out;
   Out.reserve(Profiles.size());
@@ -222,6 +371,8 @@ std::vector<const ThreadProfile *> DjxPerf::profiles() const {
 }
 
 const ThreadProfile *DjxPerf::profileForThread(uint64_t ThreadId) const {
+  if (Batching)
+    const_cast<DjxPerf *>(this)->drainAllRings();
   SpinLockGuard G(ProfilesLock);
   auto It = Profiles.find(ThreadId);
   return It == Profiles.end() ? nullptr : It->second.get();
@@ -230,6 +381,8 @@ const ThreadProfile *DjxPerf::profileForThread(uint64_t ThreadId) const {
 MergedProfile DjxPerf::analyze() const { return mergeProfiles(profiles()); }
 
 unsigned DjxPerf::writeProfiles(const std::string &Dir) const {
+  if (Batching)
+    const_cast<DjxPerf *>(this)->drainAllRings();
   namespace fs = std::filesystem;
   std::error_code Ec;
   fs::create_directories(Dir, Ec);

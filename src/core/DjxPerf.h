@@ -17,8 +17,12 @@
 ///
 ///  * the **JVMTI agent** (§4.1, §4.2): programs per-thread PMU events at
 ///    thread start, handles overflow "signals", attributes each sampled
-///    effective address to the enclosing object via the splay tree, and
-///    diagnoses NUMA remote accesses via the move_pages analogue (§4.3).
+///    effective address to the enclosing object, and diagnoses NUMA
+///    remote accesses via the move_pages analogue (§4.3). Attribution
+///    runs batched by default: the handler buffers samples in a
+///    thread-private ring and a per-quantum drain resolves them against
+///    the index's lock-free epoch snapshot (see
+///    DjxPerfConfig::BatchedSampleResolution).
 ///
 /// GC interference (§4.5) is handled by the memmove/finalize
 /// interpositions feeding a relocation map that is applied in batch on the
@@ -46,12 +50,14 @@
 #include "instrument/AllocationInstrumenter.h"
 #include "interp/Interpreter.h"
 #include "jvm/JavaVm.h"
+#include "pmu/SampleRing.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -84,6 +90,19 @@ struct DjxPerfConfig {
   /// configuration, NOT of --jobs: results must not depend on host
   /// parallelism.
   unsigned IndexShards = 1;
+  /// Batched sample resolution (the default hot path): the overflow
+  /// handler appends (address, context, metrics) to the thread's ring and
+  /// a per-quantum drain resolves the batch — sorted by address — against
+  /// the index's lock-free epoch snapshot. Reports are byte-identical to
+  /// inline resolution because the index only mutates observably at drain
+  /// boundaries: inserts land at fresh bump addresses, and erases /
+  /// relocations happen only inside a GC, which drains first. Set false
+  /// to resolve inline through the locked splay tree (the paper's
+  /// original design; bench_ablation_splay_tree's baseline). Forced off
+  /// when either GC interposition is disabled — without them the index
+  /// can evict stale intervals mid-window, which would make deferred
+  /// lookups diverge from inline ones.
+  bool BatchedSampleResolution = true;
 
   // --- Measurement cost model (cycles) ----------------------------------
   /// Dispatch of an allocation hook, paid even when the size filter
@@ -177,20 +196,41 @@ public:
 
   const DjxPerfConfig &config() const { return Config; }
 
+  /// Whether samples are being resolved batched (config flag AND both GC
+  /// interpositions enabled — see DjxPerfConfig::BatchedSampleResolution).
+  bool batchedResolutionActive() const { return Batching; }
+
 private:
+  /// Context for the devirtualised PMU overflow handler (one per
+  /// monitored thread; deque keeps addresses stable). Owns the thread's
+  /// sample ring; Ring is thread-confined to whichever host worker is
+  /// executing the thread's quantum.
+  struct SampleCtx {
+    DjxPerf *Prof;
+    JavaThread *Thread;
+    SampleRing Ring;
+  };
+
   void onThreadStart(JavaThread &T);
   void onThreadEnd(JavaThread &T);
   void recordAllocation(JavaThread &T, ObjectRef Obj, TypeId Type,
                         const std::string &TypeName, uint64_t Size);
-  void handleSample(JavaThread &T, const PerfSample &S);
+  void handleSample(SampleCtx &Ctx, const PerfSample &S);
+  /// Inline (locked splay) resolution of one sample: the ablation path.
+  void resolveSampleInline(JavaThread &T, ThreadProfile &P, uint64_t Addr,
+                           CctNodeId AccessNode, PerfEventKind Kind,
+                           uint32_t Cpu);
+  /// Batched resolution: sorts \p Ctx's ring by address and resolves it
+  /// against the index's epoch snapshot with zero locks. Must run on the
+  /// worker owning the thread's quantum, or with the world stopped.
+  void drainSampleRing(SampleCtx &Ctx);
+  /// Drains every thread's ring. Only legal at quiescent points (GC
+  /// start, stop(), post-run analysis): no quantum may be in flight.
+  /// Serialized by DrainAllLock so concurrent result readers (two
+  /// threads calling analyze()/profiles() after a run) cannot race each
+  /// other over the same rings.
+  void drainAllRings();
   ThreadProfile &profileOf(JavaThread &T);
-
-  /// Context for the devirtualised PMU overflow handler (one per
-  /// monitored thread; deque keeps addresses stable).
-  struct SampleCtx {
-    DjxPerf *Prof;
-    JavaThread *Thread;
-  };
 
   JavaVm &Vm;
   DjxPerfConfig Config;
@@ -213,7 +253,12 @@ private:
   // Mutable: the read-side accessors (profiles(), profileForThread()) are
   // logically const but still synchronize.
   mutable SpinLock ProfilesLock;
+  /// Outermost drain-all serialization (held across AgentLock and the
+  /// per-ring drains; never taken while holding another profiler lock).
+  std::mutex DrainAllLock;
   bool Active = false;
+  /// Effective batching switch (config AND both GC interpositions on).
+  bool Batching = false;
   std::atomic<uint64_t> Samples{0};
   std::atomic<uint64_t> AllocCallbacks{0};
   std::atomic<uint64_t> Tracked{0};

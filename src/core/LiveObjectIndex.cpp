@@ -26,12 +26,134 @@ void LiveObjectIndex::configureShards(unsigned NumShards,
   this->SpanBytes = SpanBytes ? SpanBytes : ~0ULL;
 }
 
+void LiveObjectIndex::rebuildSnapshotLocked(Shard &S) {
+  // Publish a fresh epoch built from the tree: sorted by Start, live
+  // entries only, with headroom for sorted appends. The previous epoch
+  // stays in SnapStorage — a reader that loaded its pointer before the
+  // publish may still be walking it.
+  auto Entries = S.Tree.entries();
+  size_t Cap = Entries.size() * 2;
+  if (Cap < 64)
+    Cap = 64;
+  auto Fresh = std::make_unique<Snapshot>(Cap);
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Fresh->Entries[I] =
+        SnapEntry{Entries[I].Start, Entries[I].End, Entries[I].Value};
+  Fresh->Count.store(Entries.size(), std::memory_order_relaxed);
+  S.LastSnapStart = Entries.empty() ? 0 : Entries.back().Start;
+  // Entry/count stores above happen-before this release publication.
+  S.Snap.store(Fresh.get(), std::memory_order_release);
+  S.SnapStorage.push_back(std::move(Fresh));
+}
+
+void LiveObjectIndex::snapshotAppendLocked(Shard &S, uint64_t Start,
+                                           uint64_t End,
+                                           const LiveObject &Obj,
+                                           bool ForceRebuild) {
+  Snapshot *Sn = S.Snap.load(std::memory_order_relaxed);
+  size_t N = Sn ? Sn->Count.load(std::memory_order_relaxed) : 0;
+  if (!Sn || ForceRebuild || N == Sn->Capacity ||
+      (N > 0 && Start <= S.LastSnapStart)) {
+    // Overlap eviction, out-of-order address (only possible outside the
+    // bump-allocation pattern), or a full buffer: republish from the
+    // tree, which already contains the new interval.
+    rebuildSnapshotLocked(S);
+    return;
+  }
+  Sn->Entries[N] = SnapEntry{Start, End, Obj};
+  Sn->Dead[N].store(0, std::memory_order_relaxed);
+  // Make the entry visible: readers acquire-load Count before touching
+  // Entries[N].
+  Sn->Count.store(N + 1, std::memory_order_release);
+  S.LastSnapStart = Start;
+}
+
+void LiveObjectIndex::snapshotEraseLocked(Shard &S, uint64_t Start) {
+  Snapshot *Sn = S.Snap.load(std::memory_order_relaxed);
+  if (!Sn)
+    return;
+  size_t N = Sn->Count.load(std::memory_order_relaxed);
+  size_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Sn->Entries[Mid].Start < Start)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  if (Lo < N && Sn->Entries[Lo].Start == Start)
+    Sn->Dead[Lo].store(1, std::memory_order_release);
+}
+
+std::optional<LiveObject>
+LiveObjectIndex::snapshotFind(const Snapshot *Sn, uint64_t Addr,
+                              SnapshotHint *Hint) {
+  if (!Sn)
+    return std::nullopt;
+  size_t N = Sn->Count.load(std::memory_order_acquire);
+  // Greatest Start <= Addr.
+  size_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Sn->Entries[Mid].Start <= Addr)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  // Walk left over tombstones: live intervals are mutually disjoint and
+  // sorted, so the nearest *live* predecessor is the only candidate.
+  for (size_t I = Lo; I-- > 0;) {
+    const SnapEntry &E = Sn->Entries[I];
+    if (Sn->Dead[I].load(std::memory_order_acquire))
+      continue;
+    if (Addr >= E.Start && Addr < E.End) {
+      if (Hint) {
+        Hint->Buf = Sn;
+        Hint->Idx = I;
+      }
+      return E.Obj;
+    }
+    break;
+  }
+  return std::nullopt;
+}
+
+std::optional<LiveObject>
+LiveObjectIndex::lookupSnapshot(uint64_t Addr, SnapshotHint *Hint) {
+  size_t Idx = shardIndexFor(Addr);
+  Shard &S = Shards[Idx];
+  S.SnapLookups.fetch_add(1, std::memory_order_relaxed);
+  const Snapshot *Sn = S.Snap.load(std::memory_order_acquire);
+  // Memo fast path: valid only against the currently published epoch of
+  // this address's shard, so a hit is indistinguishable from a search.
+  if (Hint && Hint->Buf == Sn && Sn) {
+    const SnapEntry &E = Sn->Entries[Hint->Idx];
+    if (Addr >= E.Start && Addr < E.End &&
+        !Sn->Dead[Hint->Idx].load(std::memory_order_acquire))
+      return E.Obj;
+  }
+  if (auto R = snapshotFind(Sn, Addr, Hint))
+    return R;
+  if (Idx > 0) {
+    // An interval that crosses a shard boundary is keyed by its start
+    // address — re-check the preceding shard's epoch, like lookup().
+    Shard &P = Shards[Idx - 1];
+    const Snapshot *PSn = P.Snap.load(std::memory_order_acquire);
+    if (auto R = snapshotFind(PSn, Addr, nullptr))
+      return R;
+  }
+  S.SnapMisses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
 void LiveObjectIndex::insert(uint64_t Addr, uint64_t Size,
                              const LiveObject &Obj) {
   Shard &S = shardFor(Addr);
   SpinLockGuard G(S.Lock);
-  S.Tree.insert(Addr, Size, Obj);
+  unsigned Evicted = S.Tree.insert(Addr, Size, Obj);
   ++S.Inserts;
+  S.LiveEntries.store(S.Tree.size(), std::memory_order_relaxed);
+  snapshotAppendLocked(S, Addr, Addr + Size, Obj, Evicted > 0);
 }
 
 std::optional<LiveObject> LiveObjectIndex::lookup(uint64_t Addr) {
@@ -71,7 +193,12 @@ bool LiveObjectIndex::erase(uint64_t Addr) {
   Shard &S = shardFor(Addr);
   SpinLockGuard G(S.Lock);
   ++S.Erases;
-  return S.Tree.removeAt(Addr);
+  bool Removed = S.Tree.removeAt(Addr);
+  if (Removed) {
+    S.LiveEntries.store(S.Tree.size(), std::memory_order_relaxed);
+    snapshotEraseLocked(S, Addr);
+  }
+  return Removed;
 }
 
 void LiveObjectIndex::recordMove(uint64_t OldAddr, uint64_t NewAddr,
@@ -84,6 +211,7 @@ void LiveObjectIndex::recordMove(uint64_t OldAddr, uint64_t NewAddr,
   // single sliding pass, but a future collector might), the latest move
   // wins for its original key.
   S.RelocationMap[OldAddr] = Relocation{NewAddr, Size};
+  S.RelocEntries.store(S.RelocationMap.size(), std::memory_order_relaxed);
 }
 
 unsigned LiveObjectIndex::applyRelocations(const LiveObject &Unknown) {
@@ -118,48 +246,76 @@ unsigned LiveObjectIndex::applyRelocations(const LiveObject &Unknown) {
       }
     }
     S.RelocationMap.clear();
+    S.RelocEntries.store(0, std::memory_order_relaxed);
   }
   for (const Pending &P : Moves)
     shardFor(P.NewAddr).Tree.insert(P.NewAddr, P.Size, P.Obj);
+
+  // Republish every shard's epoch before the locks drop: the relocation
+  // batch is a mutation batch point (the world is stopped under the
+  // Executor; serial mode is single-threaded), so readers switch from the
+  // pre-GC epoch to the post-GC epoch atomically per shard.
+  for (Shard &S : Shards) {
+    S.LiveEntries.store(S.Tree.size(), std::memory_order_relaxed);
+    rebuildSnapshotLocked(S);
+  }
 
   for (size_t I = Shards.size(); I-- > 0;)
     Shards[I].Lock.unlock();
   return static_cast<unsigned>(Moves.size());
 }
 
+void LiveObjectIndex::reclaimRetiredSnapshots() {
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    // The published snapshot is always the storage's most recent entry.
+    if (S.SnapStorage.size() > 1)
+      S.SnapStorage.erase(S.SnapStorage.begin(), S.SnapStorage.end() - 1);
+  }
+}
+
+size_t LiveObjectIndex::retainedSnapshotBuffers() {
+  size_t Sum = 0;
+  for (Shard &S : Shards) {
+    SpinLockGuard G(S.Lock);
+    Sum += S.SnapStorage.size();
+  }
+  return Sum;
+}
+
 void LiveObjectIndex::discardRelocations() {
   for (Shard &S : Shards) {
     SpinLockGuard G(S.Lock);
     S.RelocationMap.clear();
+    S.RelocEntries.store(0, std::memory_order_relaxed);
   }
 }
 
-size_t LiveObjectIndex::liveCount() {
+size_t LiveObjectIndex::liveCount() const {
   size_t Sum = 0;
-  for (Shard &S : Shards) {
-    SpinLockGuard G(S.Lock);
-    Sum += S.Tree.size();
-  }
+  for (const Shard &S : Shards)
+    Sum += S.LiveEntries.load(std::memory_order_relaxed);
   return Sum;
 }
 
-size_t LiveObjectIndex::pendingRelocations() {
+size_t LiveObjectIndex::pendingRelocations() const {
   size_t Sum = 0;
-  for (Shard &S : Shards) {
-    SpinLockGuard G(S.Lock);
-    Sum += S.RelocationMap.size();
-  }
+  for (const Shard &S : Shards)
+    Sum += S.RelocEntries.load(std::memory_order_relaxed);
   return Sum;
 }
 
-size_t LiveObjectIndex::memoryFootprint() {
+size_t LiveObjectIndex::memoryFootprint() const {
+  // Same accounting basis as the locked structures (splay nodes plus the
+  // relocation map): the snapshot is a rebuildable cache of the tree, not
+  // part of the §7 memory-overhead surface. Reading the atomic mirrors
+  // keeps this reporting path off the shard locks entirely.
   size_t Sum = 0;
-  for (Shard &S : Shards) {
-    SpinLockGuard G(S.Lock);
-    Sum += S.Tree.memoryFootprint() +
-           S.RelocationMap.size() *
+  for (const Shard &S : Shards)
+    Sum += S.LiveEntries.load(std::memory_order_relaxed) *
+               IntervalSplayTree<LiveObject>::nodeBytes() +
+           S.RelocEntries.load(std::memory_order_relaxed) *
                (sizeof(uint64_t) + sizeof(Relocation) + 16);
-  }
   return Sum;
 }
 
@@ -176,7 +332,7 @@ uint64_t LiveObjectIndex::lookups() {
   uint64_t Sum = 0;
   for (Shard &S : Shards) {
     SpinLockGuard G(S.Lock);
-    Sum += S.Lookups;
+    Sum += S.Lookups + S.SnapLookups.load(std::memory_order_relaxed);
   }
   return Sum;
 }
@@ -185,7 +341,7 @@ uint64_t LiveObjectIndex::lookupMisses() {
   uint64_t Sum = 0;
   for (Shard &S : Shards) {
     SpinLockGuard G(S.Lock);
-    Sum += S.LookupMisses;
+    Sum += S.LookupMisses + S.SnapMisses.load(std::memory_order_relaxed);
   }
   return Sum;
 }

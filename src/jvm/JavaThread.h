@@ -101,6 +101,13 @@ public:
   unsigned heapShard() const { return HeapShard; }
   void setHeapShard(unsigned S) { HeapShard = S; }
 
+  /// Agent-private slot, the JVMTI SetThreadLocalStorage analogue: the
+  /// profiler parks its per-thread sample context here so quantum-end
+  /// callbacks reach the thread's ring without a registry lookup. Owned
+  /// by whichever agent installed it; set once at thread start.
+  void *agentData() const { return AgentData; }
+  void setAgentData(void *D) { AgentData = D; }
+
   /// Per-thread object-header memo (see JavaVm::objectInfo): array loops
   /// re-resolving one header pay a pointer compare instead of a map walk.
   /// Thread-private so parallel quanta cannot race on it; invalidated when
@@ -125,6 +132,7 @@ private:
   PmuContext Pmu;
   bool Alive = true;
   MemoryHierarchy *Machine = nullptr;
+  void *AgentData = nullptr;
   unsigned HeapShard = 0;
   ObjectRef MemoObj = kNullRef;
   const ObjectInfo *MemoInfo = nullptr;

@@ -13,6 +13,7 @@ void JvmtiEnv::clearSubscribers() {
   ThreadEndFns.clear();
   AllocationFns.clear();
   GcStartFns.clear();
+  QuantumEndFns.clear();
   GcFinishFns.clear();
   ObjectMoveFns.clear();
   ObjectFreeFns.clear();
@@ -39,6 +40,11 @@ void JvmtiEnv::publishAllocation(const AllocationEvent &E) const {
 void JvmtiEnv::publishGcStart() const {
   for (const auto &Fn : GcStartFns)
     Fn();
+}
+
+void JvmtiEnv::publishQuantumEnd(JavaThread &T) const {
+  for (const auto &Fn : QuantumEndFns)
+    Fn(T);
 }
 
 void JvmtiEnv::publishGcFinish(const GcStats &S) const {

@@ -66,6 +66,11 @@ public:
   using ThreadCallback = std::function<void(JavaThread &)>;
   using AllocationCallback = std::function<void(const AllocationEvent &)>;
   using GcStartCallback = std::function<void()>;
+  /// Fired by the Executor after each interpreter quantum of a simulated
+  /// thread, on the host worker that ran it. The batched sample resolver
+  /// drains the thread's ring here; the callback must only touch state
+  /// owned by \p T (it runs concurrently with other threads' quanta).
+  using QuantumEndCallback = std::function<void(JavaThread &)>;
   using GcFinishCallback = std::function<void(const GcStats &)>;
   using ObjectMoveCallback = std::function<void(const ObjectMoveEvent &)>;
   using ObjectFreeCallback = std::function<void(const ObjectFreeEvent &)>;
@@ -80,6 +85,9 @@ public:
     AllocationFns.push_back(std::move(Fn));
   }
   void onGcStart(GcStartCallback Fn) { GcStartFns.push_back(std::move(Fn)); }
+  void onQuantumEnd(QuantumEndCallback Fn) {
+    QuantumEndFns.push_back(std::move(Fn));
+  }
   void onGcFinish(GcFinishCallback Fn) {
     GcFinishFns.push_back(std::move(Fn));
   }
@@ -98,6 +106,7 @@ public:
   void publishThreadEnd(JavaThread &T) const;
   void publishAllocation(const AllocationEvent &E) const;
   void publishGcStart() const;
+  void publishQuantumEnd(JavaThread &T) const;
   void publishGcFinish(const GcStats &S) const;
   void publishObjectMove(const ObjectMoveEvent &E) const;
   void publishObjectFree(const ObjectFreeEvent &E) const;
@@ -114,6 +123,7 @@ private:
   std::vector<ThreadCallback> ThreadEndFns;
   std::vector<AllocationCallback> AllocationFns;
   std::vector<GcStartCallback> GcStartFns;
+  std::vector<QuantumEndCallback> QuantumEndFns;
   std::vector<GcFinishCallback> GcFinishFns;
   std::vector<ObjectMoveCallback> ObjectMoveFns;
   std::vector<ObjectFreeCallback> ObjectFreeFns;

@@ -22,7 +22,18 @@ Executor::Executor(JavaVm &Vm, ExecutorConfig Cfg)
                      : std::max(1u, std::thread::hardware_concurrency());
 }
 
-Executor::~Executor() { stopWorkers(); }
+Executor::~Executor() {
+  // run() joins its own workers; this only matters if run() never ran or
+  // unwound exceptionally. The empty lock/unlock rendezvous mirrors
+  // publishIteration: a worker mid-predicate cannot miss the store and
+  // then sleep through the notify.
+  SessionDone.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> L(WakeMutex); }
+  WakeCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+}
 
 size_t Executor::addThread(BytecodeProgram &Program,
                            const std::string &Entry,
@@ -145,85 +156,179 @@ void Executor::runQuantum(Task &T) {
       T.StepsLeft = 1;
     T.Parked = true;
   }
+  // Quantum boundary: the batched sample resolver drains this thread's
+  // ring here, on the worker that owns the quantum (before any safepoint
+  // can mutate the index under the buffered addresses).
+  Vm.jvmti().publishQuantumEnd(*T.Thread);
 }
 
-void Executor::runBatch(const std::vector<Task *> &Batch) {
-  if (Batch.empty())
-    return;
-  // Legacy serial path (and trivial batches): run inline in thread-id
-  // order on the calling host thread.
-  if (Jobs == 1 || Batch.size() == 1 || Workers.empty()) {
-    for (Task *T : Batch)
-      runQuantum(*T);
+std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
+  auto Batch = std::make_unique<IterBatch>();
+  // Continue the current round: parked tasks that still owe quantum
+  // budget (their peers already finished theirs, so StepsLeft > 0 only
+  // survives an iteration via a park).
+  for (auto &T : Tasks)
+    if (!T->Done && T->StepsLeft > 0)
+      Batch->Tasks.push_back(T.get());
+  if (Batch->Tasks.empty()) {
+    // Round barrier crossed: open the next round.
+    for (auto &T : Tasks)
+      if (!T->Done) {
+        T->StepsLeft = Config.QuantumSteps;
+        Batch->Tasks.push_back(T.get());
+      }
+    if (Batch->Tasks.empty())
+      return nullptr; // Every task is done: session over.
+    ++Rounds;
+  }
+  Batch->Remaining.store(Batch->Tasks.size(), std::memory_order_relaxed);
+  return Batch;
+}
+
+void Executor::publishIteration(std::unique_ptr<IterBatch> Batch) {
+  // Reclaim retired batches first: a batch whose generation precedes
+  // every worker's announced epoch can no longer be loaded or touched
+  // (a worker announces the ticket it observed *before* loading
+  // CurrentIter, and that load can only return batches at least that
+  // new; its touches of the old batch are sequenced before the next
+  // announce's release store, which this acquire read synchronizes
+  // with). Keeps retention at O(workers) across arbitrarily long runs.
+  if (WorkerEpochs) {
+    uint64_t MinEpoch = ~0ULL;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      MinEpoch = std::min(
+          MinEpoch, WorkerEpochs[W].load(std::memory_order_acquire));
+    while (!IterStorage.empty() && IterStorage.front()->Gen < MinEpoch)
+      IterStorage.pop_front();
+  }
+  // Every closer-side write — task state, Rounds, and this storage
+  // append — must be sequenced before the CurrentIter publication: the
+  // release/acquire pair on CurrentIter is what hands closership to
+  // whichever worker empties the new batch, and that worker may race
+  // ahead the instant the pointer is visible. (Publishing first and
+  // appending after would let two closers mutate IterStorage
+  // concurrently.)
+  IterBatch *Raw = Batch.get();
+  Raw->Gen = RoundTicket.load(std::memory_order_relaxed) + 1;
+  IterStorage.push_back(std::move(Batch));
+  CurrentIter.store(Raw, std::memory_order_release);
+  // Release the ticket, then rendezvous with any sleeper: taking the
+  // mutex after the bump guarantees a worker mid-wait either saw the new
+  // ticket in its predicate or is registered for this notify.
+  RoundTicket.fetch_add(1, std::memory_order_release);
+  { std::lock_guard<std::mutex> L(WakeMutex); }
+  WakeCv.notify_all();
+}
+
+void Executor::closeIteration() {
+  // Reached by exactly one worker per iteration (its Remaining
+  // decrement hit zero), with every peer quiesced on the round ticket —
+  // the world is stopped by construction, without a handshake.
+  std::vector<JavaThread *> Requesters;
+  for (auto &T : Tasks)
+    if (T->Parked)
+      Requesters.push_back(T->Thread);
+  if (!Requesters.empty()) {
+    // The sense-reversing fallback: this quiescent point widens into a
+    // full stop-the-world safepoint, run right here on the last
+    // finisher.
+    Safepoint.stopTheWorldGc(Vm, Requesters);
+    // Re-bind after compaction: objects slid within their shard, and a
+    // future heap recycle may have released pages — placement must be
+    // restored before any post-GC access.
+    applyNumaPlacement();
+    for (auto &T : Tasks)
+      T->Parked = false;
+  }
+  std::unique_ptr<IterBatch> Next = nextIteration();
+  if (!Next) {
+    SessionDone.store(true, std::memory_order_release);
+    RoundTicket.fetch_add(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> L(WakeMutex); }
+    WakeCv.notify_all();
     return;
   }
-  {
-    std::unique_lock<std::mutex> L(PoolMutex);
-    CurrentBatch = &Batch;
-    NextTask.store(0, std::memory_order_relaxed);
-    TasksFinished = 0;
-    ++BatchGeneration;
-    PoolCv.notify_all();
-    // Wait until every task ran AND every claiming worker left the batch:
-    // only then may the batch vector be reused by the caller.
-    DoneCv.wait(L, [&] {
-      return TasksFinished == Batch.size() && ActiveWorkers == 0;
-    });
-    CurrentBatch = nullptr;
+  publishIteration(std::move(Next));
+}
+
+uint64_t Executor::waitForTicket(uint64_t Seen) {
+  // Short spin: round transitions are fast when peers are actually
+  // running. Then sleep — a safepoint GC (or an oversubscribed host) can
+  // hold the ticket arbitrarily long, and spinning through it would
+  // steal the closer's cycles.
+  for (int I = 0; I < 256; ++I) {
+    if (RoundTicket.load(std::memory_order_acquire) != Seen ||
+        SessionDone.load(std::memory_order_acquire))
+      return RoundTicket.load(std::memory_order_acquire);
+    cpuRelax();
   }
+  std::unique_lock<std::mutex> L(WakeMutex);
+  WakeCv.wait(L, [&] {
+    return RoundTicket.load(std::memory_order_acquire) != Seen ||
+           SessionDone.load(std::memory_order_acquire);
+  });
+  return RoundTicket.load(std::memory_order_acquire);
 }
 
-void Executor::startWorkers(unsigned N) {
-  if (!Workers.empty())
-    return;
-  Workers.reserve(N);
-  for (unsigned I = 0; I < N; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
-}
-
-void Executor::stopWorkers() {
-  {
-    std::lock_guard<std::mutex> L(PoolMutex);
-    ShuttingDown = true;
-    PoolCv.notify_all();
-  }
-  for (std::thread &W : Workers)
-    W.join();
-  Workers.clear();
-  ShuttingDown = false;
-}
-
-void Executor::workerLoop() {
-  uint64_t SeenGeneration = 0;
+void Executor::sessionLoop(unsigned Worker) {
+  uint64_t Seen = RoundTicket.load(std::memory_order_acquire);
   for (;;) {
-    const std::vector<Task *> *Batch;
-    {
-      std::unique_lock<std::mutex> L(PoolMutex);
-      PoolCv.wait(L, [&] {
-        return ShuttingDown ||
-               (CurrentBatch && BatchGeneration != SeenGeneration);
-      });
-      if (ShuttingDown)
-        return;
-      SeenGeneration = BatchGeneration;
-      Batch = CurrentBatch;
-      ++ActiveWorkers;
+    if (SessionDone.load(std::memory_order_acquire))
+      return;
+    // Epoch announcement: pins every batch published at or after the
+    // ticket value read here until the next announcement. Must precede
+    // the CurrentIter load (the load returns batches >= this epoch).
+    WorkerEpochs[Worker].store(RoundTicket.load(std::memory_order_acquire),
+                               std::memory_order_release);
+    IterBatch *B = CurrentIter.load(std::memory_order_acquire);
+    size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
+    if (I < B->Tasks.size()) {
+      runQuantum(*B->Tasks[I]);
+      if (B->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        closeIteration();
+      continue;
     }
-    size_t Completed = 0;
+    // Batch exhausted (possibly a stale pointer from a previous
+    // iteration): wait for the ticket to move, then reload.
+    Seen = waitForTicket(Seen);
+  }
+}
+
+void Executor::runSerial() {
+  // The legacy serial path: the same logical schedule, driven inline in
+  // thread-id order on the calling host thread.
+  for (;;) {
+    bool AnyActive = false;
+    for (auto &T : Tasks)
+      if (!T->Done) {
+        T->StepsLeft = Config.QuantumSteps;
+        AnyActive = true;
+      }
+    if (!AnyActive)
+      break;
+    ++Rounds;
     for (;;) {
-      size_t I = NextTask.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Batch->size())
-        break;
-      runQuantum(*(*Batch)[I]);
-      ++Completed;
+      bool Ran = false;
+      for (auto &T : Tasks)
+        if (!T->Done && T->StepsLeft > 0 && !T->Parked) {
+          runQuantum(*T);
+          Ran = true;
+        }
+      std::vector<JavaThread *> Requesters;
+      for (auto &T : Tasks)
+        if (T->Parked)
+          Requesters.push_back(T->Thread);
+      if (Requesters.empty()) {
+        if (!Ran)
+          break;
+        continue;
+      }
+      Safepoint.stopTheWorldGc(Vm, Requesters);
+      applyNumaPlacement();
+      for (auto &T : Tasks)
+        T->Parked = false;
     }
-    {
-      std::lock_guard<std::mutex> L(PoolMutex);
-      TasksFinished += Completed;
-      --ActiveWorkers;
-      if (TasksFinished == Batch->size() && ActiveWorkers == 0)
-        DoneCv.notify_all();
-    }
+    // Round barrier: every task is Done or out of budget.
   }
 }
 
@@ -239,51 +344,31 @@ void Executor::run() {
   // Place each shard's pages per the NUMA policy before the first access
   // (every hierarchy, shared and worker-private, sees the same placement).
   applyNumaPlacement();
-  if (Jobs > 1 && Tasks.size() > 1)
-    startWorkers(std::min<size_t>(Jobs, Tasks.size()));
 
-  std::vector<Task *> Batch;
-  for (;;) {
-    // Open a round: every live task gets one quantum.
-    bool AnyActive = false;
-    for (auto &T : Tasks)
-      if (!T->Done) {
-        T->StepsLeft = Config.QuantumSteps;
-        AnyActive = true;
-      }
-    if (!AnyActive)
-      break;
-    ++Rounds;
-    // Drain the round: run all tasks with budget left; any park triggers
-    // one safepoint GC serving every requester, then parked tasks finish
-    // their budget. Both the park points (shard occupancy at a given step)
-    // and the barrier are functions of logical state only, so this
-    // schedule — and all its GCs — is identical for any Jobs value.
-    for (;;) {
-      Batch.clear();
-      for (auto &T : Tasks)
-        if (!T->Done && T->StepsLeft > 0 && !T->Parked)
-          Batch.push_back(T.get());
-      if (!Batch.empty())
-        runBatch(Batch);
-      std::vector<JavaThread *> Requesters;
-      for (auto &T : Tasks)
-        if (T->Parked)
-          Requesters.push_back(T->Thread);
-      if (Requesters.empty())
-        break;
-      Safepoint.stopTheWorldGc(Vm, Requesters);
-      // Re-bind after compaction: objects slid within their shard, and a
-      // future heap recycle may have released pages — placement must be
-      // restored before any post-GC access.
-      applyNumaPlacement();
-      for (auto &T : Tasks)
-        T->Parked = false;
+  if (Jobs == 1 || Tasks.size() == 1) {
+    runSerial();
+  } else {
+    SessionDone.store(false, std::memory_order_relaxed);
+    std::unique_ptr<IterBatch> First = nextIteration();
+    if (First) { // False only when every task already ran to completion.
+      unsigned N = static_cast<unsigned>(
+          std::min<size_t>(Jobs, Tasks.size()));
+      NumWorkers = N;
+      WorkerEpochs.reset(new std::atomic<uint64_t>[N]);
+      for (unsigned I = 0; I < N; ++I)
+        WorkerEpochs[I].store(0, std::memory_order_relaxed);
+      publishIteration(std::move(First));
+      Workers.reserve(N);
+      for (unsigned I = 0; I < N; ++I)
+        Workers.emplace_back([this, I] { sessionLoop(I); });
+      for (std::thread &W : Workers)
+        W.join();
+      Workers.clear();
+      CurrentIter.store(nullptr, std::memory_order_relaxed);
+      IterStorage.clear();
     }
-    // Round barrier: every task is Done or out of budget.
   }
 
-  stopWorkers();
   Vm.methods().unfreeze();
   Vm.types().unfreeze();
   Vm.setDeferGcToSafepoint(false);

@@ -23,6 +23,20 @@
 /// --jobs 1 *is* the legacy serial path — the same schedule driven inline
 /// on the calling host thread with no workers spawned.
 ///
+/// Barrier elision: the round transition is coordinator-free in the
+/// common case. Workers claim quanta from an atomic cursor; the worker
+/// that completes an iteration's last quantum *is* the barrier — it
+/// checks for GC requests, publishes the next iteration's work list, and
+/// advances an atomic round ticket that its peers spin on (falling back
+/// to a condvar sleep after a bounded spin, so few-core hosts don't burn
+/// the GC's timeslice). Only when some task parked with GcRequest does
+/// the transition widen into the stop-the-world safepoint — run by that
+/// same last finisher, with every peer provably quiesced on the ticket.
+/// The logical schedule (round/quantum/park/GC placement) is unchanged
+/// from the handshake barrier, so results stay byte-identical; what
+/// disappears is the two mutex/condvar round-trips with a coordinator
+/// thread per round, which dominated small-quantum runs.
+///
 /// Shared layers are made safe under this protocol rather than by locks on
 /// hot paths: registries are frozen for the duration of run() (immutable
 /// after load), the live-object index is sharded by address range, the
@@ -41,6 +55,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -144,16 +159,45 @@ private:
   /// keeps placement identical for any Jobs value.
   void applyNumaPlacement();
 
-  /// Executes one quantum of \p T (worker context).
+  /// Executes one quantum of \p T (worker context) and publishes the
+  /// quantum-end JVMTI event (the batched sample resolver's drain point).
   void runQuantum(Task &T);
-  /// Runs Fn-per-task over \p Batch on the worker pool (or inline when
-  /// Jobs == 1 / single task).
-  void runBatch(const std::vector<Task *> &Batch);
+  /// The legacy serial schedule, driven inline on the calling thread.
+  void runSerial();
 
-  // Minimal persistent worker pool (started lazily by run()).
-  void startWorkers(unsigned N);
-  void stopWorkers();
-  void workerLoop();
+  // --- Ticket-barrier session (Jobs > 1) ---------------------------------
+  /// One inner iteration's immutable work list. Workers claim indices
+  /// from Next; the worker that drops Remaining to zero owns the
+  /// iteration close. The Tasks vector never mutates after publication —
+  /// a laggard still holding a previous batch can only over-claim its
+  /// exhausted cursor, never race the next batch's construction.
+  struct IterBatch {
+    std::vector<Task *> Tasks;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Remaining{0};
+    /// RoundTicket value this batch was published under (its bump's
+    /// post-increment value); drives retired-batch reclamation.
+    uint64_t Gen = 0;
+  };
+
+  /// Publishes \p Batch as the current iteration and releases the round
+  /// ticket so waiting workers pick it up.
+  void publishIteration(std::unique_ptr<IterBatch> Batch);
+  /// Runs on the worker that finished an iteration's last quantum, with
+  /// every other worker quiesced (spinning or asleep on the ticket): the
+  /// elided round barrier. Performs the safepoint GC if any task parked,
+  /// then either continues the round, opens the next round, or ends the
+  /// session.
+  void closeIteration();
+  /// Builds the inner-iteration work list ({!Done, StepsLeft > 0}), or —
+  /// when that is empty — opens a new round. \returns nullptr when every
+  /// task is done.
+  std::unique_ptr<IterBatch> nextIteration();
+  /// Worker body: claim-run-close loop until the session ends.
+  /// \p Worker indexes this worker's epoch-announcement slot.
+  void sessionLoop(unsigned Worker);
+  /// Spin-then-sleep wait for the round ticket to move past \p Seen.
+  uint64_t waitForTicket(uint64_t Seen);
 
   JavaVm &Vm;
   ExecutorConfig Config;
@@ -162,19 +206,28 @@ private:
   SafepointController Safepoint;
   uint64_t Rounds = 0;
 
-  // Worker pool state. Dispatch is a generation-stamped batch: workers
-  // claim task indices from an atomic cursor, so which worker runs which
-  // quantum is timing-dependent — harmless, since quanta commute.
+  // Session state. The common-case round transition is coordinator-free:
+  // the last finisher publishes the next batch and bumps RoundTicket
+  // (release); peers acquire it and claim from the new cursor — no
+  // stop-the-world handshake unless a GcRequest forces a safepoint.
   std::vector<std::thread> Workers;
-  std::mutex PoolMutex;
-  std::condition_variable PoolCv;   // Workers wait for a new batch.
-  std::condition_variable DoneCv;   // run() waits for batch completion.
-  const std::vector<Task *> *CurrentBatch = nullptr;
-  uint64_t BatchGeneration = 0;
-  std::atomic<size_t> NextTask{0};
-  size_t TasksFinished = 0;
-  size_t ActiveWorkers = 0;
-  bool ShuttingDown = false;
+  std::atomic<IterBatch *> CurrentIter{nullptr};
+  std::atomic<uint64_t> RoundTicket{0};
+  std::atomic<bool> SessionDone{false};
+  /// Published batches awaiting reclamation, oldest first. Mutated only
+  /// by iteration closers (serialized by the Remaining-drops-to-zero
+  /// handoff). A batch is freed once every worker's announced epoch has
+  /// moved past its generation: each worker release-stores the ticket it
+  /// last observed into its WorkerEpochs slot before loading CurrentIter,
+  /// and that acquire-load can only return batches at least as new as
+  /// the announced ticket — so min(WorkerEpochs) lower-bounds every
+  /// batch any worker may still touch. Keeps the retained set at
+  /// O(workers) instead of one batch per iteration for the whole run.
+  std::deque<std::unique_ptr<IterBatch>> IterStorage;
+  std::unique_ptr<std::atomic<uint64_t>[]> WorkerEpochs;
+  unsigned NumWorkers = 0;
+  std::mutex WakeMutex;
+  std::condition_variable WakeCv; // Sleeping ticket-waiters.
 };
 
 } // namespace djx

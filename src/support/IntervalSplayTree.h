@@ -212,6 +212,11 @@ public:
   /// Approximate bytes held by the tree, for memory-overhead accounting.
   size_t memoryFootprint() const { return NumNodes * sizeof(Node); }
 
+  /// Per-node cost of the same accounting, for callers that mirror the
+  /// node count into a lock-free counter and compute the footprint from
+  /// it (LiveObjectIndex's snapshot-read diagnostics).
+  static constexpr size_t nodeBytes() { return sizeof(Node); }
+
   void clear() {
     destroy(Root);
     Root = nullptr;

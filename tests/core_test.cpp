@@ -505,6 +505,40 @@ TEST(DjxPerf, StopFreezesSampling) {
   EXPECT_EQ(Prof.samplesHandled(), AtStop);
 }
 
+// The tentpole guarantee of batched resolution: once the workload's
+// tracked objects exist, the sample path — overflow handler, ring, and
+// batched snapshot drain — acquires zero live-object-index locks.
+TEST(DjxPerf, SteadyStateSamplePathAcquiresNoIndexLocks) {
+  JavaVm Vm;
+  DjxPerf Prof(Vm); // Default agent: batched resolution, L1-miss preset.
+  ASSERT_TRUE(Prof.batchedResolutionActive());
+  Prof.start();
+  JavaThread &T = Vm.startThread("steady", 0);
+  RootScope Roots(Vm);
+  // 512 KiB hot array: tracked, and big enough to miss L1 constantly.
+  ObjectRef &Hot =
+      Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 65536));
+  uint64_t Locks = Prof.index().lockAcquisitions();
+  uint64_t Samples = Prof.samplesHandled();
+  // Long enough to overflow the sample ring several times, so the
+  // capacity-triggered self-drain is covered too, not just stop().
+  for (int I = 0; I < 400000; ++I)
+    Vm.readWord(T, Hot, (static_cast<uint64_t>(I) % 65536) * 8);
+  Prof.stop(); // Final drain of the ring's tail.
+  EXPECT_GT(Prof.samplesHandled(), Samples);
+  EXPECT_EQ(Prof.index().lockAcquisitions(), Locks)
+      << "sample resolution must run lock-free in steady state";
+  // Attribution still happened: the steady-state samples reached the hot
+  // array's group. (The handful of unattributed ones are the array's own
+  // zero-fill stores, sampled before its index insert — exactly what
+  // inline resolution reports too.)
+  MergedProfile M = Prof.analyze();
+  ASSERT_FALSE(M.Groups.empty());
+  EXPECT_LT(M.UnattributedSamples, 32u);
+  EXPECT_GT(M.Groups.begin()->second.AddressSamples, 50u);
+  Vm.endThread(T);
+}
+
 TEST(DjxPerf, WriteProfilesProducesLoadableFiles) {
   JavaVm Vm;
   DjxPerfConfig Cfg;

@@ -8,8 +8,12 @@
 /// Exercises LiveObjectIndex from concurrent host threads — insert, lookup,
 /// erase, and recordMove racing across shards — followed by a safepointed
 /// applyRelocations(), including the attach-mode UnknownIdentity path.
-/// Run under the tsan preset these tests double as the data-race check for
-/// the index's sharded locking.
+/// Also covers the epoch-snapshot read path: lock-free lookupSnapshot()
+/// racing inserts/erases/relocation batches, hint-memo correctness,
+/// out-of-order rebuilds, and the zero-lock guarantee of both the
+/// snapshot lookups and the snapshot-read diagnostics. Run under the tsan
+/// preset these tests double as the data-race check for the index's
+/// sharded locking and its lock-free epoch publication.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -148,6 +152,221 @@ TEST(IndexConcurrency, ApplyRelocationsInsertsUnknownIdentityForMissed) {
   EXPECT_EQ(E->AllocThread, 0u);
   EXPECT_EQ(E->AllocNode, kCctRoot);
   EXPECT_EQ(E->Size, 256u);
+}
+
+// --- Epoch-snapshot read path -----------------------------------------------
+
+TEST(IndexSnapshot, LookupMatchesSplayAndTakesNoLocks) {
+  LiveObjectIndex Index;
+  Index.configureShards(kThreads, kSpan);
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < 512; ++I)
+      Index.insert(addrOf(T, I), kObjSize,
+                   LiveObject{T + 1, kCctRoot, 0, kObjSize});
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < 512; I += 3)
+      Index.erase(addrOf(T, I));
+
+  uint64_t LocksBefore = Index.lockAcquisitions();
+  LiveObjectIndex::SnapshotHint Hint;
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < 512; ++I) {
+      auto Snap = Index.lookupSnapshot(addrOf(T, I) + kObjSize / 2, &Hint);
+      if (I % 3 == 0) {
+        EXPECT_FALSE(Snap.has_value());
+      } else {
+        ASSERT_TRUE(Snap.has_value());
+        EXPECT_EQ(Snap->AllocThread, T + 1);
+      }
+    }
+  // Addresses beyond each shard's populated run miss.
+  for (unsigned T = 0; T < kThreads; ++T)
+    EXPECT_FALSE(Index.lookupSnapshot(addrOf(T, 600)).has_value());
+  EXPECT_EQ(Index.lockAcquisitions(), LocksBefore)
+      << "snapshot lookups must acquire zero index locks";
+  EXPECT_GT(Index.lookups(), 0u);
+  EXPECT_GT(Index.lookupMisses(), 0u);
+
+  // The locked splay path agrees on every probe (checked after the
+  // lock-free pass so the lock counter assertion above stays clean).
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < 512; ++I) {
+      uint64_t A = addrOf(T, I) + kObjSize / 2;
+      EXPECT_EQ(Index.lookupSnapshot(A).has_value(),
+                Index.lookup(A).has_value());
+    }
+}
+
+TEST(IndexSnapshot, DiagnosticsTakeNoLocks) {
+  LiveObjectIndex Index;
+  Index.configureShards(2, kSpan);
+  Index.insert(addrOf(0, 0), kObjSize, LiveObject{1, kCctRoot, 0, kObjSize});
+  Index.insert(addrOf(1, 0), kObjSize, LiveObject{2, kCctRoot, 0, kObjSize});
+  Index.recordMove(addrOf(0, 0), addrOf(0, 1), kObjSize);
+  uint64_t LocksBefore = Index.lockAcquisitions();
+  EXPECT_EQ(Index.liveCount(), 2u);
+  EXPECT_EQ(Index.pendingRelocations(), 1u);
+  EXPECT_GT(Index.memoryFootprint(), 0u);
+  EXPECT_EQ(Index.lockAcquisitions(), LocksBefore)
+      << "reporting-path diagnostics must not contend with samples";
+  Index.discardRelocations();
+}
+
+TEST(IndexSnapshot, OutOfOrderAndEvictingInsertsRebuildCorrectly) {
+  LiveObjectIndex Index; // Single shard: everything lands together.
+  // Descending inserts break the sorted-append invariant every time.
+  for (int I = 15; I >= 0; --I)
+    Index.insert(1024 + static_cast<uint64_t>(I) * 128, 64,
+                 LiveObject{static_cast<uint64_t>(I + 1), kCctRoot, 0, 64});
+  for (int I = 0; I < 16; ++I) {
+    auto E = Index.lookupSnapshot(1024 + static_cast<uint64_t>(I) * 128 + 8);
+    ASSERT_TRUE(E.has_value());
+    EXPECT_EQ(E->AllocThread, static_cast<uint64_t>(I + 1));
+  }
+  // Overlapping insert evicts two stale intervals (attach-mode
+  // supersede); the snapshot must follow.
+  Index.insert(1024 + 0 * 128, 256, LiveObject{99, kCctRoot, 0, 256});
+  auto E = Index.lookupSnapshot(1024 + 130);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->AllocThread, 99u);
+  // The gap after the surviving [1280, 1344) interval still misses.
+  EXPECT_FALSE(Index.lookupSnapshot(1024 + 350).has_value());
+}
+
+TEST(IndexSnapshot, ReclaimRetiredEpochsKeepsOnlyThePublishedOne) {
+  LiveObjectIndex Index;
+  Index.configureShards(2, kSpan);
+  // Enough appends to outgrow the initial capacity several times, plus
+  // a relocation batch: multiple retired epochs accumulate per shard.
+  for (unsigned T = 0; T < 2; ++T)
+    for (unsigned I = 0; I < 300; ++I)
+      Index.insert(addrOf(T, I), kObjSize,
+                   LiveObject{T + 1, kCctRoot, 0, kObjSize});
+  for (unsigned I = 0; I < 16; ++I)
+    Index.recordMove(addrOf(0, I), addrOf(0, 400 + I), kObjSize);
+  LiveObject Unknown;
+  Index.applyRelocations(Unknown);
+  EXPECT_GT(Index.retainedSnapshotBuffers(), 2u);
+
+  Index.reclaimRetiredSnapshots(); // World-stopped by the test itself.
+  EXPECT_EQ(Index.retainedSnapshotBuffers(), 2u);
+  // The published epochs survive intact.
+  for (unsigned T = 0; T < 2; ++T) {
+    auto E = Index.lookupSnapshot(addrOf(T, 100) + 8);
+    ASSERT_TRUE(E.has_value());
+    EXPECT_EQ(E->AllocThread, T + 1);
+  }
+  auto Moved = Index.lookupSnapshot(addrOf(0, 400) + 8);
+  ASSERT_TRUE(Moved.has_value());
+  EXPECT_EQ(Moved->AllocThread, 1u);
+}
+
+TEST(IndexSnapshot, BoundaryCrossingIntervalResolvesFromNextShard) {
+  LiveObjectIndex Index;
+  Index.configureShards(2, kSpan);
+  uint64_t Start = kSpan - 32;
+  Index.insert(Start, 128, LiveObject{7, kCctRoot, 0, 128});
+  auto E = Index.lookupSnapshot(kSpan + 16);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->AllocThread, 7u);
+  // Hint from a preceding-shard hit must not poison later lookups.
+  LiveObjectIndex::SnapshotHint Hint;
+  ASSERT_TRUE(Index.lookupSnapshot(kSpan + 16, &Hint).has_value());
+  EXPECT_FALSE(Index.lookupSnapshot(kSpan + 4096, &Hint).has_value());
+}
+
+TEST(IndexSnapshot, ConcurrentBatchedReadersDuringInsertErase) {
+  LiveObjectIndex Index;
+  Index.configureShards(kThreads, kSpan);
+
+  // Pre-populate a stable prefix every reader can rely on.
+  constexpr unsigned kStable = 256;
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < kStable; ++I)
+      Index.insert(addrOf(T, I), kObjSize,
+                   LiveObject{T + 1, kCctRoot, 0, kObjSize});
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> StableHits{0};
+  std::vector<std::thread> Threads;
+  // Writers: bump-ordered inserts past the stable prefix, then erases of
+  // their own churn — the executor's per-shard mutation pattern.
+  for (unsigned T = 0; T < kThreads / 2; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = kStable; I < kStable + kObjsPerThread; ++I) {
+        Index.insert(addrOf(T, I), kObjSize,
+                     LiveObject{T + 1, kCctRoot, 0, kObjSize});
+        if (I % 2)
+          Index.erase(addrOf(T, I));
+      }
+    });
+  // Readers: sorted batches with a hint, across every shard, racing the
+  // writers. Stable-prefix probes must always hit with the right
+  // identity; churn probes may hit or miss but never misattribute.
+  for (unsigned R = 0; R < 2; ++R)
+    Threads.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        LiveObjectIndex::SnapshotHint Hint;
+        for (unsigned T = 0; T < kThreads; ++T)
+          for (unsigned I = 0; I < kStable + 64; I += 5) {
+            auto E = Index.lookupSnapshot(addrOf(T, I) + 8, &Hint);
+            if (I < kStable) {
+              if (E && E->AllocThread == T + 1)
+                StableHits.fetch_add(1, std::memory_order_relaxed);
+              else
+                ADD_FAILURE() << "stable object misresolved";
+            } else if (E) {
+              EXPECT_EQ(E->AllocThread, T + 1);
+            }
+          }
+      }
+    });
+  for (unsigned T = 0; T < kThreads / 2; ++T)
+    Threads[T].join();
+  Stop.store(true, std::memory_order_release);
+  for (size_t T = kThreads / 2; T < Threads.size(); ++T)
+    Threads[T].join();
+  EXPECT_GT(StableHits.load(), 0u);
+}
+
+TEST(IndexSnapshot, RelocationBatchRepublishesIncludingUnknowns) {
+  LiveObjectIndex Index;
+  Index.configureShards(2, kSpan);
+  for (unsigned I = 0; I < 64; ++I)
+    Index.insert(addrOf(0, I), kObjSize,
+                 LiveObject{1, kCctRoot, 0, kObjSize});
+  // Known movers cross into shard 1; one mover was never tracked
+  // (attach-mode miss) and must surface as UnknownIdentity.
+  for (unsigned I = 0; I < 64; ++I)
+    Index.recordMove(addrOf(0, I), addrOf(1, I), kObjSize);
+  Index.recordMove(/*OldAddr=*/kSpan - 4096, /*NewAddr=*/addrOf(1, 100),
+                   256);
+
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&] {
+    LiveObjectIndex::SnapshotHint Hint;
+    while (!Stop.load(std::memory_order_acquire))
+      for (unsigned I = 0; I < 64; I += 3) {
+        Index.lookupSnapshot(addrOf(0, I) + 4, &Hint);
+        Index.lookupSnapshot(addrOf(1, I) + 4, &Hint);
+      }
+  });
+  LiveObject Unknown;
+  EXPECT_EQ(Index.applyRelocations(Unknown), 65u);
+  Stop.store(true, std::memory_order_release);
+  Reader.join();
+
+  EXPECT_FALSE(Index.lookupSnapshot(addrOf(0, 0) + 4).has_value());
+  for (unsigned I = 0; I < 64; ++I) {
+    auto E = Index.lookupSnapshot(addrOf(1, I) + 4);
+    ASSERT_TRUE(E.has_value());
+    EXPECT_EQ(E->AllocThread, 1u);
+  }
+  auto U = Index.lookupSnapshot(addrOf(1, 100) + 16);
+  ASSERT_TRUE(U.has_value());
+  EXPECT_EQ(U->AllocThread, 0u);
+  EXPECT_EQ(U->AllocNode, kCctRoot);
+  EXPECT_EQ(U->Size, 256u);
 }
 
 TEST(IndexConcurrency, SingleShardBehavesLikeOriginalDesign) {

@@ -229,6 +229,69 @@ TEST(Executor, InstrumentedBytecodeAgentAcrossInterpreters) {
   EXPECT_EQ(Vm.jvmti().allocationCallbacksDelivered(), 0u);
 }
 
+// Executor flavour of the zero-lock guarantee: once the hot arrays are
+// tracked (setup phase), a GC-free parallel run delivers and resolves
+// every sample — including cross-shard neighbour sweeps — without a
+// single index lock acquisition.
+TEST(Executor, SteadyStateSamplePathAcquiresNoIndexLocks) {
+  ParallelConfig Pc;
+  Pc.SimThreads = 2;
+  Pc.Jobs = 2;
+  Pc.QuantumSteps = 4096;
+  Pc.Iters = 40;
+  Pc.Nlen = 64;                     // 512 B churn arrays: untracked.
+  Pc.HotElems = 16384;              // 128 KiB hot arrays: tracked.
+  Pc.HeapBytesPerThread = 8 << 20;  // Roomy shards: no safepoint GCs.
+  JavaVm Vm(parallelVmConfig(Pc));
+  DjxPerfConfig Agent = parallelAgentConfig(Pc);
+  Agent.MinObjectSize = 16 << 10; // Only the setup-phase arrays qualify.
+  DjxPerf Prof(Vm, Agent);
+  ASSERT_TRUE(Prof.batchedResolutionActive());
+  Prof.start();
+
+  // Setup phase (the numaRemote shape): one thread allocates each
+  // worker's hot array into that worker's shard; workers then sweep
+  // their *neighbour's* array, so every lookup crosses shards.
+  BytecodeProgram Program = buildNumaWorkerProgram(Vm.types());
+  Program.load(Vm);
+  TypeId LongArr = Vm.types().longArray();
+  MethodId AllocM =
+      Vm.methods().getOrRegister("Steady", "allocateHot", {{0, 1}});
+  RootScope Roots(Vm);
+  std::vector<ObjectRef *> Hot(Pc.SimThreads);
+  JavaThread &Setup = Vm.startThread("steady-setup", 0);
+  for (unsigned I = 0; I < Pc.SimThreads; ++I) {
+    Setup.setHeapShard(I);
+    FrameScope F(Setup, AllocM, I);
+    Hot[I] = &Roots.add();
+    *Hot[I] = Vm.allocateArray(Setup, LongArr, Pc.HotElems);
+  }
+  Setup.setHeapShard(0);
+  Vm.endThread(Setup);
+
+  ExecutorConfig Ec;
+  Ec.Jobs = Pc.Jobs;
+  Ec.QuantumSteps = Pc.QuantumSteps;
+  Executor Ex(Vm, Ec);
+  for (unsigned I = 0; I < Pc.SimThreads; ++I)
+    Ex.addThread(Program, "Main.run",
+                 {Value::fromInt(Pc.Iters), Value::fromInt(Pc.Nlen),
+                  Value::fromRef(*Hot[(I + 1) % Pc.SimThreads]),
+                  Value::fromInt(Pc.HotElems)},
+                 "steady-" + std::to_string(I));
+
+  uint64_t Locks = Prof.index().lockAcquisitions();
+  uint64_t Samples = Prof.samplesHandled();
+  Ex.run();
+  ASSERT_EQ(Ex.safepoints(), 0u) << "test premise: a GC-free steady run";
+  EXPECT_GT(Prof.samplesHandled(), Samples);
+  EXPECT_EQ(Prof.index().lockAcquisitions(), Locks)
+      << "sample resolution must run lock-free in steady state";
+  Prof.stop();
+  for (size_t I = 0; I < Ex.numTasks(); ++I)
+    Vm.endThread(Ex.thread(I));
+}
+
 TEST(Executor, ProfiledOutcomeInvariantAcrossJobs) {
   auto RunProfiled = [](unsigned Jobs) {
     ParallelConfig Pc = smallConfig(Jobs);

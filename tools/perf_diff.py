@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Record-only perf-trajectory diff for BENCH_*.json artifacts.
+
+Usage: perf_diff.py PREVIOUS.json CURRENT.json
+
+Compares every numeric "per_sec" leaf shared by the two files and prints a
+markdown table of the ratios (current / previous), suitable for
+$GITHUB_STEP_SUMMARY. Exits 0 always: CI machines are far too noisy to
+gate on a wall-clock threshold — this is an annotation, not a check.
+"""
+
+import json
+import sys
+
+
+def leaves(node, prefix=""):
+    """Yields (dotted-path, value) for every numeric per_sec-ish leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and (
+                key.endswith("per_sec") or key.startswith("per_sec")
+            ):
+                yield path, float(value)
+            else:
+                yield from leaves(value, path)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} PREVIOUS.json CURRENT.json",
+              file=sys.stderr)
+        return 0
+    try:
+        with open(sys.argv[1]) as f:
+            prev = dict(leaves(json.load(f)))
+        with open(sys.argv[2]) as f:
+            cur = dict(leaves(json.load(f)))
+    except (OSError, ValueError) as err:
+        print(f"perf_diff: skipping ({err})", file=sys.stderr)
+        return 0
+
+    shared = sorted(
+        path for path in set(prev) & set(cur)
+        # Ratios and frozen baselines aren't throughputs; skip them.
+        if not path.startswith(("speedup", "baseline"))
+    )
+    if not shared:
+        print("perf_diff: no shared per_sec metrics", file=sys.stderr)
+        return 0
+
+    print("### Perf trajectory (record-only, noisy CI hardware)")
+    print()
+    print("| metric | previous | current | ratio |")
+    print("|---|---:|---:|---:|")
+    for path in shared:
+        p, c = prev[path], cur[path]
+        ratio = c / p if p else float("nan")
+        print(f"| `{path}` | {p:,.0f} | {c:,.0f} | x{ratio:.2f} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
