@@ -7,6 +7,7 @@
 #include "runtime/Executor.h"
 
 #include "core/Analyzer.h"
+#include "support/Random.h"
 
 #include <algorithm>
 #include <cassert>
@@ -15,11 +16,66 @@
 
 using namespace djx;
 
+namespace {
+
+/// Stateless mix for FuzzSchedule decisions (splitmix64 finalizer over a
+/// combined key). A shared PRNG stream would be consumed in host order by
+/// concurrent workers; hashing (seed, logical coordinates) keeps every
+/// draw a function of logical state, so fuzzed schedules stay
+/// jobs-invariant.
+uint64_t fuzzMix(uint64_t Seed, uint64_t A, uint64_t B, uint64_t C) {
+  uint64_t Z = Seed ^ (A * 0x9E3779B97F4A7C15ULL) ^
+               (B * 0xBF58476D1CE4E5B9ULL) ^ (C * 0x94D049BB133111EBULL);
+  Z ^= Z >> 30;
+  Z *= 0xBF58476D1CE4E5B9ULL;
+  Z ^= Z >> 27;
+  Z *= 0x94D049BB133111EBULL;
+  Z ^= Z >> 31;
+  return Z;
+}
+
+/// Uniform double in [0, 1) from a mixed value.
+double fuzzUnit(uint64_t Mixed) {
+  return static_cast<double>(Mixed >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
 Executor::Executor(JavaVm &Vm, ExecutorConfig Cfg)
     : Vm(Vm), Config(Cfg) {
   assert(Config.QuantumSteps > 0 && "quantum must be positive");
+  assert((!Config.Fuzz.Enabled ||
+          (Config.Fuzz.MinQuantumSteps > 0 &&
+           Config.Fuzz.MinQuantumSteps <= Config.Fuzz.MaxQuantumSteps)) &&
+         "fuzz quantum range must be a nonempty positive interval");
   Jobs = Config.Jobs ? Config.Jobs
                      : std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint64_t Executor::quantumFor(size_t TaskIndex) const {
+  const FuzzSchedule &F = Config.Fuzz;
+  if (!F.Enabled)
+    return Config.QuantumSteps;
+  uint64_t Span = F.MaxQuantumSteps - F.MinQuantumSteps + 1;
+  // Key 1: the per-round quantum draw. Rounds is read pre-increment at
+  // every call site (both schedules assign budgets before bumping it).
+  return F.MinQuantumSteps +
+         fuzzMix(F.Seed, Rounds, TaskIndex, 1) % Span;
+}
+
+void Executor::maybeFuzzForcedGc(uint64_t Round) {
+  const FuzzSchedule &F = Config.Fuzz;
+  // Key 2: the forced-GC draw. Runs with the world stopped (the serial
+  // loop's barrier, or the MT closer with every peer quiesced on the
+  // ticket), exactly where a park-triggered safepoint would run. An empty
+  // requester list charges no pause, but the collection itself — moves,
+  // frees, index relocations, hierarchy flushes — is real, which is the
+  // point: GC timing becomes a seed draw instead of a shard-occupancy
+  // accident.
+  if (!F.Enabled || fuzzUnit(fuzzMix(F.Seed, Round, 0, 2)) >= F.ForcedGcChance)
+    return;
+  Safepoint.stopTheWorldGc(Vm, {});
+  applyNumaPlacement();
 }
 
 Executor::~Executor() {
@@ -118,16 +174,42 @@ void Executor::applyNumaPlacement() {
 }
 
 void Executor::runQuantum(Task &T) {
+  const FuzzSchedule &F = Config.Fuzz;
+  for (;;) {
+    // Key 3: the split-drain draw. Chunking the budget with a drain
+    // between chunks must be invisible to results — the batched resolver
+    // only guarantees rings drain *at least* at quantum ends — so fuzzing
+    // inserts extra drain points at positions keyed to logical progress
+    // (the task's step count), never to host timing.
+    uint64_t Chunk = T.StepsLeft;
+    uint64_t Steps0 = T.Interp->stepsExecuted();
+    if (F.Enabled && Chunk > 1) {
+      uint64_t H = fuzzMix(F.Seed, Steps0, T.Index, 3);
+      if (fuzzUnit(H) < F.SplitDrainChance)
+        Chunk = 1 + fuzzMix(F.Seed, Steps0, T.Index, 4) % Chunk;
+    }
+    bool Parked = false;
+    runChunk(T, Chunk, Parked);
+    // Drain after every chunk, not just the last: each publish is a legal
+    // quantum-end drain point for the owning worker.
+    Vm.jvmti().publishQuantumEnd(*T.Thread);
+    if (Parked || T.Done || T.StepsLeft == 0)
+      return;
+  }
+}
+
+void Executor::runChunk(Task &T, uint64_t Budget, bool &Parked) {
   uint64_t Before = T.Interp->stepsExecuted();
   try {
-    RunState St = T.Interp->resume(T.StepsLeft);
+    RunState St = T.Interp->resume(Budget);
     uint64_t Used = T.Interp->stepsExecuted() - Before;
     T.StepsLeft -= std::min(T.StepsLeft, Used);
     if (St == RunState::Done) {
       T.Done = true;
       T.StepsLeft = 0;
     }
-    // Paused: quantum budget exhausted; picked up again next round.
+    // Paused: chunk budget exhausted; the quantum loop or next round
+    // picks the task up again.
   } catch (const GcRequest &R) {
     // The faulting bytecode did not execute (and the interpreter rolled
     // back its step/tick), so a park that repeats at the same step count
@@ -155,11 +237,12 @@ void Executor::runQuantum(Task &T) {
     if (T.StepsLeft == 0)
       T.StepsLeft = 1;
     T.Parked = true;
+    Parked = true;
   }
-  // Quantum boundary: the batched sample resolver drains this thread's
-  // ring here, on the worker that owns the quantum (before any safepoint
-  // can mutate the index under the buffered addresses).
-  Vm.jvmti().publishQuantumEnd(*T.Thread);
+  // The caller (runQuantum) publishes the quantum-end drain: the batched
+  // sample resolver drains this thread's ring on the worker that owns the
+  // quantum (before any safepoint can mutate the index under the buffered
+  // addresses).
 }
 
 std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
@@ -171,15 +254,17 @@ std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
     if (!T->Done && T->StepsLeft > 0)
       Batch->Tasks.push_back(T.get());
   if (Batch->Tasks.empty()) {
-    // Round barrier crossed: open the next round.
+    // Round barrier crossed: open the next round. (Budgets are drawn
+    // against the pre-increment Rounds value, matching runSerial.)
     for (auto &T : Tasks)
       if (!T->Done) {
-        T->StepsLeft = Config.QuantumSteps;
+        T->StepsLeft = quantumFor(T->Index);
         Batch->Tasks.push_back(T.get());
       }
     if (Batch->Tasks.empty())
       return nullptr; // Every task is done: session over.
     ++Rounds;
+    maybeFuzzForcedGc(Rounds);
   }
   Batch->Remaining.store(Batch->Tasks.size(), std::memory_order_relaxed);
   return Batch;
@@ -271,10 +356,23 @@ uint64_t Executor::waitForTicket(uint64_t Seen) {
 }
 
 void Executor::sessionLoop(unsigned Worker) {
+  // Host-side fuzz jitter: a per-worker PRNG (free-running, *not* keyed
+  // to logical state) perturbs when this worker claims work. Results must
+  // be interleaving-invariant, so this may shake out races but can never
+  // legally change a byte of output.
+  const FuzzSchedule &F = Config.Fuzz;
+  Random Jitter(F.Seed ^ (0x5DEECE66DULL * (Worker + 1)));
   uint64_t Seen = RoundTicket.load(std::memory_order_acquire);
   for (;;) {
     if (SessionDone.load(std::memory_order_acquire))
       return;
+    if (F.Enabled && Jitter.nextBool(F.WorkerJitterChance)) {
+      uint64_t Spins = Jitter.nextBelow(512);
+      if (Spins == 0)
+        std::this_thread::yield();
+      for (uint64_t I = 0; I < Spins; ++I)
+        cpuRelax();
+    }
     // Epoch announcement: pins every batch published at or after the
     // ticket value read here until the next announcement. Must precede
     // the CurrentIter load (the load returns batches >= this epoch).
@@ -301,12 +399,13 @@ void Executor::runSerial() {
     bool AnyActive = false;
     for (auto &T : Tasks)
       if (!T->Done) {
-        T->StepsLeft = Config.QuantumSteps;
+        T->StepsLeft = quantumFor(T->Index);
         AnyActive = true;
       }
     if (!AnyActive)
       break;
     ++Rounds;
+    maybeFuzzForcedGc(Rounds);
     for (;;) {
       bool Ran = false;
       for (auto &T : Tasks)

@@ -64,6 +64,44 @@
 
 namespace djx {
 
+/// Seed-driven schedule fuzzing: every knob the determinism guarantee
+/// claims to be robust against, randomized from one printed seed. The
+/// perturbations come in two classes with one shared oracle — for a given
+/// seed, every observable byte must be identical across --jobs values and
+/// batching modes:
+///
+///  * *Logical-schedule* perturbations (per-round-per-task quantum sizes,
+///    forced safepoint GCs at round barriers, mid-quantum drain points).
+///    These change results versus the unfuzzed schedule — that is the
+///    point, they move where GCs and drains land — but each decision is a
+///    pure hash of (Seed, logical state), never of host timing, so the
+///    jobs-invariance argument must survive any draw.
+///
+///  * *Host-side* perturbations (random worker claim jitter). These may
+///    never change results at all; they only shake the interleavings the
+///    ticket barrier must already tolerate.
+///
+/// All decisions are stateless hashes rather than a shared PRNG stream:
+/// concurrent workers would otherwise consume the stream in host order
+/// and the schedule would stop being a function of logical state.
+struct FuzzSchedule {
+  bool Enabled = false;
+  uint64_t Seed = 0;
+  /// Each round draws every task's quantum from [MinQuantumSteps,
+  /// MaxQuantumSteps] — randomized quantum boundaries.
+  uint64_t MinQuantumSteps = 256;
+  uint64_t MaxQuantumSteps = 8192;
+  /// Chance that a round barrier widens into a forced safepoint GC even
+  /// with no allocation fault parked (randomized GC trigger timing).
+  double ForcedGcChance = 0.15;
+  /// Chance that a task's quantum is split mid-run with a sample-ring
+  /// drain published between the chunks (randomized drain points).
+  double SplitDrainChance = 0.25;
+  /// Chance (per claim, host-side only) that a worker spins/yields before
+  /// claiming its next quantum (randomized worker interleavings).
+  double WorkerJitterChance = 0.5;
+};
+
 struct ExecutorConfig {
   /// Host worker threads. 0 = hardware concurrency; 1 = legacy serial
   /// path (no workers spawned, quanta run inline in thread-id order).
@@ -79,6 +117,9 @@ struct ExecutorConfig {
   /// changes simulated placement (and therefore remote-access counts),
   /// never the schedule, and results stay independent of Jobs.
   NumaPolicy Policy = NumaPolicy::FirstTouch;
+  /// Schedule fuzzing (tests only). When enabled, QuantumSteps is
+  /// superseded by per-round seed draws; see FuzzSchedule.
+  FuzzSchedule Fuzz;
 };
 
 /// Drives simulated threads to completion on host workers.
@@ -161,9 +202,25 @@ private:
 
   /// Executes one quantum of \p T (worker context) and publishes the
   /// quantum-end JVMTI event (the batched sample resolver's drain point).
+  /// Under FuzzSchedule the budget may be split into chunks with a drain
+  /// published between them; the split is a hash of logical state only.
   void runQuantum(Task &T);
+  /// One resume() call of up to \p Budget steps: charges the task's
+  /// StepsLeft, handles Done, and turns a GcRequest unwind into a park
+  /// (\p Parked set). Factored out of runQuantum so fuzzed chunking
+  /// reuses the exact park/OOM bookkeeping of the unfuzzed path.
+  void runChunk(Task &T, uint64_t Budget, bool &Parked);
   /// The legacy serial schedule, driven inline on the calling thread.
   void runSerial();
+
+  // --- FuzzSchedule draws (pure hashes of Seed + logical state) -----------
+  /// Quantum budget for \p TaskIndex in the round about to open (current
+  /// Rounds value, pre-increment). Config.QuantumSteps when fuzz is off.
+  uint64_t quantumFor(size_t TaskIndex) const;
+  /// Runs a forced safepoint GC at the round barrier when the seed says
+  /// round \p Round widens (world must be stopped by the caller's
+  /// construction). No-op when fuzz is off.
+  void maybeFuzzForcedGc(uint64_t Round);
 
   // --- Ticket-barrier session (Jobs > 1) ---------------------------------
   /// One inner iteration's immutable work list. Workers claim indices

@@ -46,6 +46,7 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Jobs = Config.Jobs;
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
+  Ec.Fuzz = Config.Fuzz;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     size_t Task = Ex.addThread(
@@ -104,6 +105,7 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Jobs = Config.Jobs;
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
+  Ec.Fuzz = Config.Fuzz;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     // Worker I sweeps its neighbour's array: the producer/consumer handoff

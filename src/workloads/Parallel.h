@@ -21,6 +21,7 @@
 
 #include "core/DjxPerf.h"
 #include "jvm/JavaVm.h"
+#include "runtime/Executor.h"
 #include "sim/MemoryHierarchy.h"
 
 #include <cstdint>
@@ -52,6 +53,11 @@ struct ParallelConfig {
   /// Logical-workload knob: it changes simulated placement and remote
   /// counts, never the schedule; results stay Jobs-independent.
   NumaPolicy Policy = NumaPolicy::FirstTouch;
+  /// Seed-driven schedule fuzzing, forwarded to the Executor. A fuzzed
+  /// logical schedule is still a *workload* (quantum sizes and GC points
+  /// become seed draws), so for one seed the results remain byte-identical
+  /// across Jobs values — the fuzzsched test's oracle.
+  FuzzSchedule Fuzz;
 };
 
 /// VM configuration matching \p Config: sharded heap (one shard per

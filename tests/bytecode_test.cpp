@@ -11,9 +11,23 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(bytecode_test, 50.0, 28.0,
+    "src/bytecode/ClassFile.cpp",
+    "src/bytecode/ClassFile.h",
+    "src/bytecode/Disassembler.cpp",
+    "src/bytecode/Disassembler.h",
+    "src/bytecode/MethodBuilder.cpp",
+    "src/bytecode/MethodBuilder.h",
+    "src/bytecode/Opcode.cpp",
+    "src/bytecode/Opcode.h",
+    "src/bytecode/Verifier.cpp",
+    "src/bytecode/Verifier.h");
 
 TEST(Opcode, NamesAreDistinctive) {
   EXPECT_EQ(opcodeName(Opcode::New), "new");

@@ -19,7 +19,12 @@
 #include <string>
 #include <sys/wait.h>
 
+#include "harness/TestModule.h"
+
 namespace {
+
+DJX_TEST_MODULE(cli_smoke_test, 60.0, 32.0,
+    "tools/djxperf.cpp");
 
 std::string DjxperfPath; // Set from argv in main() below.
 

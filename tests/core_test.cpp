@@ -17,9 +17,26 @@
 #include <fstream>
 #include <sstream>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(core_test, 72.0, 42.0,
+    "src/core/Analyzer.cpp",
+    "src/core/Analyzer.h",
+    "src/core/Cct.cpp",
+    "src/core/Cct.h",
+    "src/core/DjxPerf.cpp",
+    "src/core/DjxPerf.h",
+    "src/core/LiveObjectIndex.cpp",
+    "src/core/LiveObjectIndex.h",
+    "src/core/Metrics.h",
+    "src/core/Report.cpp",
+    "src/core/Report.h",
+    "src/core/ThreadProfile.cpp",
+    "src/core/ThreadProfile.h");
 
 // --- Cct ------------------------------------------------------------------------
 

@@ -22,9 +22,13 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(determinism_test, 0.0, 0.0);
 
 /// Everything observable from one profiled run of the fixed VM workload.
 struct RunOutcome {

@@ -1,0 +1,93 @@
+//===- TestModule.cpp - Self-describing test-module registry ---------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TestModule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+namespace djx {
+namespace testing {
+
+namespace {
+const TestModule *&moduleSlot() {
+  static const TestModule *Slot = nullptr;
+  return Slot;
+}
+} // namespace
+
+const TestModule *registeredModule() { return moduleSlot(); }
+
+TestModuleRegistrar::TestModuleRegistrar(TestModule Module) {
+  if (moduleSlot() != nullptr) {
+    std::fprintf(stderr,
+                 "djx test harness: duplicate DJX_TEST_MODULE in one "
+                 "binary (%s after %s)\n",
+                 Module.Name.c_str(), moduleSlot()->Name.c_str());
+    std::abort();
+  }
+  static TestModule Owned;
+  Owned = std::move(Module);
+  moduleSlot() = &Owned;
+}
+
+std::string sourceRoot() {
+#ifdef DJX_SOURCE_ROOT
+  return DJX_SOURCE_ROOT;
+#else
+  return ".";
+#endif
+}
+
+} // namespace testing
+} // namespace djx
+
+namespace {
+
+using djx::testing::registeredModule;
+using djx::testing::sourceRoot;
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}
+
+/// Per-binary self-checks, compiled into every suite via the harness
+/// library. The cross-binary checks (no-dupes, no-missing over all of
+/// src/) live in harness_meta_test and read the generated manifest.
+TEST(TestModuleSelfCheck, SuiteDeclaresExactlyOneModule) {
+  ASSERT_NE(registeredModule(), nullptr)
+      << "this test binary has no DJX_TEST_MODULE declaration; every "
+         "suite must describe the files it owns (or declare none)";
+  EXPECT_FALSE(registeredModule()->Name.empty());
+}
+
+TEST(TestModuleSelfCheck, DeclaredFilesExist) {
+  const auto *M = registeredModule();
+  ASSERT_NE(M, nullptr);
+  for (const std::string &File : M->Files)
+    EXPECT_TRUE(fileExists(sourceRoot() + "/" + File))
+        << M->Name << " declares " << File << " which does not exist";
+}
+
+TEST(TestModuleSelfCheck, FloorsAreSanePercentages) {
+  const auto *M = registeredModule();
+  ASSERT_NE(M, nullptr);
+  EXPECT_GE(M->LineFloorPct, 0.0);
+  EXPECT_LE(M->LineFloorPct, 100.0);
+  EXPECT_GE(M->BranchFloorPct, 0.0);
+  EXPECT_LE(M->BranchFloorPct, 100.0);
+  if (!M->Files.empty()) {
+    EXPECT_GT(M->LineFloorPct, 0.0)
+        << M->Name << " owns files but gates nothing: a module with owned "
+        << "files must carry a positive line-coverage floor";
+  }
+}
+
+} // namespace

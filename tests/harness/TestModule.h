@@ -1,0 +1,83 @@
+//===- TestModule.h - Self-describing test-module registry ------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The testmodule idiom: every test suite *declares* the source files it
+/// owns plus the line/branch coverage floors its tests must clear. The
+/// declaration is one DJX_TEST_MODULE(...) block per suite, which serves
+/// three consumers at once:
+///
+///  1. this registry, linked into the suite's binary, which runs
+///     per-binary self-checks (exactly one declaration; declared files
+///     exist on disk);
+///  2. tools/gen_test_manifest.py, which lexes the blocks out of
+///     tests/*_test.cpp and generates both tests/harness/modules.json and
+///     the CMake/ctest wiring (tests/modules.generated.cmake) — with a
+///     --check mode wired into ctest so a stale manifest fails the suite;
+///  3. tools/coverage_gate.py, which runs each suite in isolation under
+///     GCOV_PREFIX and enforces the floors against gcov's measurements —
+///     a module whose tests stop exercising its own files fails CI.
+///
+/// Cross-binary meta-tests (no file owned twice, no src/ file owned by
+/// nothing) live in tests/harness_meta_test.cpp and read the generated
+/// manifest.
+///
+/// Declaration syntax (floors are percentages; a suite with no owned
+/// files — a cross-cutting golden or property suite — declares none and
+/// its floors are ignored):
+///
+/// \code
+///   DJX_TEST_MODULE(jvm_test, 85.0, 60.0,
+///                   "src/jvm/Heap.cpp", "src/jvm/Heap.h");
+///   DJX_TEST_MODULE(determinism_test, 0.0, 0.0);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_TESTS_HARNESS_TESTMODULE_H
+#define DJX_TESTS_HARNESS_TESTMODULE_H
+
+#include <string>
+#include <vector>
+
+namespace djx {
+namespace testing {
+
+/// One suite's self-description.
+struct TestModule {
+  std::string Name;              ///< Must equal the test binary's name.
+  double LineFloorPct = 0;       ///< Min line coverage of owned files.
+  double BranchFloorPct = 0;     ///< Min branch coverage of owned files.
+  std::vector<std::string> Files; ///< Repo-relative owned source files.
+};
+
+/// The binary's registered module, or null before registration. Each test
+/// binary declares exactly one module (enforced by the harness's
+/// self-check test).
+const TestModule *registeredModule();
+
+/// Registration hook used by DJX_TEST_MODULE; aborts on a second
+/// registration in the same binary.
+struct TestModuleRegistrar {
+  explicit TestModuleRegistrar(TestModule Module);
+};
+
+/// Repo root the self-checks resolve declared files against (injected by
+/// the build as DJX_SOURCE_ROOT).
+std::string sourceRoot();
+
+} // namespace testing
+} // namespace djx
+
+// NOTE: tools/gen_test_manifest.py lexes calls of this macro out of
+// tests/*_test.cpp. Keep the call shape (name, line floor, branch floor,
+// string literals...) if you change the implementation.
+#define DJX_TEST_MODULE(NAME, LINE_FLOOR_PCT, BRANCH_FLOOR_PCT, ...)       \
+  static const ::djx::testing::TestModuleRegistrar kDjxTestModuleReg{      \
+      ::djx::testing::TestModule{#NAME, (LINE_FLOOR_PCT),                  \
+                                 (BRANCH_FLOOR_PCT), {__VA_ARGS__}}}
+
+#endif // DJX_TESTS_HARNESS_TESTMODULE_H

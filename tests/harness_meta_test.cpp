@@ -1,0 +1,313 @@
+//===- harness_meta_test.cpp - Cross-binary test-module meta-checks --------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-binary half of the testmodule harness. Each suite's
+/// per-binary self-checks (tests/harness/TestModule.cpp) can only see
+/// their own DJX_TEST_MODULE declaration; this suite reads the generated
+/// manifest (tests/harness/modules.json, kept fresh by the manifest_check
+/// ctest test) and enforces the global ownership invariants:
+///
+///   * no source file is owned by two modules (double coverage credit),
+///   * every file under src/ and every tool source is owned by exactly
+///     one module (nothing ships untested and un-gated),
+///   * every declared file exists and every manifest module corresponds
+///     to a real tests/<name>.cpp suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/TestModule.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+DJX_TEST_MODULE(harness_meta_test, 0.0, 0.0);
+
+/// Minimal recursive-descent JSON reader — just enough for the manifest
+/// our own generator emits (objects, arrays, strings, numbers). Kept
+/// local so the test suite needs no third-party dependency.
+class JsonParser {
+public:
+  struct Value {
+    enum class Kind { Object, Array, String, Number } Tag = Kind::Object;
+    std::map<std::string, Value> Object;
+    std::vector<Value> Array;
+    std::string String;
+    double Number = 0;
+  };
+
+  explicit JsonParser(std::string Text) : Text(std::move(Text)) {}
+
+  Value parse() {
+    Value V = parseValue();
+    skipWs();
+    if (Pos != Text.size())
+      fail("trailing characters");
+    return V;
+  }
+
+  const std::string &error() const { return Error; }
+  bool failed() const { return !Error.empty(); }
+
+private:
+  std::string Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    Pos = Text.size(); // Stop making progress.
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    return parseNumber();
+  }
+
+  Value parseObject() {
+    Value V;
+    V.Tag = Value::Kind::Object;
+    consume('{');
+    if (consume('}'))
+      return V;
+    do {
+      Value Key = parseString();
+      if (!consume(':'))
+        fail("expected ':'");
+      V.Object[Key.String] = parseValue();
+    } while (consume(','));
+    if (!consume('}'))
+      fail("expected '}'");
+    return V;
+  }
+
+  Value parseArray() {
+    Value V;
+    V.Tag = Value::Kind::Array;
+    consume('[');
+    if (consume(']'))
+      return V;
+    do {
+      V.Array.push_back(parseValue());
+    } while (consume(','));
+    if (!consume(']'))
+      fail("expected ']'");
+    return V;
+  }
+
+  Value parseString() {
+    Value V;
+    V.Tag = Value::Kind::String;
+    if (!consume('"')) {
+      fail("expected string");
+      return V;
+    }
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n': C = '\n'; break;
+        case 't': C = '\t'; break;
+        default: C = E; break; // \" \\ \/ and anything exotic.
+        }
+      }
+      V.String += C;
+    }
+    if (Pos >= Text.size())
+      fail("unterminated string");
+    else
+      ++Pos; // Closing quote.
+    return V;
+  }
+
+  Value parseNumber() {
+    Value V;
+    V.Tag = Value::Kind::Number;
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected number");
+      return V;
+    }
+    V.Number = std::stod(Text.substr(Start, Pos - Start));
+    return V;
+  }
+};
+
+struct ManifestModule {
+  std::string Name;
+  double LineFloorPct = 0;
+  double BranchFloorPct = 0;
+  std::vector<std::string> Files;
+};
+
+/// Loads tests/harness/modules.json (freshness is manifest_check's job).
+std::vector<ManifestModule> loadManifest(std::string &Error) {
+  std::string Path =
+      djx::testing::sourceRoot() + "/tests/harness/modules.json";
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return {};
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  JsonParser Parser(Buf.str());
+  JsonParser::Value Root = Parser.parse();
+  if (Parser.failed()) {
+    Error = "parse error in " + Path + ": " + Parser.error();
+    return {};
+  }
+  std::vector<ManifestModule> Modules;
+  auto It = Root.Object.find("modules");
+  if (It == Root.Object.end()) {
+    Error = Path + " has no \"modules\" key";
+    return {};
+  }
+  for (const auto &[Name, Body] : It->second.Object) {
+    ManifestModule M;
+    M.Name = Name;
+    auto Num = [&](const char *Key) {
+      auto F = Body.Object.find(Key);
+      return F == Body.Object.end() ? 0.0 : F->second.Number;
+    };
+    M.LineFloorPct = Num("line_floor_pct");
+    M.BranchFloorPct = Num("branch_floor_pct");
+    auto F = Body.Object.find("files");
+    if (F != Body.Object.end())
+      for (const auto &Entry : F->second.Array)
+        M.Files.push_back(Entry.String);
+    Modules.push_back(std::move(M));
+  }
+  return Modules;
+}
+
+const std::vector<ManifestModule> &manifest() {
+  static std::string Error;
+  static std::vector<ManifestModule> Modules = loadManifest(Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  return Modules;
+}
+
+/// Source files the harness requires an owner for: everything under src/
+/// plus the CLI entry point. Generated/binary artifacts do not appear in
+/// those trees.
+std::vector<std::string> gateableSources() {
+  std::string Root = djx::testing::sourceRoot();
+  std::vector<std::string> Out;
+  for (const auto &Entry : fs::recursive_directory_iterator(Root + "/src")) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Ext = Entry.path().extension().string();
+    if (Ext != ".cpp" && Ext != ".h")
+      continue;
+    Out.push_back(fs::relative(Entry.path(), Root).generic_string());
+  }
+  Out.push_back("tools/djxperf.cpp");
+  return Out;
+}
+
+TEST(HarnessMeta, ManifestLoadsAndIsNonTrivial) {
+  const auto &Modules = manifest();
+  // The repo ships >15 suites; an empty or tiny manifest means the
+  // generator lexed nothing and the harness is wiring a ghost.
+  EXPECT_GE(Modules.size(), 15u);
+}
+
+TEST(HarnessMeta, NoFileIsOwnedByTwoModules) {
+  std::map<std::string, std::vector<std::string>> Owners;
+  for (const auto &M : manifest())
+    for (const auto &File : M.Files)
+      Owners[File].push_back(M.Name);
+  for (const auto &[File, Who] : Owners) {
+    std::string List;
+    for (const auto &W : Who)
+      List += (List.empty() ? "" : ", ") + W;
+    EXPECT_EQ(Who.size(), 1u)
+        << File << " is owned by multiple modules (" << List
+        << "); coverage credit must have a single accountable suite";
+  }
+}
+
+TEST(HarnessMeta, EveryGateableSourceFileIsOwned) {
+  std::set<std::string> Owned;
+  for (const auto &M : manifest())
+    Owned.insert(M.Files.begin(), M.Files.end());
+  for (const auto &File : gateableSources())
+    EXPECT_TRUE(Owned.count(File))
+        << File << " is owned by no test module; add it to the suite "
+        << "that exercises it (DJX_TEST_MODULE in tests/*_test.cpp) and "
+        << "regenerate the manifest";
+}
+
+TEST(HarnessMeta, OwnedFilesAllExist) {
+  std::string Root = djx::testing::sourceRoot();
+  for (const auto &M : manifest())
+    for (const auto &File : M.Files)
+      EXPECT_TRUE(fs::is_regular_file(Root + "/" + File))
+          << M.Name << " owns " << File << " which does not exist";
+}
+
+TEST(HarnessMeta, EveryModuleHasAMatchingSuiteSource) {
+  std::string Root = djx::testing::sourceRoot();
+  for (const auto &M : manifest())
+    EXPECT_TRUE(fs::is_regular_file(Root + "/tests/" + M.Name + ".cpp"))
+        << "manifest module " << M.Name << " has no tests/" << M.Name
+        << ".cpp — regenerate the manifest";
+}
+
+TEST(HarnessMeta, ThisSuiteIsInTheManifest) {
+  bool Found = false;
+  for (const auto &M : manifest())
+    Found = Found || M.Name == "harness_meta_test";
+  EXPECT_TRUE(Found) << "the manifest is stale: it predates this suite";
+}
+
+} // namespace

@@ -10,9 +10,15 @@
 
 #include <fstream>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(html_report_test, 75.0, 40.0,
+    "src/core/HtmlReport.cpp",
+    "src/core/HtmlReport.h");
 
 MergedProfile sampleProfile(MethodRegistry &MR) {
   MethodId Alloc = MR.registerMethod("Pool", "create", {{0, 42}});

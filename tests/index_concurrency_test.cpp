@@ -25,9 +25,13 @@
 #include <thread>
 #include <vector>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(index_concurrency_test, 0.0, 0.0);
 
 constexpr unsigned kThreads = 4;
 constexpr uint64_t kSpan = 1 << 20; // 1 MiB address range per shard.

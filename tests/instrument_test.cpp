@@ -13,9 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(instrument_test, 90.0, 55.0,
+    "src/instrument/AllocationInstrumenter.cpp",
+    "src/instrument/AllocationInstrumenter.h",
+    "src/instrument/MethodTransformer.cpp",
+    "src/instrument/MethodTransformer.h");
 
 TEST(MethodTransformer, IdentityVisitPreservesCode) {
   MethodBuilder B("C", "m", 0, 1);

@@ -25,9 +25,13 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(integration_test, 0.0, 0.0);
 
 /// Returns the qualified name + line of a merged group's allocation leaf.
 std::string allocLeafName(const MergedProfile &M, const MergedGroup &G,

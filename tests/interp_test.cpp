@@ -9,9 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(interp_test, 76.0, 45.0,
+    "src/interp/Interpreter.cpp",
+    "src/interp/Interpreter.h");
 
 /// Builds, loads and runs a single 0-arg method, returning its result.
 std::optional<Value> runSingle(JavaVm &Vm,

@@ -9,9 +9,27 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(jvm_test, 80.0, 48.0,
+    "src/jvm/Gc.cpp",
+    "src/jvm/Gc.h",
+    "src/jvm/Heap.cpp",
+    "src/jvm/Heap.h",
+    "src/jvm/JavaThread.h",
+    "src/jvm/JavaVm.cpp",
+    "src/jvm/JavaVm.h",
+    "src/jvm/Jvmti.cpp",
+    "src/jvm/Jvmti.h",
+    "src/jvm/MethodRegistry.cpp",
+    "src/jvm/MethodRegistry.h",
+    "src/jvm/ObjectModel.h",
+    "src/jvm/TypeRegistry.cpp",
+    "src/jvm/TypeRegistry.h");
 
 VmConfig smallVm(uint64_t HeapBytes = 1 << 20) {
   VmConfig C;

@@ -30,9 +30,15 @@
 
 #include <sstream>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(numa_test, 74.0, 58.0,
+    "src/sim/NumaTopology.cpp",
+    "src/sim/NumaTopology.h");
 
 // --- releaseRange boundary contract ---------------------------------------
 
@@ -142,6 +148,55 @@ TEST(Heap, ShardOfReservedRangeIsShardZeroInEveryConfiguration) {
   EXPECT_EQ(Sharded.objectContaining(0), kNullRef);
 }
 
+TEST(Heap, ShardOfExactShardBoundariesSplitConsistently) {
+  Heap H(1 << 20, 4);
+  // shardBase(k) is the first address of shard k; the address one below
+  // it must still belong to shard k-1, with no gap and no overlap, and
+  // the tail beyond the last even span clamps to the last shard.
+  for (unsigned S = 1; S < 4; ++S) {
+    EXPECT_EQ(H.shardOf(H.shardBase(S)), S);
+    EXPECT_EQ(H.shardOf(H.shardBase(S) - 1), S - 1);
+  }
+  EXPECT_EQ(H.shardOf(H.shardLimit(3) - 1), 3u);
+  EXPECT_EQ(H.shardBase(0), Heap::kArenaBase);
+}
+
+// --- assert-guarded contracts (death tests, debug builds only) -------------
+//
+// The raw arena accessors and the CPU->node map are the two places where a
+// bad address/id silently corrupts simulation state instead of failing a
+// lookup. Their contracts are asserts, so the death tests only bite in
+// builds with asserts enabled (the CI debug job); release runs skip.
+
+TEST(NumaDeath, NodeOfCpuOutOfRangeAssertsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "asserts compiled out (NDEBUG)";
+#else
+  NumaTopology N(NumaConfig{2, 4, 4096});
+  ASSERT_EQ(N.numCpus(), 8u);
+  EXPECT_DEATH_IF_SUPPORTED(N.nodeOfCpu(8), "CPU id out of range");
+  EXPECT_DEATH_IF_SUPPORTED(N.nodeOfCpu(~0u), "CPU id out of range");
+#endif
+}
+
+TEST(HeapDeath, RawAccessOutsideArenaAssertsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "asserts compiled out (NDEBUG)";
+#else
+  Heap H(1 << 16, 2);
+  // One word straddling the arena end: Addr + 8 > Capacity even though
+  // Addr itself is in range.
+  EXPECT_DEATH_IF_SUPPORTED(H.rawReadWord((1 << 16) - 4),
+                            "read out of arena");
+  EXPECT_DEATH_IF_SUPPORTED(H.rawWriteWord((1 << 16) - 4, 1),
+                            "write out of arena");
+  EXPECT_DEATH_IF_SUPPORTED(H.rawReadU32((1 << 16) - 2),
+                            "read out of arena");
+  EXPECT_DEATH_IF_SUPPORTED(H.rawMemmove((1 << 16) - 8, 0, 16),
+                            "memmove out of arena");
+#endif
+}
+
 // --- Executor: node-spread CPU mapping -------------------------------------
 
 ParallelConfig numaConfig(unsigned Jobs, NumaPolicy Policy) {
@@ -164,7 +219,11 @@ TEST(NumaRuntime, TasksSpreadAcrossNodesRoundRobin) {
   JavaVm Vm(parallelVmConfig(Pc));
   BytecodeProgram Program = buildParallelWorkerProgram(Vm.types());
   Program.load(Vm);
-  Executor Ex(Vm, ExecutorConfig{1, 4096, NumaPolicy::FirstTouch});
+  ExecutorConfig Ec;
+  Ec.Jobs = 1;
+  Ec.QuantumSteps = 4096;
+  Ec.Policy = NumaPolicy::FirstTouch;
+  Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < 4; ++I)
     Ex.addThread(Program, "Main.run",
                  {Value::fromInt(1), Value::fromInt(8), Value::fromInt(8)},

@@ -6,11 +6,24 @@
 
 #include "pmu/Pmu.h"
 
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "jvm/JavaVm.h"
+#include "pmu/SampleRing.h"
+
 #include <gtest/gtest.h>
+
+#include "harness/TestModule.h"
 
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(pmu_test, 80.0, 54.0,
+    "src/pmu/PerfEvent.h",
+    "src/pmu/Pmu.cpp",
+    "src/pmu/Pmu.h",
+    "src/pmu/SampleRing.h");
 
 AccessResult l1MissResult() {
   AccessResult R;
@@ -178,5 +191,127 @@ TEST_P(PmuPeriodTest, SampleCountMatchesPeriod) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PmuPeriodTest,
                          ::testing::Values(1, 2, 7, 32, 100, 999, 1001));
+
+// --- SampleRing edges -------------------------------------------------------
+
+TEST(SampleRing, PushReportsFullExactlyAtCapacity) {
+  SampleRing Ring;
+  BufferedSample S;
+  for (size_t I = 0; I + 1 < SampleRing::kCapacity; ++I)
+    ASSERT_FALSE(Ring.push(S)) << "premature full at " << I;
+  EXPECT_TRUE(Ring.push(S)); // The kCapacity-th push demands a drain.
+  EXPECT_EQ(Ring.size(), SampleRing::kCapacity);
+  // Past capacity the ring keeps accepting (the owner drains on the
+  // returned signal, not by having appends rejected) and keeps asking.
+  EXPECT_TRUE(Ring.push(S));
+  Ring.clear();
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_FALSE(Ring.push(S)); // Fresh window after the drain.
+}
+
+/// A workload sized so the ring fills several times between GCs: period-1
+/// MemAccess sampling turns every simulated access into a buffered
+/// sample, so 5x capacity accesses forces capacity-triggered self-drains
+/// with no safepoint in sight. The drained profile must be byte-identical
+/// to inline resolution of the same run.
+TEST(SampleRingEdge, CapacitySelfDrainMatchesInlineResolution) {
+  auto run = [](bool Batched) {
+    JavaVm Vm;
+    DjxPerfConfig Cfg;
+    Cfg.Events = {PerfEventAttr{PerfEventKind::MemAccess, 1, 64}};
+    Cfg.MinObjectSize = 64;
+    Cfg.BatchedSampleResolution = Batched;
+    DjxPerf Prof(Vm, Cfg);
+    EXPECT_EQ(Prof.batchedResolutionActive(), Batched);
+    Prof.start();
+    JavaThread &T = Vm.startThread("ringfull", 0);
+    RootScope Roots(Vm);
+    ObjectRef &Hot =
+        Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 128));
+    constexpr uint64_t kReads = 5 * SampleRing::kCapacity;
+    for (uint64_t I = 0; I < kReads; ++I)
+      Vm.readWord(T, Hot, (I % 128) * 8);
+    Prof.stop();
+    std::pair<std::string, uint64_t> Out{
+        renderObjectCentric(Prof.analyze(), Vm.methods()),
+        Prof.samplesHandled()};
+    Vm.endThread(T);
+    return Out;
+  };
+  auto [BatchedReport, BatchedSamples] = run(true);
+  auto [InlineReport, InlineSamples] = run(false);
+  // Several self-drains actually happened (reads alone exceed capacity
+  // five times over), and nothing observable moved.
+  EXPECT_GT(BatchedSamples, 5 * SampleRing::kCapacity);
+  EXPECT_EQ(BatchedSamples, InlineSamples);
+  EXPECT_EQ(BatchedReport, InlineReport);
+}
+
+/// stop() drains every ring; a thread whose ring is empty (monitored but
+/// never sampled) must contribute nothing and break nothing.
+TEST(SampleRingEdge, StopWithEmptyRingsIsCleanAndEmpty) {
+  JavaVm Vm;
+  DjxPerf Prof(Vm); // Batched by default.
+  ASSERT_TRUE(Prof.batchedResolutionActive());
+  Prof.start();
+  JavaThread &T = Vm.startThread("idle", 0);
+  Prof.stop(); // No accesses at all: every ring drains empty.
+  EXPECT_EQ(Prof.samplesHandled(), 0u);
+  MergedProfile M = Prof.analyze();
+  EXPECT_TRUE(M.Groups.empty());
+  EXPECT_EQ(M.UnattributedSamples, 0u);
+  Vm.endThread(T);
+}
+
+/// Batching is only sound when the profiler observes every GC move and
+/// free (the epoch snapshot's staleness proof depends on it), so the
+/// effective switch must force off when either interposition is disabled
+/// — and the forced-off path must still produce the inline answer.
+TEST(SampleRingEdge, BatchingForcesOffWithoutFullGcInterposition) {
+  struct Case {
+    bool Moves, Frees, Expected;
+  } Cases[] = {
+      {true, true, true},
+      {false, true, false},
+      {true, false, false},
+      {false, false, false},
+  };
+  for (const Case &C : Cases) {
+    JavaVm Vm;
+    DjxPerfConfig Cfg;
+    Cfg.BatchedSampleResolution = true; // Requested...
+    Cfg.HandleGcMoves = C.Moves;
+    Cfg.HandleGcFrees = C.Frees;
+    DjxPerf Prof(Vm, Cfg);
+    EXPECT_EQ(Prof.batchedResolutionActive(), C.Expected)
+        << "moves=" << C.Moves << " frees=" << C.Frees;
+  }
+
+  // Equivalence on the forced-off path: requesting batching with moves
+  // interposition off must behave exactly like explicitly-inline config
+  // with the same interposition flags.
+  auto run = [](bool RequestBatching) {
+    JavaVm Vm;
+    DjxPerfConfig Cfg;
+    Cfg.Events = {PerfEventAttr{PerfEventKind::MemAccess, 3, 64}};
+    Cfg.MinObjectSize = 64;
+    Cfg.BatchedSampleResolution = RequestBatching;
+    Cfg.HandleGcMoves = false;
+    DjxPerf Prof(Vm, Cfg);
+    EXPECT_FALSE(Prof.batchedResolutionActive());
+    Prof.start();
+    JavaThread &T = Vm.startThread("forcedoff", 0);
+    RootScope Roots(Vm);
+    ObjectRef &A =
+        Roots.add(Vm.allocateArray(T, Vm.types().longArray(), 256));
+    for (uint64_t I = 0; I < 3000; ++I)
+      Vm.readWord(T, A, (I % 256) * 8);
+    Prof.stop();
+    std::string Report = renderObjectCentric(Prof.analyze(), Vm.methods());
+    Vm.endThread(T);
+    return Report;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
 
 } // namespace

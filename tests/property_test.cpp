@@ -22,9 +22,13 @@
 #include <list>
 #include <sstream>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(property_test, 0.0, 0.0);
 
 // --- Cache vs reference LRU model ---------------------------------------------
 

@@ -23,9 +23,19 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(runtime_test, 68.0, 45.0,
+    "src/runtime/Executor.cpp",
+    "src/runtime/Executor.h",
+    "src/runtime/Safepoint.cpp",
+    "src/runtime/Safepoint.h",
+    "src/workloads/Parallel.cpp",
+    "src/workloads/Parallel.h");
 
 ParallelConfig smallConfig(unsigned Jobs) {
   ParallelConfig Pc;

@@ -11,9 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(sim_test, 90.0, 66.0,
+    "src/sim/Cache.cpp",
+    "src/sim/Cache.h",
+    "src/sim/MemoryHierarchy.cpp",
+    "src/sim/MemoryHierarchy.h",
+    "src/sim/Tlb.cpp",
+    "src/sim/Tlb.h");
 
 // --- Cache -------------------------------------------------------------------
 

@@ -16,9 +16,21 @@
 #include <map>
 #include <thread>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(support_test, 86.0, 66.0,
+    "src/support/Bits.h",
+    "src/support/IntervalSplayTree.h",
+    "src/support/Random.h",
+    "src/support/SpinLock.h",
+    "src/support/Statistics.cpp",
+    "src/support/Statistics.h",
+    "src/support/TextTable.cpp",
+    "src/support/TextTable.h");
 
 // --- IntervalSplayTree ------------------------------------------------------
 

@@ -19,9 +19,27 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/TestModule.h"
+
 using namespace djx;
 
 namespace {
+
+DJX_TEST_MODULE(workloads_test, 84.0, 40.0,
+    "src/workloads/AccuracyCases.cpp",
+    "src/workloads/AccuracyCases.h",
+    "src/workloads/BytecodePrograms.cpp",
+    "src/workloads/BytecodePrograms.h",
+    "src/workloads/CaseStudies.cpp",
+    "src/workloads/CaseStudies.h",
+    "src/workloads/Figure1.cpp",
+    "src/workloads/Figure1.h",
+    "src/workloads/Insignificant.cpp",
+    "src/workloads/Insignificant.h",
+    "src/workloads/Kernels.cpp",
+    "src/workloads/Kernels.h",
+    "src/workloads/Suites.cpp",
+    "src/workloads/Suites.h");
 
 uint64_t cyclesOf(const VmConfig &Cfg,
                   const std::function<void(JavaVm &)> &Fn) {

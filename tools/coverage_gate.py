@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Per-module coverage measurement and floor enforcement.
+
+Usage:
+  coverage_gate.py --build-dir build/coverage [--repo-root DIR]
+                   [--module NAME ...] [--summary-md FILE]
+                   [--summary-json FILE] [--gcov GCOV]
+
+Consumes tests/harness/modules.json (generated from the DJX_TEST_MODULE
+declarations by tools/gen_test_manifest.py) and, for every module that
+owns source files, answers the question "how much of its *own* files does
+this suite cover?" — then fails when any module is below its declared
+line/branch floors.
+
+Isolation: every test binary links the same static `djx` library, so a
+naive run would mix all suites' counters into one shared set of .gcda
+files. Instead each module's binary runs with
+
+  GCOV_PREFIX=<scratch>/<module>   GCOV_PREFIX_STRIP=0
+
+which redirects its .gcda dumps into a private tree (keyed by the
+absolute object path). The matching .gcno graph files are copied in from
+the build tree, `gcov --json-format --stdout` turns each pair into a
+JSON report, and the per-file line/branch counts are aggregated over the
+module's owned files only. Credit earned by *other* suites never leaks
+in, so the floor really gates "this module's tests cover this module's
+files".
+
+Requires a build configured with the `coverage` CMake preset (gcc
+--coverage). No gcovr/lcov needed — only gcov itself.
+
+Exit codes: 0 all floors met, 1 at least one module under a floor (or a
+module's binary failed), 2 usage/environment error.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_pairs(prefix_dir, build_dir):
+    """Yields (gcda, gcno) pairs for a module's redirected dump tree.
+
+    With GCOV_PREFIX_STRIP=0 a counter for object <abs>.o lands at
+    <prefix_dir>/<abs>.gcda; the compile-time graph file sits next to the
+    original object in the build tree. gcov needs the two side by side,
+    so the .gcno is copied into the prefix tree.
+    """
+    for dirpath, _dirs, files in os.walk(prefix_dir):
+        for name in files:
+            if not name.endswith(".gcda"):
+                continue
+            gcda = os.path.join(dirpath, name)
+            rel = os.path.relpath(gcda, prefix_dir)
+            orig_gcno = "/" + rel[: -len(".gcda")] + ".gcno"
+            gcno = gcda[: -len(".gcda")] + ".gcno"
+            if not os.path.exists(orig_gcno):
+                # Out-of-build-tree objects (system gtest, say) have no
+                # graph file we can find; skip them.
+                continue
+            if not os.path.exists(gcno):
+                shutil.copy2(orig_gcno, gcno)
+            yield gcda, gcno
+    del build_dir
+
+
+def gcov_json(gcov, gcda):
+    """Runs gcov on one .gcda and returns its parsed JSON report."""
+    proc = subprocess.run(
+        [gcov, "--stdout", "--json-format", "--branch-probabilities",
+         os.path.basename(gcda)],
+        cwd=os.path.dirname(gcda),
+        capture_output=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"gcov failed on {gcda}: {proc.stderr.decode(errors='replace')}"
+        )
+    out = proc.stdout
+    if out[:2] == b"\x1f\x8b":  # Some gcovs gzip even on stdout.
+        out = gzip.decompress(out)
+    return json.loads(out)
+
+
+def accumulate(report, repo_root, stats):
+    """Folds one gcov JSON report into {repo-rel file: line/branch sets}.
+
+    Line identity must be per (file, line) across reports — a header's
+    inline function appears in many objects' reports, and a line counts
+    as covered when *any* of them executed it.
+    """
+    for f in report.get("files", []):
+        path = f.get("file", "")
+        if not os.path.isabs(path):
+            path = os.path.join(report.get("current_working_directory", ""),
+                                path)
+        path = os.path.normpath(path)
+        try:
+            rel = os.path.relpath(path, repo_root)
+        except ValueError:
+            continue
+        if rel.startswith(".."):
+            continue
+        st = stats.setdefault(
+            rel,
+            {"lines": {}, "branches": {}},
+        )
+        for line in f.get("lines", []):
+            no = line.get("line_number")
+            st["lines"][no] = st["lines"].get(no, 0) + line.get("count", 0)
+            for bi, br in enumerate(line.get("branches", [])):
+                key = (no, bi)
+                st["branches"][key] = (
+                    st["branches"].get(key, 0) + br.get("count", 0)
+                )
+
+
+def summarize(stats, files):
+    """(covered, total) line and branch counts over the owned file set."""
+    lc = lt = bc = bt = 0
+    per_file = {}
+    for rel in files:
+        st = stats.get(rel)
+        if st is None:
+            per_file[rel] = None  # No instrumented code seen at all.
+            continue
+        flc = sum(1 for c in st["lines"].values() if c > 0)
+        flt = len(st["lines"])
+        fbc = sum(1 for c in st["branches"].values() if c > 0)
+        fbt = len(st["branches"])
+        per_file[rel] = (flc, flt, fbc, fbt)
+        lc, lt, bc, bt = lc + flc, lt + flt, bc + fbc, bt + fbt
+    return lc, lt, bc, bt, per_file
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 100.0
+
+
+def run_module(name, mod, opts, results):
+    binary = os.path.join(opts.build_dir, name)
+    if not os.path.exists(binary):
+        results.append({"module": name, "error": f"no binary at {binary}"})
+        return
+    with tempfile.TemporaryDirectory(prefix=f"djxcov_{name}_") as scratch:
+        env = dict(os.environ)
+        env["GCOV_PREFIX"] = scratch
+        env["GCOV_PREFIX_STRIP"] = "0"
+        argv = [binary] + [
+            a.replace("$<TARGET_FILE:djxperf>",
+                      os.path.join(opts.build_dir, "djxperf"))
+            for a in mod.get("args", [])
+        ]
+        proc = subprocess.run(argv, env=env, capture_output=True,
+                              cwd=opts.build_dir)
+        if proc.returncode != 0:
+            results.append({
+                "module": name,
+                "error": f"test binary exited {proc.returncode}",
+                "output": proc.stdout.decode(errors="replace")[-4000:],
+            })
+            return
+        stats = {}
+        for gcda, _gcno in find_pairs(scratch, opts.build_dir):
+            accumulate(gcov_json(opts.gcov, gcda), opts.repo_root, stats)
+    lc, lt, bc, bt, per_file = summarize(stats, mod["files"])
+    results.append({
+        "module": name,
+        "line_pct": round(pct(lc, lt), 2),
+        "branch_pct": round(pct(bc, bt), 2),
+        "line_floor_pct": mod["line_floor_pct"],
+        "branch_floor_pct": mod["branch_floor_pct"],
+        "lines": [lc, lt],
+        "branches": [bc, bt],
+        "files": {
+            rel: (None if v is None
+                  else {"line_pct": round(pct(v[0], v[1]), 2),
+                        "branch_pct": round(pct(v[2], v[3]), 2)})
+            for rel, v in per_file.items()
+        },
+    })
+
+
+def render_markdown(results):
+    lines = [
+        "### Per-module coverage (own files only)",
+        "",
+        "| module | lines | floor | branches | floor | ok |",
+        "|---|---:|---:|---:|---:|:--|",
+    ]
+    for r in results:
+        if "error" in r:
+            lines.append(f"| `{r['module']}` | — | — | — | — | "
+                         f"**ERROR**: {r['error']} |")
+            continue
+        ok = (r["line_pct"] >= r["line_floor_pct"]
+              and r["branch_pct"] >= r["branch_floor_pct"])
+        lines.append(
+            f"| `{r['module']}` | {r['line_pct']:.1f}% "
+            f"| {r['line_floor_pct']:.1f}% | {r['branch_pct']:.1f}% "
+            f"| {r['branch_floor_pct']:.1f}% "
+            f"| {'yes' if ok else '**FAIL**'} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Enforce per-module coverage floors.")
+    ap.add_argument("--build-dir", required=True,
+                    help="a build configured with the `coverage` preset")
+    ap.add_argument("--repo-root", default=None)
+    ap.add_argument("--module", action="append", default=None,
+                    help="gate only these modules (repeatable)")
+    ap.add_argument("--summary-md", default=None)
+    ap.add_argument("--summary-json", default=None)
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    opts = ap.parse_args()
+
+    opts.repo_root = os.path.abspath(
+        opts.repo_root
+        or os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    opts.build_dir = os.path.abspath(opts.build_dir)
+
+    manifest_path = os.path.join(opts.repo_root, "tests", "harness",
+                                 "modules.json")
+    try:
+        with open(manifest_path) as f:
+            modules = json.load(f)["modules"]
+    except (OSError, ValueError, KeyError) as err:
+        print(f"coverage_gate: cannot read {manifest_path}: {err}",
+              file=sys.stderr)
+        return 2
+    if shutil.which(opts.gcov) is None:
+        print(f"coverage_gate: no such gcov: {opts.gcov}", file=sys.stderr)
+        return 2
+
+    selected = {
+        name: mod for name, mod in sorted(modules.items())
+        if mod["files"] and (not opts.module or name in opts.module)
+    }
+    if opts.module:
+        unknown = set(opts.module) - set(selected)
+        if unknown:
+            print(f"coverage_gate: unknown/fileless modules: "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    results = []
+    for name, mod in selected.items():
+        print(f"coverage_gate: measuring {name} "
+              f"({len(mod['files'])} owned files)...", flush=True)
+        try:
+            run_module(name, mod, opts, results)
+        except RuntimeError as err:
+            results.append({"module": name, "error": str(err)})
+
+    md = render_markdown(results)
+    print(md)
+    if opts.summary_md:
+        with open(opts.summary_md, "w") as f:
+            f.write(md)
+    if opts.summary_json:
+        with open(opts.summary_json, "w") as f:
+            json.dump({"results": results}, f, indent=2, sort_keys=True)
+
+    failures = []
+    for r in results:
+        if "error" in r:
+            failures.append(f"{r['module']}: {r['error']}")
+            continue
+        if r["line_pct"] < r["line_floor_pct"]:
+            failures.append(
+                f"{r['module']}: line coverage {r['line_pct']:.1f}% is "
+                f"below its {r['line_floor_pct']:.1f}% floor")
+        if r["branch_pct"] < r["branch_floor_pct"]:
+            failures.append(
+                f"{r['module']}: branch coverage {r['branch_pct']:.1f}% is "
+                f"below its {r['branch_floor_pct']:.1f}% floor")
+    for failure in failures:
+        print(f"coverage_gate: FLOOR FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
