@@ -6,7 +6,9 @@
 
 #include "bytecode/ClassFile.h"
 
+#include "bytecode/Verifier.h"
 #include "jvm/JavaVm.h"
+#include "support/VmError.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -21,6 +23,24 @@ size_t BytecodeProgram::addClass(ClassFile C) {
 
 void BytecodeProgram::load(JavaVm &Vm) {
   assert(!Loaded && "program already loaded");
+  // Class-load-time verification: reject malformed programs (bad operand
+  // counts, out-of-range jump targets, arity mismatches) with a typed
+  // error before any of it can reach the interpreter's asserts.
+  VerifyResult VR = verifyProgram(*this);
+  if (!VR.ok()) {
+    std::string Msg = "program verification failed: ";
+    for (size_t I = 0; I < VR.Errors.size(); ++I) {
+      if (I) {
+        if (I >= 4) {
+          Msg += "; (+" + std::to_string(VR.Errors.size() - I) + " more)";
+          break;
+        }
+        Msg += "; ";
+      }
+      Msg += VR.Errors[I];
+    }
+    throw VmError(VmErrorKind::InvalidBytecode, Msg);
+  }
   std::unordered_map<std::string, size_t> NameToIndex;
   for (size_t CI = 0; CI < Classes.size(); ++CI) {
     ClassFile &C = Classes[CI];

@@ -6,7 +6,10 @@
 
 #include "bytecode/Verifier.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <unordered_map>
 
 using namespace djx;
 
@@ -16,12 +19,213 @@ static void addError(VerifyResult &R, size_t Bci, const std::string &Msg) {
   R.Errors.push_back(Buf + Msg);
 }
 
+namespace {
+
+/// Static stack effect of one instruction: operands popped and results
+/// pushed. Invoke is the one opcode whose push count depends on the
+/// callee (void vs value return) and is handled by the caller.
+struct StackEffect {
+  unsigned Pops = 0;
+  unsigned Pushes = 0;
+};
+
+StackEffect stackEffect(const Instruction &Inst) {
+  switch (Inst.Op) {
+  case Opcode::Nop:
+  case Opcode::Goto:
+  case Opcode::Return:
+  case Opcode::AllocHookPre:
+    return {0, 0};
+  case Opcode::IConst:
+  case Opcode::ILoad:
+  case Opcode::ALoad:
+  case Opcode::New:
+    return {0, 1};
+  case Opcode::IStore:
+  case Opcode::AStore:
+  case Opcode::Pop:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IReturn:
+  case Opcode::AReturn:
+    return {1, 0};
+  case Opcode::Dup:
+    return {1, 2};
+  case Opcode::Swap:
+    return {2, 2};
+  case Opcode::INeg:
+  case Opcode::NewArray:
+  case Opcode::ANewArray:
+  case Opcode::ArrayLength:
+  case Opcode::GetField:
+  case Opcode::GetRefField:
+    return {1, 1};
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+    return {2, 1};
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpLe:
+    return {2, 0};
+  case Opcode::PALoad:
+  case Opcode::AALoad:
+    return {2, 1};
+  case Opcode::PutField:
+  case Opcode::PutRefField:
+    return {2, 0};
+  case Opcode::PAStore:
+  case Opcode::AAStore:
+    return {3, 0};
+  case Opcode::MultiANewArray:
+    return {Inst.B > 0 ? static_cast<unsigned>(Inst.B) : 0u, 1};
+  case Opcode::AllocHookPost:
+    return {1, 1}; // Peeks the freshly allocated ref.
+  case Opcode::Invoke:
+    // Pops handled here; pushes resolved by the caller.
+    return {Inst.B > 0 ? static_cast<unsigned>(Inst.B) : 0u, 0};
+  }
+  return {0, 0};
+}
+
+bool isTerminal(Opcode Op) {
+  return Op == Opcode::Return || Op == Opcode::IReturn ||
+         Op == Opcode::AReturn;
+}
+
+/// Abstract operand-stack depth interval at one bci. The only source of
+/// uncertainty is an Invoke whose callee return kind is unresolved
+/// (verifyMethod on a lone method): it may push 0 or 1. With a resolver
+/// (verifyProgram) the interval stays exact.
+struct DepthRange {
+  unsigned Lo = 0;
+  unsigned Hi = 0;
+  bool Visited = false;
+};
+
+/// Depth cap: deeper means an unbalanced loop is pumping the stack.
+constexpr unsigned kMaxTrackedDepth = 1 << 16;
+
+/// Worklist dataflow over depth intervals. \p InvokePush returns 0 or 1
+/// for a resolved callee, -1 for unknown. Reports definite underflow
+/// (even the maximal depth cannot feed the instruction's pops) — the
+/// "bad operand count" class of malformed programs — without false
+/// positives on valid code.
+void verifyStackDepths(const BytecodeMethod &M,
+                       int (*InvokePush)(const void *, const Instruction &),
+                       const void *Ctx, VerifyResult &R) {
+  size_t N = M.Code.size();
+  std::vector<DepthRange> At(N);
+  std::deque<size_t> Work;
+  At[0] = {0, 0, true};
+  Work.push_back(0);
+  while (!Work.empty()) {
+    size_t I = Work.front();
+    Work.pop_front();
+    const Instruction &Inst = M.Code[I];
+    DepthRange Cur = At[I];
+    StackEffect E = stackEffect(Inst);
+    if (Cur.Hi < E.Pops) {
+      addError(R, I,
+               "stack underflow: pops " + std::to_string(E.Pops) +
+                   " with at most " + std::to_string(Cur.Hi) +
+                   " on the stack");
+      continue; // Successors of a broken state would cascade noise.
+    }
+    unsigned PushLo = E.Pushes;
+    unsigned PushHi = E.Pushes;
+    if (Inst.Op == Opcode::Invoke) {
+      int P = InvokePush ? InvokePush(Ctx, Inst) : -1;
+      PushLo = P < 0 ? 0 : static_cast<unsigned>(P);
+      PushHi = P < 0 ? 1 : static_cast<unsigned>(P);
+    }
+    // Lo may dip below the pops when the uncertainty came from earlier
+    // unresolved pushes; clamp at zero rather than flag a maybe.
+    unsigned NextLo = Cur.Lo > E.Pops ? Cur.Lo - E.Pops + PushLo : PushLo;
+    unsigned NextHi = Cur.Hi - E.Pops + PushHi;
+    if (NextHi > kMaxTrackedDepth) {
+      addError(R, I, "stack depth grows without bound (unbalanced loop?)");
+      continue;
+    }
+    auto Flow = [&](size_t Succ) {
+      if (Succ >= N)
+        return; // Range errors are reported by the structural pass.
+      DepthRange &D = At[Succ];
+      if (D.Visited && D.Lo <= NextLo && D.Hi >= NextHi)
+        return;
+      D.Lo = D.Visited ? std::min(D.Lo, NextLo) : NextLo;
+      D.Hi = D.Visited ? std::max(D.Hi, NextHi) : NextHi;
+      D.Visited = true;
+      Work.push_back(Succ);
+    };
+    if (isTerminal(Inst.Op))
+      continue;
+    if (Inst.Op == Opcode::Goto) {
+      if (Inst.A >= 0)
+        Flow(static_cast<size_t>(Inst.A));
+      continue;
+    }
+    Flow(I + 1);
+    if (isBranch(Inst.Op) && Inst.A >= 0)
+      Flow(static_cast<size_t>(Inst.A));
+  }
+}
+
+/// Program-level context for resolving Invoke callees by qualified name
+/// (unlinked) or flattened method index (linked).
+struct ProgramContext {
+  std::unordered_map<std::string, const BytecodeMethod *> ByName;
+  std::vector<const BytecodeMethod *> ByIndex;
+
+  const BytecodeMethod *callee(const BytecodeMethod &Caller,
+                               const Instruction &Inst) const {
+    if (Inst.A < 0)
+      return nullptr;
+    if (Caller.RegistryId == kInvalidMethod) {
+      if (static_cast<size_t>(Inst.A) >= Caller.CalleeRefs.size())
+        return nullptr;
+      auto It = ByName.find(Caller.CalleeRefs[Inst.A]);
+      return It == ByName.end() ? nullptr : It->second;
+    }
+    return static_cast<size_t>(Inst.A) < ByIndex.size()
+               ? ByIndex[Inst.A]
+               : nullptr;
+  }
+};
+
+/// Does \p M return a value? Its terminal convention: any IReturn /
+/// AReturn in the body means the caller receives one stack slot.
+bool returnsValue(const BytecodeMethod &M) {
+  for (const Instruction &I : M.Code)
+    if (I.Op == Opcode::IReturn || I.Op == Opcode::AReturn)
+      return true;
+  return false;
+}
+
+} // namespace
+
 VerifyResult djx::verifyMethod(const BytecodeMethod &M) {
   VerifyResult R;
   if (M.Code.empty()) {
     R.Errors.push_back("empty code");
     return R;
   }
+  if (M.NumArgs > M.NumLocals)
+    R.Errors.push_back("argument count exceeds local slots");
   size_t N = M.Code.size();
   for (size_t I = 0; I < N; ++I) {
     const Instruction &Inst = M.Code[I];
@@ -61,6 +265,11 @@ VerifyResult djx::verifyMethod(const BytecodeMethod &M) {
   for (size_t I = 1; I < M.LineTable.size(); ++I)
     if (M.LineTable[I - 1].Bci >= M.LineTable[I].Bci)
       R.Errors.push_back("line table not sorted by BCI");
+  // Operand-count / stack-shape pass, only once the structure is sound
+  // (the dataflow assumes in-range branch targets). Without a program,
+  // Invoke pushes are unknown; the interval analysis stays conservative.
+  if (R.ok())
+    verifyStackDepths(M, nullptr, nullptr, R);
   return R;
 }
 
@@ -68,9 +277,55 @@ VerifyResult djx::verifyProgram(const BytecodeProgram &P) {
   // Walk classes directly so unloaded programs can be verified before
   // linking, like a class-load-time verifier.
   VerifyResult All;
+  ProgramContext Ctx;
+  for (const ClassFile &C : P.classes())
+    for (const BytecodeMethod &M : C.Methods) {
+      Ctx.ByName.emplace(M.qualifiedName(), &M);
+      Ctx.ByIndex.push_back(&M);
+    }
   for (const ClassFile &C : P.classes())
     for (const BytecodeMethod &M : C.Methods) {
       VerifyResult R = verifyMethod(M);
+      // Cross-method checks: Invoke operand counts against the callee's
+      // declared arity, and a second depth pass with callee return
+      // kinds resolved (exact where verifyMethod's was conservative).
+      bool InvokesOk = true;
+      for (size_t I = 0; I < M.Code.size(); ++I) {
+        const Instruction &Inst = M.Code[I];
+        if (Inst.Op != Opcode::Invoke)
+          continue;
+        const BytecodeMethod *Callee = Ctx.callee(M, Inst);
+        if (!Callee) {
+          std::string Name = "(bad callee table index)";
+          if (M.RegistryId == kInvalidMethod && Inst.A >= 0 &&
+              static_cast<size_t>(Inst.A) < M.CalleeRefs.size())
+            Name = "'" + M.CalleeRefs[Inst.A] + "'";
+          addError(R, I, "unresolved callee " + Name);
+          InvokesOk = false;
+          continue;
+        }
+        if (Inst.B < 0 || static_cast<uint32_t>(Inst.B) != Callee->NumArgs) {
+          addError(R, I,
+                   "invoke passes " + std::to_string(Inst.B) +
+                       " arguments but " + Callee->qualifiedName() +
+                       " takes " + std::to_string(Callee->NumArgs));
+          InvokesOk = false;
+        }
+      }
+      if (R.ok() && InvokesOk) {
+        struct Bound {
+          const ProgramContext *Ctx;
+          const BytecodeMethod *Caller;
+        } B{&Ctx, &M};
+        verifyStackDepths(
+            M,
+            [](const void *Opaque, const Instruction &Inst) -> int {
+              const Bound *B = static_cast<const Bound *>(Opaque);
+              const BytecodeMethod *Callee = B->Ctx->callee(*B->Caller, Inst);
+              return Callee ? (returnsValue(*Callee) ? 1 : 0) : -1;
+            },
+            &B, R);
+      }
       for (const std::string &E : R.Errors)
         All.Errors.push_back(M.qualifiedName() + ": " + E);
     }

@@ -6,6 +6,8 @@
 
 #include "core/DjxPerf.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 #include <cassert>
 #include <filesystem>
@@ -243,12 +245,29 @@ void DjxPerf::handleSample(SampleCtx &Ctx, const PerfSample &S) {
                         S.Cpu);
     return;
   }
+  // Injected ring overflow (FaultInjector): the sample is dropped and
+  // counted instead of buffered. Keyed on (thread, per-ring append
+  // ordinal) — logical coordinates, so the same samples drop for every
+  // --jobs value. Surfaced in reports as captured-vs-dropped.
+  if (FaultInjector::shouldFail(FaultSite::RingPush, T.id(),
+                                Ctx.Ring.totalAppends())) {
+    Ctx.Ring.noteDrop();
+    T.pmu().noteRingDroppedSample();
+    RingDrops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Batched: identity resolution and the NUMA query are deferred to the
   // drain. A full ring drains in place on the owning worker, bounding
-  // memory for long GC-free windows.
+  // memory for long GC-free windows. A capacity-forced self-drain is
+  // counted (it was previously silent) so overhead accounting can see
+  // how often the mid-quantum path fires.
   if (Ctx.Ring.push(BufferedSample{S.EffectiveAddress, AccessNode, S.Cpu,
-                                   S.Kind}))
+                                   S.Kind})) {
+    Ctx.Ring.noteCapacityDrain();
+    T.pmu().noteRingOverflowDrain();
+    RingDrains.fetch_add(1, std::memory_order_relaxed);
     drainSampleRing(Ctx);
+  }
 }
 
 void DjxPerf::resolveSampleInline(JavaThread &T, ThreadProfile &P,

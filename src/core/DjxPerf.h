@@ -191,6 +191,16 @@ public:
   uint64_t auxOverheadCycles() const {
     return AuxCycles.load(std::memory_order_relaxed);
   }
+  /// Samples dropped at ring-append time (injected overflow). Counted in
+  /// samplesHandled() but absent from every profile: captured =
+  /// samplesHandled() - samplesDropped().
+  uint64_t samplesDropped() const {
+    return RingDrops.load(std::memory_order_relaxed);
+  }
+  /// Capacity-forced mid-quantum ring self-drains (previously silent).
+  uint64_t ringOverflowDrains() const {
+    return RingDrains.load(std::memory_order_relaxed);
+  }
   /// Bytes held by profiler data structures (splay tree, CCTs, tables).
   size_t memoryFootprint() const;
 
@@ -263,6 +273,8 @@ private:
   std::atomic<uint64_t> AllocCallbacks{0};
   std::atomic<uint64_t> Tracked{0};
   std::atomic<uint64_t> AuxCycles{0};
+  std::atomic<uint64_t> RingDrops{0};
+  std::atomic<uint64_t> RingDrains{0};
 };
 
 } // namespace djx

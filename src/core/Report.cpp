@@ -144,3 +144,25 @@ std::string djx::renderCodeCentric(const MergedProfile &P,
     OS << "(no samples)\n";
   return OS.str();
 }
+
+std::string djx::renderDegradedBanner(const VmError &E,
+                                      uint64_t SamplesHandled,
+                                      uint64_t SamplesDropped) {
+  std::ostringstream OS;
+  uint64_t Captured = SamplesHandled - std::min(SamplesHandled, SamplesDropped);
+  OS << "=== DJXPerf DEGRADED report: run failed, partial profile salvaged "
+        "===\n";
+  OS << "failure:  " << vmErrorKindName(E.Kind) << " (exit code "
+     << vmErrorExitCode(E.Kind) << ")\n";
+  OS << "detail:   " << E.Message << "\n";
+  if (E.ThreadId != VmError::kNoThread)
+    OS << "thread:   " << E.ThreadId << "\n";
+  if (E.Steps != 0)
+    OS << "steps:    " << E.Steps << "\n";
+  if (E.Shard != VmError::kNoShard)
+    OS << "shard:    " << E.Shard << "\n";
+  OS << "samples:  " << Captured << " captured, " << SamplesDropped
+     << " dropped before the failure\n";
+  OS << "The profile below covers execution up to the failure point only.\n\n";
+  return OS.str();
+}

@@ -19,6 +19,7 @@
 
 #include "core/Analyzer.h"
 #include "jvm/MethodRegistry.h"
+#include "support/VmError.h"
 
 #include <string>
 
@@ -51,6 +52,15 @@ std::string renderObjectCentric(const MergedProfile &P,
 std::string renderCodeCentric(const MergedProfile &P,
                               const MethodRegistry &Methods,
                               const ReportOptions &Opts = ReportOptions());
+
+/// Banner prepended to every report of a run that failed: marks the
+/// profile as DEGRADED (partial — everything up to the failure point was
+/// salvaged from the sample rings) and carries the failure metadata
+/// (kind, message, thread, step count, shard) plus captured-vs-dropped
+/// sample accounting. Emitted *only* on failure, so fault-free reports
+/// stay byte-identical to a build without the failure model.
+std::string renderDegradedBanner(const VmError &E, uint64_t SamplesHandled,
+                                 uint64_t SamplesDropped);
 
 } // namespace djx
 

@@ -6,6 +6,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "support/VmError.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -67,11 +69,12 @@ Interpreter::Frame &Interpreter::pushActivation(size_t MethodIndex,
 }
 
 void Interpreter::fatalStepLimit() const {
-  std::fprintf(stderr,
-               "djx: interpreter step limit (%llu) exceeded; aborting "
-               "(runaway loop?)\n",
-               static_cast<unsigned long long>(StepLimit));
-  std::abort();
+  VmError E(VmErrorKind::StepLimit,
+            "interpreter step limit (" + std::to_string(StepLimit) +
+                ") exceeded (runaway loop?)");
+  E.ThreadId = Thread.id();
+  E.Steps = Steps;
+  throw E;
 }
 
 std::optional<Value> Interpreter::run(const std::string &QualifiedName,
@@ -202,10 +205,12 @@ bool Interpreter::loop(size_t BaseDepth, uint32_t BaseTop,
       return false;
     }
     if (Pc >= CodeSize) {
-      assert(false && "fell off the end of a method (verifier should catch)");
-      std::fprintf(stderr, "djx: control fell off the end of %s\n",
-                   F->M->qualifiedName().c_str());
-      std::abort();
+      SyncTop();
+      VmError E(VmErrorKind::InvalidBytecode,
+                "control fell off the end of " + F->M->qualifiedName());
+      E.ThreadId = Thread.id();
+      E.Steps = Steps;
+      throw E;
     }
     if (++Steps > StepDeadline)
       fatalStepLimit();

@@ -119,6 +119,13 @@ public:
   uint64_t liveBytes() const;
   size_t numObjects() const;
   uint64_t allocationsCount() const;
+  /// Per-shard allocation ordinal (next shard-local AllocId counter).
+  /// Advances only on successful allocation, so it is a logical
+  /// coordinate: identical across --jobs for the same program point.
+  /// FaultInjector keys forced-exhaustion draws on it.
+  uint64_t shardAllocations(unsigned Shard) const {
+    return Shards[Shard].NextAllocId;
+  }
 
   /// First usable address; 0..kArenaBase-1 are reserved so 0 can be null.
   static constexpr uint64_t kArenaBase = 64;

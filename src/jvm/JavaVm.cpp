@@ -6,6 +6,9 @@
 
 #include "jvm/JavaVm.h"
 
+#include "support/FaultInjector.h"
+#include "support/VmError.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -100,7 +103,18 @@ void JavaVm::touchNewObject(JavaThread &T, ObjectRef Obj, uint64_t Size) {
 
 ObjectRef JavaVm::allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
                               uint64_t Length) {
-  ObjectRef Obj = TheHeap.allocate(Type, Size, Length, T.heapShard());
+  // Forced shard exhaustion (FaultInjector): the allocation behaves as
+  // if the shard were full. Keyed on the shard's allocation ordinal,
+  // which does not advance on failure — the post-GC retry of the same
+  // allocation draws the same key, so an injected exhaustion escalates
+  // deterministically into the OutOfMemory error path.
+  auto TryAllocate = [&]() -> ObjectRef {
+    if (FaultInjector::shouldFail(FaultSite::HeapAlloc, T.heapShard(),
+                                  TheHeap.shardAllocations(T.heapShard())))
+      return kNullRef;
+    return TheHeap.allocate(Type, Size, Length, T.heapShard());
+  };
+  ObjectRef Obj = TryAllocate();
   if (Obj == kNullRef && DeferGcToSafepoint)
     // Executor mode: the world must stop before the collector may run.
     // The faulting bytecode re-executes after the safepoint GC.
@@ -108,14 +122,16 @@ ObjectRef JavaVm::allocateRaw(JavaThread &T, TypeId Type, uint64_t Size,
   if (Obj == kNullRef && Config.AutoGc) {
     GcStats S = requestGc();
     T.addCycles(gcPauseCycles(Config, S));
-    Obj = TheHeap.allocate(Type, Size, Length, T.heapShard());
+    Obj = TryAllocate();
   }
   if (Obj == kNullRef) {
-    std::fprintf(stderr,
-                 "djx: OutOfMemoryError: %llu bytes requested, %llu live\n",
-                 static_cast<unsigned long long>(Size),
-                 static_cast<unsigned long long>(TheHeap.liveBytes()));
-    std::abort();
+    VmError E(VmErrorKind::OutOfMemory,
+              std::to_string(Size) + " bytes requested, " +
+                  std::to_string(TheHeap.liveBytes()) +
+                  " live after collection");
+    E.ThreadId = T.id();
+    E.Shard = T.heapShard();
+    throw E;
   }
   // Zero-fill stores: the allocating thread first-touches every line.
   touchNewObject(T, Obj, Size);
@@ -249,6 +265,14 @@ void JavaVm::removeRootProvider(uint64_t Token) {
 }
 
 GcStats JavaVm::requestGc() {
+  // Forced no-op collection (FaultInjector): pretend the collector ran
+  // and reclaimed nothing. Keyed on the VM's GC request ordinal — a
+  // logical coordinate shared by the serial AutoGc path and the
+  // Executor's safepoint path. Combined with forced shard exhaustion
+  // this drives the genuine OutOfMemory paths.
+  ++GcRequests;
+  if (FaultInjector::shouldFail(FaultSite::GcCollect, GcRequests))
+    return GcStats{};
   // Snapshot slots and providers under the lock, then run the provider
   // callbacks with it released: RootsLock is a leaf lock, and a provider
   // is allowed to call addRoot/addRootProvider (which would self-deadlock

@@ -299,6 +299,9 @@ private:
   SpinLock RootsLock;
   uint64_t NextThreadId = 1;
   uint64_t NextProviderToken = 1;
+  /// GC request ordinal (serial AutoGc and safepoint paths both funnel
+  /// through requestGc); FaultInjector keys no-op-collection draws on it.
+  uint64_t GcRequests = 0;
   uint32_t NextCpu = 0;
   bool AllocationEventsOn = true;
   bool DeferGcToSafepoint = false;

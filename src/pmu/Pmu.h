@@ -96,6 +96,16 @@ public:
   /// Total samples delivered across all events.
   uint64_t samplesDelivered() const { return SamplesDelivered; }
 
+  /// Ring-overflow accounting (batched resolution). The profiler records
+  /// here how many times this thread's SampleRing filled and self-drained
+  /// mid-quantum, and how many delivered samples were dropped at append
+  /// time (fault injection) — so overhead accounting sees
+  /// captured-vs-dropped per thread, next to the rest of the PMU stats.
+  void noteRingOverflowDrain() { ++RingOverflowDrains; }
+  void noteRingDroppedSample() { ++RingDroppedSamples; }
+  uint64_t ringOverflowDrains() const { return RingOverflowDrains; }
+  uint64_t ringDroppedSamples() const { return RingDroppedSamples; }
+
   uint64_t threadId() const { return ThreadId; }
   size_t numEvents() const { return Events.size(); }
 
@@ -148,6 +158,8 @@ private:
   void *HandlerCtx = nullptr;
   PerfSampleHandler HandlerFnStore;
   uint64_t SamplesDelivered = 0;
+  uint64_t RingOverflowDrains = 0;
+  uint64_t RingDroppedSamples = 0;
 };
 
 } // namespace djx

@@ -58,9 +58,28 @@ public:
   bool push(const BufferedSample &S) {
     if (Samples.capacity() == 0)
       Samples.reserve(kCapacity);
+    ++Appends;
     Samples.push_back(S);
     return Samples.size() >= kCapacity;
   }
+
+  /// Records a sample rejected at append time (injected overflow): the
+  /// append ordinal still advances — it is the logical coordinate fault
+  /// draws key on, and must count attempts, not successes.
+  void noteDrop() {
+    ++Appends;
+    ++Drops;
+  }
+  /// Records a capacity-forced mid-quantum self-drain (the ring filled
+  /// between scheduled drain points).
+  void noteCapacityDrain() { ++CapacityDrains; }
+
+  /// Append attempts (successful or dropped) over the ring's lifetime.
+  uint64_t totalAppends() const { return Appends; }
+  /// Samples rejected at append time (injected overflow).
+  uint64_t droppedSamples() const { return Drops; }
+  /// Capacity-forced mid-quantum self-drains.
+  uint64_t capacityDrains() const { return CapacityDrains; }
 
   bool empty() const { return Samples.empty(); }
   size_t size() const { return Samples.size(); }
@@ -72,6 +91,9 @@ public:
 
 private:
   std::vector<BufferedSample> Samples;
+  uint64_t Appends = 0;
+  uint64_t Drops = 0;
+  uint64_t CapacityDrains = 0;
 };
 
 } // namespace djx

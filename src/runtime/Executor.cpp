@@ -7,10 +7,12 @@
 #include "runtime/Executor.h"
 
 #include "core/Analyzer.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -101,13 +103,12 @@ size_t Executor::addThread(BytecodeProgram &Program,
   // lock-free precisely because each shard has a single owner, and the
   // determinism argument rests on it. Configure VmConfig.HeapShards >=
   // the number of simulated threads (parallelVmConfig does).
-  if (T->Index >= Vm.heap().numShards()) {
-    std::fprintf(stderr,
-                 "djx: Executor task %zu needs its own heap shard but the "
-                 "VM has only %u (set VmConfig.HeapShards >= task count)\n",
-                 T->Index, Vm.heap().numShards());
-    std::abort();
-  }
+  if (T->Index >= Vm.heap().numShards())
+    throw VmError(VmErrorKind::Internal,
+                  "Executor task " + std::to_string(T->Index) +
+                      " needs its own heap shard but the VM has only " +
+                      std::to_string(Vm.heap().numShards()) +
+                      " (set VmConfig.HeapShards >= task count)");
   // Deterministic CPU placement spread across NUMA nodes, independent of
   // the VM's own NextCpu state (and of Jobs).
   if (Cpu == JavaVm::kAnyCpu)
@@ -174,6 +175,15 @@ void Executor::applyNumaPlacement() {
 }
 
 void Executor::runQuantum(Task &T) {
+  // Injected QuantumClaim fault: keyed on (round, task) — pure logical
+  // coordinates, so the same quantum stalls for every --jobs value. Only
+  // armed under a running watchdog; without one the stall would be the
+  // very hang this machinery exists to prevent.
+  if (WatchdogArmed.load(std::memory_order_relaxed) &&
+      FaultInjector::shouldFail(FaultSite::QuantumClaim, T.Round, T.Index)) {
+    simulateStall(T);
+    return;
+  }
   const FuzzSchedule &F = Config.Fuzz;
   for (;;) {
     // Key 3: the split-drain draw. Chunking the budget with a drain
@@ -193,6 +203,7 @@ void Executor::runQuantum(Task &T) {
     // Drain after every chunk, not just the last: each publish is a legal
     // quantum-end drain point for the owning worker.
     Vm.jvmti().publishQuantumEnd(*T.Thread);
+    Heartbeat.fetch_add(1, std::memory_order_relaxed);
     if (Parked || T.Done || T.StepsLeft == 0)
       return;
   }
@@ -219,15 +230,16 @@ void Executor::runChunk(Task &T, uint64_t Budget, bool &Parked) {
     // shards, so whole-heap queries are off limits here.)
     uint64_t Now = T.Interp->stepsExecuted();
     if (T.LastParkSteps == Now) {
-      std::fprintf(
-          stderr,
-          "djx: OutOfMemoryError: %llu bytes requested in heap shard %u "
-          "(%llu-byte shard) after a safepoint GC freed nothing\n",
-          static_cast<unsigned long long>(R.Bytes), T.Thread->heapShard(),
-          static_cast<unsigned long long>(
-              Vm.heap().shardLimit(T.Thread->heapShard()) -
-              Vm.heap().shardBase(T.Thread->heapShard())));
-      std::abort();
+      VmError E(VmErrorKind::OutOfMemory,
+                std::to_string(R.Bytes) + " bytes requested in heap shard " +
+                    std::to_string(T.Thread->heapShard()) + " (" +
+                    std::to_string(Vm.heap().shardLimit(T.Thread->heapShard()) -
+                                   Vm.heap().shardBase(T.Thread->heapShard())) +
+                    "-byte shard) after a safepoint GC freed nothing");
+      E.ThreadId = T.Thread->id();
+      E.Steps = Now;
+      E.Shard = T.Thread->heapShard();
+      throw E;
     }
     T.LastParkSteps = Now;
     uint64_t Used = Now - Before;
@@ -259,6 +271,7 @@ std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
     for (auto &T : Tasks)
       if (!T->Done) {
         T->StepsLeft = quantumFor(T->Index);
+        T->Round = Rounds + 1;
         Batch->Tasks.push_back(T.get());
       }
     if (Batch->Tasks.empty())
@@ -306,6 +319,10 @@ void Executor::publishIteration(std::unique_ptr<IterBatch> Batch) {
 }
 
 void Executor::closeIteration() {
+  // Error abort: a captured VmError already ended the session; do not
+  // publish further work (peers are unwinding on SessionDone).
+  if (SessionDone.load(std::memory_order_acquire))
+    return;
   // Reached by exactly one worker per iteration (its Remaining
   // decrement hit zero), with every peer quiesced on the round ticket —
   // the world is stopped by construction, without a handshake.
@@ -381,7 +398,24 @@ void Executor::sessionLoop(unsigned Worker) {
     IterBatch *B = CurrentIter.load(std::memory_order_acquire);
     size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
     if (I < B->Tasks.size()) {
-      runQuantum(*B->Tasks[I]);
+      Task &T = *B->Tasks[I];
+      WorkerClaims[Worker].store(T.Index + 1, std::memory_order_release);
+      try {
+        runQuantum(T);
+      } catch (VmError &E) {
+        // First-error capture: this worker's quantum failed. Attribute
+        // the error to its task where the throw site could not, record
+        // it, and unwind — peers observe SessionDone at their next claim
+        // or ticket check (the next round barrier, in effect).
+        if (E.ThreadId == VmError::kNoThread)
+          E.ThreadId = T.Thread->id();
+        if (E.Steps == 0)
+          E.Steps = T.Interp->stepsExecuted();
+        WorkerClaims[Worker].store(0, std::memory_order_release);
+        recordError(std::move(E));
+        return;
+      }
+      WorkerClaims[Worker].store(0, std::memory_order_release);
       if (B->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
         closeIteration();
       continue;
@@ -394,12 +428,23 @@ void Executor::sessionLoop(unsigned Worker) {
 
 void Executor::runSerial() {
   // The legacy serial path: the same logical schedule, driven inline in
-  // thread-id order on the calling host thread.
+  // thread-id order on the calling host thread. A VmError from any
+  // quantum ends the session exactly like the MT path's first-error
+  // capture (there is only one driver, so it is trivially "first").
+  try {
+    runSerialLoop();
+  } catch (VmError &E) {
+    recordError(std::move(E));
+  }
+}
+
+void Executor::runSerialLoop() {
   for (;;) {
     bool AnyActive = false;
     for (auto &T : Tasks)
       if (!T->Done) {
         T->StepsLeft = quantumFor(T->Index);
+        T->Round = Rounds + 1;
         AnyActive = true;
       }
     if (!AnyActive)
@@ -411,6 +456,10 @@ void Executor::runSerial() {
       for (auto &T : Tasks)
         if (!T->Done && T->StepsLeft > 0 && !T->Parked) {
           runQuantum(*T);
+          // A watchdog-declared stall (injected or real) ends the
+          // session while this driver is still inside its round.
+          if (SessionDone.load(std::memory_order_acquire))
+            return;
           Ran = true;
         }
       std::vector<JavaThread *> Requesters;
@@ -431,6 +480,87 @@ void Executor::runSerial() {
   }
 }
 
+void Executor::recordError(VmError &&E) {
+  {
+    std::lock_guard<std::mutex> L(ErrorLock);
+    if (!FirstError)
+      FirstError = std::move(E);
+  }
+  // End the session: peers unwind at their next claim or ticket check.
+  // The empty lock/unlock rendezvous mirrors publishIteration so a
+  // worker mid-predicate cannot miss the store and sleep forever.
+  SessionDone.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> L(WakeMutex); }
+  WakeCv.notify_all();
+}
+
+void Executor::simulateStall(Task &T) {
+  StalledTask.store(T.Index + 1, std::memory_order_release);
+  while (!SessionDone.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+VmError Executor::buildStallError() const {
+  // Built from atomics and immutable fields only: the stalled workers
+  // are still alive and their Task/Interpreter state is in motion.
+  std::string Dump =
+      "no forward progress for " + std::to_string(Config.StallTimeoutMs) +
+      " ms (round ticket " +
+      std::to_string(RoundTicket.load(std::memory_order_acquire)) +
+      ", heartbeat " +
+      std::to_string(Heartbeat.load(std::memory_order_acquire)) + ")";
+  uint64_t Stalled = StalledTask.load(std::memory_order_acquire);
+  if (Stalled)
+    Dump += "; injected stall on task " + std::to_string(Stalled - 1);
+  if (NumWorkers == 0) {
+    Dump += "; serial driver";
+  } else {
+    for (unsigned W = 0; W < NumWorkers; ++W) {
+      uint64_t Claim =
+          WorkerClaims ? WorkerClaims[W].load(std::memory_order_acquire) : 0;
+      Dump += "; worker " + std::to_string(W) + ": epoch " +
+              std::to_string(
+                  WorkerEpochs[W].load(std::memory_order_acquire)) +
+              (Claim ? ", running task " + std::to_string(Claim - 1)
+                     : ", idle");
+    }
+  }
+  VmError E(VmErrorKind::WorkerStall, Dump);
+  if (Stalled)
+    E.ThreadId = Tasks[Stalled - 1]->Thread->id();
+  return E;
+}
+
+void Executor::watchdogLoop() {
+  uint64_t LastBeat = Heartbeat.load(std::memory_order_acquire);
+  auto LastChange = std::chrono::steady_clock::now();
+  auto Timeout = std::chrono::milliseconds(Config.StallTimeoutMs);
+  auto Poll = std::chrono::milliseconds(
+      std::min<uint64_t>(std::max<uint64_t>(Config.StallTimeoutMs / 4, 1),
+                         100));
+  std::unique_lock<std::mutex> L(WatchdogMutex);
+  for (;;) {
+    WatchdogCv.wait_for(L, Poll, [&] {
+      return WatchdogStop.load(std::memory_order_acquire);
+    });
+    if (WatchdogStop.load(std::memory_order_acquire))
+      return;
+    uint64_t Beat = Heartbeat.load(std::memory_order_acquire);
+    auto Now = std::chrono::steady_clock::now();
+    if (Beat != LastBeat) {
+      LastBeat = Beat;
+      LastChange = Now;
+      continue;
+    }
+    if (SessionDone.load(std::memory_order_acquire))
+      continue; // Already unwinding; nothing to convert.
+    if (Now - LastChange >= Timeout) {
+      recordError(buildStallError());
+      return;
+    }
+  }
+}
+
 void Executor::run() {
   if (Tasks.empty())
     return;
@@ -444,6 +574,16 @@ void Executor::run() {
   // (every hierarchy, shared and worker-private, sees the same placement).
   applyNumaPlacement();
 
+  // Host-time watchdog: converts a hung session (a wedged worker, a
+  // safepoint that can never complete) into a WorkerStall error.
+  std::thread Watchdog;
+  WatchdogStop.store(false, std::memory_order_relaxed);
+  StalledTask.store(0, std::memory_order_relaxed);
+  if (Config.StallTimeoutMs > 0) {
+    WatchdogArmed.store(true, std::memory_order_release);
+    Watchdog = std::thread([this] { watchdogLoop(); });
+  }
+
   if (Jobs == 1 || Tasks.size() == 1) {
     runSerial();
   } else {
@@ -454,8 +594,11 @@ void Executor::run() {
           std::min<size_t>(Jobs, Tasks.size()));
       NumWorkers = N;
       WorkerEpochs.reset(new std::atomic<uint64_t>[N]);
-      for (unsigned I = 0; I < N; ++I)
+      WorkerClaims.reset(new std::atomic<uint64_t>[N]);
+      for (unsigned I = 0; I < N; ++I) {
         WorkerEpochs[I].store(0, std::memory_order_relaxed);
+        WorkerClaims[I].store(0, std::memory_order_relaxed);
+      }
       publishIteration(std::move(First));
       Workers.reserve(N);
       for (unsigned I = 0; I < N; ++I)
@@ -467,6 +610,13 @@ void Executor::run() {
       IterStorage.clear();
     }
   }
+
+  WatchdogArmed.store(false, std::memory_order_release);
+  WatchdogStop.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> L(WatchdogMutex); }
+  WatchdogCv.notify_all();
+  if (Watchdog.joinable())
+    Watchdog.join();
 
   Vm.methods().unfreeze();
   Vm.types().unfreeze();

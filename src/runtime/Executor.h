@@ -52,12 +52,14 @@
 #include "interp/Interpreter.h"
 #include "jvm/JavaVm.h"
 #include "runtime/Safepoint.h"
+#include "support/VmError.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +122,14 @@ struct ExecutorConfig {
   /// Schedule fuzzing (tests only). When enabled, QuantumSteps is
   /// superseded by per-round seed draws; see FuzzSchedule.
   FuzzSchedule Fuzz;
+  /// Host-time watchdog: when > 0, a monitor thread converts a session
+  /// that makes no forward progress for this many host milliseconds into
+  /// a VmError::WorkerStall (with a per-worker state dump) instead of a
+  /// hang. Host time never feeds back into the logical schedule — the
+  /// watchdog only ever *ends* a session that is already stuck. 0
+  /// disables it (and disarms the QuantumClaim fault-injection site,
+  /// which needs the watchdog to unwind the stall it creates).
+  uint64_t StallTimeoutMs = 120000;
 };
 
 /// Drives simulated threads to completion on host workers.
@@ -144,7 +154,17 @@ public:
                    uint32_t Cpu = JavaVm::kAnyCpu);
 
   /// Runs every task to completion under the round/safepoint protocol.
+  /// Never throws and never aborts the process: a VmError raised by any
+  /// task (OOM after a fruitless safepoint GC, interpreter step limit,
+  /// a watchdog-detected stall) is captured first-error-wins, the
+  /// session is ended (peers unwind at their next claim or ticket
+  /// check), and the error is exposed via error() so callers can
+  /// salvage the profile data collected so far.
   void run();
+
+  /// First VmError captured during run(), if any. Empty after a clean
+  /// run. Read only after run() returns.
+  const std::optional<VmError> &error() const { return FirstError; }
 
   // --- Results ------------------------------------------------------------
   size_t numTasks() const { return Tasks.size(); }
@@ -190,6 +210,10 @@ private:
     /// Step count at the last GC park: parking twice at the same count
     /// means the safepoint collection did not help — OutOfMemory.
     uint64_t LastParkSteps = ~0ULL;
+    /// Round this task's current budget was drawn for (1-based). A
+    /// logical coordinate: FaultInjector keys forced-stall draws on
+    /// (Round, Index) so injections stay jobs-invariant.
+    uint64_t Round = 0;
   };
 
   /// Imposes Config.Policy on every attached hierarchy (the VM's shared
@@ -211,7 +235,25 @@ private:
   /// reuses the exact park/OOM bookkeeping of the unfuzzed path.
   void runChunk(Task &T, uint64_t Budget, bool &Parked);
   /// The legacy serial schedule, driven inline on the calling thread.
+  /// Wraps runSerialLoop in the same first-error capture as the MT path.
   void runSerial();
+  void runSerialLoop();
+
+  // --- Failure capture and the stall watchdog ----------------------------
+  /// Captures \p E first-error-wins and ends the session: SessionDone is
+  /// released and sleepers are notified, so every worker unwinds at its
+  /// next claim or ticket check (the "next round barrier" in practice).
+  void recordError(VmError &&E);
+  /// Injected QuantumClaim fault: publish which task stalled, then stop
+  /// making progress until the watchdog ends the session. Models a
+  /// worker that wedges mid-quantum (the safepoint can never complete).
+  void simulateStall(Task &T);
+  /// Watchdog body: declare WorkerStall when Heartbeat stops advancing
+  /// for Config.StallTimeoutMs host milliseconds.
+  void watchdogLoop();
+  /// WorkerStall error with a per-worker state dump built from atomics
+  /// only (epochs, claim slots, ticket) — never from racy task state.
+  VmError buildStallError() const;
 
   // --- FuzzSchedule draws (pure hashes of Seed + logical state) -----------
   /// Quantum budget for \p TaskIndex in the round about to open (current
@@ -285,6 +327,23 @@ private:
   unsigned NumWorkers = 0;
   std::mutex WakeMutex;
   std::condition_variable WakeCv; // Sleeping ticket-waiters.
+
+  // Failure capture + watchdog state.
+  std::optional<VmError> FirstError;
+  std::mutex ErrorLock;
+  /// Bumped on every completed chunk (serial and MT) — the watchdog's
+  /// forward-progress signal.
+  std::atomic<uint64_t> Heartbeat{0};
+  /// Per-worker claim slot: task index + 1 while a quantum runs, 0 when
+  /// idle. Watchdog dump input; MT sessions only.
+  std::unique_ptr<std::atomic<uint64_t>[]> WorkerClaims;
+  /// Task index + 1 of an injected stall, 0 otherwise.
+  std::atomic<uint64_t> StalledTask{0};
+  /// True while a watchdog thread is running; gates stall injection.
+  std::atomic<bool> WatchdogArmed{false};
+  std::atomic<bool> WatchdogStop{false};
+  std::mutex WatchdogMutex;
+  std::condition_variable WatchdogCv;
 };
 
 } // namespace djx

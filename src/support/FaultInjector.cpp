@@ -1,0 +1,83 @@
+//===- support/FaultInjector.cpp - deterministic fault injection ----===//
+
+#include "FaultInjector.h"
+
+#include <atomic>
+
+namespace djx {
+namespace {
+
+// Process-global plan. Enabled is the only field read while disarmed;
+// the plan body is written under install()/clear() which callers
+// serialize against runs (documented contract).
+std::atomic<bool> GEnabled{false};
+FaultPlan GPlan;
+std::atomic<uint64_t> GFired[kNumFaultSites] = {};
+
+// splitmix64 finalizer — the same mixing discipline as the Executor's
+// FuzzSchedule draws: hash logical coordinates, never share a stream.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t faultMix(uint64_t Seed, uint64_t Site, uint64_t K1, uint64_t K2) {
+  uint64_t H = mix(Seed ^ 0xfa017eC7ULL);
+  H = mix(H ^ mix(Site + 1));
+  H = mix(H ^ mix(K1 + 0x51ed270b894792ULL));
+  H = mix(H ^ mix(K2 + 0x2545f4914f6cdd1dULL));
+  return H;
+}
+
+double unitDraw(uint64_t Mixed) {
+  return static_cast<double>(Mixed >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void FaultInjector::install(const FaultPlan &Plan) {
+  GEnabled.store(false, std::memory_order_release);
+  GPlan = Plan;
+  for (auto &C : GFired)
+    C.store(0, std::memory_order_relaxed);
+  bool AnyArmed = false;
+  for (double R : Plan.Rate)
+    AnyArmed |= R > 0.0;
+  GEnabled.store(AnyArmed, std::memory_order_release);
+}
+
+void FaultInjector::clear() {
+  GEnabled.store(false, std::memory_order_release);
+  GPlan = FaultPlan{};
+  for (auto &C : GFired)
+    C.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::enabled() {
+  return GEnabled.load(std::memory_order_acquire);
+}
+
+FaultPlan FaultInjector::plan() { return GPlan; }
+
+bool FaultInjector::shouldFail(FaultSite Site, uint64_t K1, uint64_t K2) {
+  if (!GEnabled.load(std::memory_order_acquire))
+    return false;
+  unsigned I = static_cast<unsigned>(Site);
+  double Rate = GPlan.Rate[I];
+  if (Rate <= 0.0)
+    return false;
+  bool Fire =
+      Rate >= 1.0 ||
+      unitDraw(faultMix(GPlan.Seed, I, K1, K2)) < Rate;
+  if (Fire)
+    GFired[I].fetch_add(1, std::memory_order_relaxed);
+  return Fire;
+}
+
+uint64_t FaultInjector::firedCount(FaultSite Site) {
+  return GFired[static_cast<unsigned>(Site)].load(std::memory_order_relaxed);
+}
+
+} // namespace djx

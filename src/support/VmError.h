@@ -1,0 +1,109 @@
+//===- support/VmError.h - typed VM failure model -------------------===//
+//
+// Every failure path in the stack (interpreter step limits, heap
+// exhaustion, malformed bytecode, stalled workers) raises a VmError
+// instead of calling std::abort(). The error carries enough logical
+// metadata (kind, simulated thread, step count, heap shard) for the
+// CLI to emit a degraded-but-well-formed report and exit with a
+// distinct, documented exit code per kind.
+//
+//===----------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_VMERROR_H
+#define DJX_SUPPORT_VMERROR_H
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace djx {
+
+enum class VmErrorKind {
+  OutOfMemory,     ///< Heap shard exhausted even after collection.
+  StepLimit,       ///< Interpreter exceeded its step deadline.
+  InvalidBytecode, ///< Verifier rejected a malformed program.
+  WorkerStall,     ///< Watchdog declared a stalled worker/safepoint.
+  Internal,        ///< Configuration or invariant violation.
+};
+
+inline const char *vmErrorKindName(VmErrorKind K) {
+  switch (K) {
+  case VmErrorKind::OutOfMemory:
+    return "OutOfMemory";
+  case VmErrorKind::StepLimit:
+    return "StepLimit";
+  case VmErrorKind::InvalidBytecode:
+    return "InvalidBytecode";
+  case VmErrorKind::WorkerStall:
+    return "WorkerStall";
+  case VmErrorKind::Internal:
+    return "Internal";
+  }
+  return "Unknown";
+}
+
+/// CLI exit-code contract (documented in docs/ARCHITECTURE.md and the
+/// djxperf usage text): 0 = success, 2 = usage error, then one code
+/// per failure kind. Internal errors share the generic 1.
+inline int vmErrorExitCode(VmErrorKind K) {
+  switch (K) {
+  case VmErrorKind::OutOfMemory:
+    return 3;
+  case VmErrorKind::StepLimit:
+    return 4;
+  case VmErrorKind::InvalidBytecode:
+    return 5;
+  case VmErrorKind::WorkerStall:
+    return 6;
+  case VmErrorKind::Internal:
+    return 1;
+  }
+  return 1;
+}
+
+struct VmError : std::exception {
+  static constexpr unsigned kNoShard = ~0u;
+  static constexpr uint64_t kNoThread = ~0ULL;
+
+  VmErrorKind Kind = VmErrorKind::Internal;
+  std::string Message;
+  /// Simulated thread id at the failure point (kNoThread when the
+  /// failure is not attributable to one thread).
+  uint64_t ThreadId = kNoThread;
+  /// Interpreter steps retired by that thread when it failed (0 when
+  /// unknown at the throw site; the Executor backfills it).
+  uint64_t Steps = 0;
+  /// Heap shard involved (allocation failures), kNoShard otherwise.
+  unsigned Shard = kNoShard;
+
+  VmError() = default;
+  VmError(VmErrorKind K, std::string Msg) : Kind(K), Message(std::move(Msg)) {}
+
+  const char *what() const noexcept override { return Message.c_str(); }
+
+  /// One-line rendering: "OutOfMemory: <msg> [thread 3, steps 42, shard 1]".
+  std::string describe() const {
+    std::string S = vmErrorKindName(Kind);
+    S += ": ";
+    S += Message;
+    std::string Ctx;
+    auto Append = [&Ctx](const std::string &Part) {
+      if (!Ctx.empty())
+        Ctx += ", ";
+      Ctx += Part;
+    };
+    if (ThreadId != kNoThread)
+      Append("thread " + std::to_string(ThreadId));
+    if (Steps != 0)
+      Append("steps " + std::to_string(Steps));
+    if (Shard != kNoShard)
+      Append("shard " + std::to_string(Shard));
+    if (!Ctx.empty())
+      S += " [" + Ctx + "]";
+    return S;
+  }
+};
+
+} // namespace djx
+
+#endif // DJX_SUPPORT_VMERROR_H

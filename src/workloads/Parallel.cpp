@@ -47,6 +47,7 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
   Ec.Fuzz = Config.Fuzz;
+  Ec.StallTimeoutMs = Config.StallTimeoutMs;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     size_t Task = Ex.addThread(
@@ -59,6 +60,15 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   }
 
   Ex.run();
+
+  // Failed session: end threads first (their rings drain into the
+  // profile — the salvage substrate), then surface the captured error to
+  // the caller, who still holds the profiler with all pre-failure data.
+  if (Ex.error()) {
+    for (size_t I = 0; I < Ex.numTasks(); ++I)
+      Vm.endThread(Ex.thread(I));
+    throw *Ex.error();
+  }
 
   ParallelOutcome Out;
   Out.Steps = Ex.totalSteps();
@@ -106,6 +116,7 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
   Ec.Fuzz = Config.Fuzz;
+  Ec.StallTimeoutMs = Config.StallTimeoutMs;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     // Worker I sweeps its neighbour's array: the producer/consumer handoff
@@ -119,6 +130,12 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   }
 
   Ex.run();
+
+  if (Ex.error()) {
+    for (size_t I = 0; I < Ex.numTasks(); ++I)
+      Vm.endThread(Ex.thread(I));
+    throw *Ex.error();
+  }
 
   ParallelOutcome Out;
   Out.Steps = Ex.totalSteps();

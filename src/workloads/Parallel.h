@@ -58,6 +58,8 @@ struct ParallelConfig {
   /// become seed draws), so for one seed the results remain byte-identical
   /// across Jobs values — the fuzzsched test's oracle.
   FuzzSchedule Fuzz;
+  /// Forwarded to ExecutorConfig.StallTimeoutMs (stall watchdog).
+  uint64_t StallTimeoutMs = 120000;
 };
 
 /// VM configuration matching \p Config: sharded heap (one shard per

@@ -8,6 +8,7 @@
 #include "bytecode/MethodBuilder.h"
 #include "bytecode/Verifier.h"
 #include "jvm/JavaVm.h"
+#include "support/VmError.h"
 
 #include <gtest/gtest.h>
 
@@ -210,6 +211,95 @@ TEST(Program, VerifyProgramAggregatesErrors) {
   VerifyResult R = verifyProgram(P);
   ASSERT_FALSE(R.ok());
   EXPECT_NE(R.Errors[0].find("C.bad"), std::string::npos);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  // IAdd pops two, but only one value was ever pushed: a definite
+  // underflow the interval dataflow must flag without a false positive
+  // elsewhere.
+  MethodBuilder B("C", "m", 0, 1);
+  B.iconst(1);
+  BytecodeMethod M = B.build();
+  M.Code.push_back(Instruction{Opcode::IAdd, 0, 0});
+  M.Code.push_back(Instruction{Opcode::Return, 0, 0});
+  VerifyResult R = verifyMethod(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("stack underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsArgCountExceedingLocals) {
+  MethodBuilder B("C", "m", 0, 1);
+  B.ret();
+  BytecodeMethod M = B.build();
+  M.NumArgs = 3; // Arguments land in locals [0,3) but only 1 slot exists.
+  VerifyResult R = verifyMethod(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("argument count exceeds local slots"),
+            std::string::npos);
+}
+
+TEST(Program, VerifyProgramRejectsInvokeArityMismatch) {
+  BytecodeProgram P;
+  {
+    MethodBuilder B("C", "callee", 2, 2);
+    B.iconst(7).iret();
+    ClassFile C;
+    C.Name = "C";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  {
+    // Passes one argument to a two-argument callee.
+    MethodBuilder B("D", "caller", 0, 1);
+    B.iconst(1).invoke("C.callee", 1).iret();
+    ClassFile C;
+    C.Name = "D";
+    C.Methods.push_back(B.build());
+    P.addClass(std::move(C));
+  }
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("invoke passes 1"), std::string::npos);
+  EXPECT_NE(R.Errors[0].find("C.callee"), std::string::npos);
+}
+
+TEST(Program, VerifyProgramRejectsUnresolvedCallee) {
+  BytecodeProgram P;
+  MethodBuilder B("C", "m", 0, 0);
+  B.invoke("Ghost.method", 0).ret();
+  ClassFile C;
+  C.Name = "C";
+  C.Methods.push_back(B.build());
+  P.addClass(std::move(C));
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("Ghost.method"), std::string::npos);
+}
+
+TEST(Program, LoadThrowsTypedErrorOnMalformedProgram) {
+  // load() runs class-load-time verification: a malformed program must
+  // surface as VmError::InvalidBytecode (CLI exit code 5), never reach
+  // the interpreter's asserts.
+  JavaVm Vm;
+  BytecodeProgram P;
+  BytecodeMethod M;
+  M.ClassName = "C";
+  M.MethodName = "jump";
+  M.Code.push_back(Instruction{Opcode::Goto, 99, 0}); // Out of range.
+  ClassFile C;
+  C.Name = "C";
+  C.Methods.push_back(M);
+  P.addClass(std::move(C));
+  try {
+    P.load(Vm);
+    FAIL() << "load() accepted a malformed program";
+  } catch (const VmError &E) {
+    EXPECT_EQ(E.Kind, VmErrorKind::InvalidBytecode);
+    std::string W = E.what();
+    EXPECT_NE(W.find("program verification failed"), std::string::npos);
+    EXPECT_NE(W.find("branch target"), std::string::npos);
+  }
+  EXPECT_FALSE(P.isLoaded());
 }
 
 TEST(Disassembler, ListsInstructionsAndLines) {

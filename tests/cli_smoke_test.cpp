@@ -67,14 +67,58 @@ TEST(CliSmoke, RunsTinyWorkloadAndEmitsObjectReport) {
 TEST(CliSmoke, UnknownWorkloadFailsCleanly) {
   auto [Exit, Out] =
       run("'" + DjxperfPath + "' definitely-not-a-workload");
-  EXPECT_NE(Exit, 0);
+  EXPECT_EQ(Exit, 2) << Out; // Usage errors exit 2, by contract.
   EXPECT_NE(Out.find("unknown workload"), std::string::npos) << Out;
 }
 
 TEST(CliSmoke, JobsValidationRejectsZero) {
   auto [Exit, Out] = run("'" + DjxperfPath + "' --jobs 0 parallel2");
-  EXPECT_NE(Exit, 0);
+  EXPECT_EQ(Exit, 2) << Out;
   EXPECT_NE(Out.find("--jobs must be positive"), std::string::npos) << Out;
+}
+
+TEST(CliSmoke, MissingWorkloadPrintsUsageAndExitCodes) {
+  auto [Exit, Out] = run("'" + DjxperfPath + "'");
+  EXPECT_EQ(Exit, 2) << Out;
+  EXPECT_NE(Out.find("usage:"), std::string::npos) << Out;
+  // The exit-code contract is part of the help text.
+  EXPECT_NE(Out.find("exit codes:"), std::string::npos) << Out;
+}
+
+// The graceful-degradation contract end to end: an undersized heap makes
+// the workload run out of memory, and the CLI must exit with the
+// documented OutOfMemory code (3) after salvaging a partial profile and
+// marking the report DEGRADED.
+TEST(CliSmoke, OutOfMemoryExitsWithDocumentedCodeAndDegradedReport) {
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' --heap-bytes 65536 figure1");
+  ASSERT_EQ(Exit, 3) << Out;
+  EXPECT_NE(Out.find("DEGRADED"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("OutOfMemory"), std::string::npos) << Out;
+  // The salvaged (partial) report still renders after the banner.
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+}
+
+// Injected faults replay from a seed: the same --fault-seed must reach
+// the same outcome, and the seed is always printed for reproduction.
+TEST(CliSmoke, InjectedAllocFaultIsSeedReproducible) {
+  const std::string Cmd = "'" + DjxperfPath +
+                          "' --fault-rate alloc=1.0 --fault-seed 42 figure1";
+  auto [Exit1, Out1] = run(Cmd);
+  auto [Exit2, Out2] = run(Cmd);
+  EXPECT_EQ(Exit1, 3) << Out1;
+  EXPECT_EQ(Exit2, 3) << Out2;
+  EXPECT_NE(Out1.find("DJX_FAULT_SEED=0x2a"), std::string::npos) << Out1;
+  EXPECT_NE(Out1.find("DEGRADED"), std::string::npos) << Out1;
+}
+
+TEST(CliSmoke, BadFaultRateIsUsageError) {
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' --fault-rate bogus=0.5 figure1");
+  EXPECT_EQ(Exit, 2) << Out;
+  EXPECT_NE(Out.find("bad --fault-rate"), std::string::npos) << Out;
 }
 
 TEST(CliSmoke, ParallelWorkloadRunsUnderJobs) {

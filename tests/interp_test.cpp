@@ -6,6 +6,7 @@
 
 #include "bytecode/MethodBuilder.h"
 #include "interp/Interpreter.h"
+#include "support/VmError.h"
 
 #include <gtest/gtest.h>
 
@@ -284,9 +285,10 @@ TEST(Interpreter, ShadowStackTracksBci) {
   EXPECT_GT(I.stepsExecuted(), 0u);
 }
 
-TEST(InterpreterDeathTest, StepLimitAbortsRunawayLoop) {
+TEST(InterpreterDeathTest, StepLimitRaisesVmError) {
   // The step limit must fire in every build mode (it used to live in an
-  // assert that NDEBUG compiled out, letting release builds spin forever).
+  // assert that NDEBUG compiled out, letting release builds spin
+  // forever) — and it raises a typed, salvageable error, not an abort.
   JavaVm Vm;
   BytecodeProgram P;
   MethodBuilder B("R", "spin", 0, 0);
@@ -301,7 +303,15 @@ TEST(InterpreterDeathTest, StepLimitAbortsRunawayLoop) {
   JavaThread &T = Vm.startThread("t", 0);
   Interpreter I(Vm, P, T);
   I.setStepLimit(10000);
-  EXPECT_DEATH(I.run("R.spin"), "step limit");
+  try {
+    I.run("R.spin");
+    FAIL() << "runaway loop must raise VmError";
+  } catch (const VmError &E) {
+    EXPECT_EQ(E.Kind, VmErrorKind::StepLimit);
+    EXPECT_NE(std::string(E.what()).find("step limit"), std::string::npos);
+    EXPECT_EQ(E.ThreadId, T.id());
+    EXPECT_GT(E.Steps, 10000u);
+  }
 }
 
 TEST(Interpreter, GcDuringExecutionRelocatesOperands) {

@@ -137,14 +137,25 @@ TEST(Executor, OutcomeIsInvariantAcrossJobs) {
   }
 }
 
-// A shard too small for its thread's live data must abort with an OOM
-// report, not loop park -> safepoint GC -> park forever. (jobs=1: the
-// serial executor path, so the death-test fork has no extra threads.)
-TEST(ExecutorDeathTest, ReportsOutOfMemoryWhenGcCannotHelp) {
-  ParallelConfig Pc = smallConfig(1);
-  Pc.SimThreads = 1;
-  Pc.HotElems = 1 << 20; // 8 MiB hot array vs a 128 KiB shard.
-  EXPECT_DEATH(runNative(Pc), "OutOfMemoryError");
+// A shard too small for its thread's live data must surface a typed
+// OutOfMemory error, not loop park -> safepoint GC -> park forever (and
+// not abort the process: the profile up to the failure is salvageable).
+TEST(Executor, ReportsOutOfMemoryWhenGcCannotHelp) {
+  for (unsigned Jobs : {1u, 2u}) {
+    ParallelConfig Pc = smallConfig(Jobs);
+    Pc.SimThreads = Jobs == 1 ? 1 : 2;
+    Pc.HotElems = 1 << 20; // 8 MiB hot array vs a 128 KiB shard.
+    JavaVm Vm(parallelVmConfig(Pc));
+    try {
+      runParallelWorkload(Vm, nullptr, Pc);
+      FAIL() << "undersized shard must raise VmError (jobs=" << Jobs << ")";
+    } catch (const VmError &E) {
+      EXPECT_EQ(E.Kind, VmErrorKind::OutOfMemory);
+      EXPECT_NE(E.Shard, VmError::kNoShard);
+      EXPECT_NE(std::string(E.what()).find("safepoint GC freed nothing"),
+                std::string::npos);
+    }
+  }
 }
 
 TEST(Executor, AttachModeProfilingFromWorkers) {

@@ -23,6 +23,8 @@
 #include "core/DjxPerf.h"
 #include "core/HtmlReport.h"
 #include "core/Report.h"
+#include "support/FaultInjector.h"
+#include "support/VmError.h"
 #include "workloads/AccuracyCases.h"
 #include "workloads/CaseStudies.h"
 #include "workloads/Figure1.h"
@@ -35,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -169,9 +172,44 @@ void usage(const char *Argv0) {
       "  --numa-policy <p>      shard placement for mt workloads: "
       "first-touch|bind|interleave (default: the workload's own; "
       "first-touch unless noted)\n"
+      "  --heap-bytes <n>       override the workload's heap size (mt "
+      "workloads: bytes per simulated thread)\n"
+      "  --stall-timeout-ms <n> watchdog timeout for mt workloads "
+      "(default 120000; 0 disables)\n"
+      "  --fault-rate <s>=<p>   inject faults: site alloc|ring|gc|stall, "
+      "probability p in [0,1]; repeatable\n"
+      "  --fault-seed <n>       seed for fault injection (default: "
+      "$DJX_FAULT_SEED, else random; printed to stderr)\n"
       "  --html <file>          also write a self-contained HTML report\n"
-      "  --write-profiles <dir> dump one .djxprof file per thread\n",
+      "  --write-profiles <dir> dump one .djxprof file per thread\n"
+      "exit codes: 0 success, 2 usage error, 3 out-of-memory, 4 step "
+      "limit,\n"
+      "  5 invalid bytecode, 6 worker stall, 1 internal error. On any VM\n"
+      "  failure a partial profile is salvaged and the report is marked\n"
+      "  DEGRADED.\n",
       Argv0);
+}
+
+/// Parses "alloc=0.5" style --fault-rate operands into \p Plan.
+bool parseFaultRate(const std::string &V, FaultPlan &Plan) {
+  auto Eq = V.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  std::string Site = V.substr(0, Eq);
+  double Rate = std::strtod(V.c_str() + Eq + 1, nullptr);
+  if (Rate < 0.0 || Rate > 1.0)
+    return false;
+  if (Site == "alloc")
+    Plan.Rate[static_cast<int>(FaultSite::HeapAlloc)] = Rate;
+  else if (Site == "ring")
+    Plan.Rate[static_cast<int>(FaultSite::RingPush)] = Rate;
+  else if (Site == "gc")
+    Plan.Rate[static_cast<int>(FaultSite::GcCollect)] = Rate;
+  else if (Site == "stall")
+    Plan.Rate[static_cast<int>(FaultSite::QuantumClaim)] = Rate;
+  else
+    return false;
+  return true;
 }
 
 } // namespace
@@ -186,6 +224,11 @@ int main(int Argc, char **Argv) {
   unsigned Top = 10;
   unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
   std::optional<NumaPolicy> PolicyOverride;
+  std::optional<uint64_t> HeapBytesOverride;
+  std::optional<uint64_t> StallTimeoutOverride;
+  FaultPlan Faults;
+  bool AnyFaultRate = false;
+  std::optional<uint64_t> FaultSeed;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -256,6 +299,28 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       PolicyOverride = P;
+    } else if (A == "--heap-bytes") {
+      uint64_t V = std::strtoull(NeedsValue("--heap-bytes"), nullptr, 10);
+      if (V == 0) {
+        std::fprintf(stderr, "error: --heap-bytes must be positive\n");
+        return 2;
+      }
+      HeapBytesOverride = V;
+    } else if (A == "--stall-timeout-ms") {
+      StallTimeoutOverride =
+          std::strtoull(NeedsValue("--stall-timeout-ms"), nullptr, 10);
+    } else if (A == "--fault-rate") {
+      std::string V = NeedsValue("--fault-rate");
+      if (!parseFaultRate(V, Faults)) {
+        std::fprintf(stderr,
+                     "error: bad --fault-rate '%s' (want alloc|ring|gc|"
+                     "stall=<p in [0,1]>)\n",
+                     V.c_str());
+        return 2;
+      }
+      AnyFaultRate = true;
+    } else if (A == "--fault-seed") {
+      FaultSeed = std::strtoull(NeedsValue("--fault-seed"), nullptr, 0);
     } else if (A == "--html") {
       HtmlPath = NeedsValue("--html");
     } else if (A == "--write-profiles") {
@@ -290,23 +355,63 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Arm the fault injector before the VM exists so class loading and the
+  // very first allocation are already candidate sites. The seed is always
+  // printed so any observed failure can be replayed exactly.
+  if (AnyFaultRate) {
+    if (FaultSeed) {
+      Faults.Seed = *FaultSeed;
+    } else if (const char *Env = std::getenv("DJX_FAULT_SEED")) {
+      Faults.Seed = std::strtoull(Env, nullptr, 0);
+    } else {
+      std::random_device Rd;
+      Faults.Seed = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+    }
+    FaultInjector::install(Faults);
+    std::fprintf(stderr,
+                 "djxperf: DJX_FAULT_SEED=0x%llx (export to reproduce)\n",
+                 (unsigned long long)Faults.Seed);
+  }
+
+  ParallelConfig Pc = Chosen->Parallel;
+  VmConfig VmCfg = Chosen->Config;
+  if (HeapBytesOverride) {
+    if (Chosen->MultiThreaded) {
+      Pc.HeapBytesPerThread = *HeapBytesOverride;
+      VmCfg = Chosen->NumaRemote ? numaRemoteVmConfig(Pc)
+                                 : parallelVmConfig(Pc);
+    } else {
+      VmCfg.HeapBytes = *HeapBytesOverride;
+    }
+  }
+  if (StallTimeoutOverride)
+    Pc.StallTimeoutMs = *StallTimeoutOverride;
+
   Agent.Events = {PerfEventAttr{Kind, Period, 64}};
   if (Chosen->MultiThreaded)
-    Agent = parallelAgentConfig(Chosen->Parallel, Agent);
-  JavaVm Vm(Chosen->Config);
+    Agent = parallelAgentConfig(Pc, Agent);
+  JavaVm Vm(VmCfg);
   DjxPerf Profiler(Vm, Agent);
   Profiler.start();
-  if (Chosen->MultiThreaded) {
-    ParallelConfig Pc = Chosen->Parallel;
-    Pc.Jobs = Jobs;
-    if (PolicyOverride)
-      Pc.Policy = *PolicyOverride;
-    if (Chosen->NumaRemote)
-      runNumaRemoteWorkload(Vm, &Profiler, Pc);
-    else
-      runParallelWorkload(Vm, &Profiler, Pc);
-  } else {
-    (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
+  // Any VM failure — genuine or injected — lands here as a typed VmError.
+  // Salvage what the profiler has: stop cleanly, merge the per-thread
+  // profiles collected before the failure, and emit a report explicitly
+  // marked degraded, then exit with the kind's documented code.
+  std::optional<VmError> Failure;
+  try {
+    if (Chosen->MultiThreaded) {
+      Pc.Jobs = Jobs;
+      if (PolicyOverride)
+        Pc.Policy = *PolicyOverride;
+      if (Chosen->NumaRemote)
+        runNumaRemoteWorkload(Vm, &Profiler, Pc);
+      else
+        runParallelWorkload(Vm, &Profiler, Pc);
+    } else {
+      (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
+    }
+  } catch (VmError &E) {
+    Failure = std::move(E);
   }
   Profiler.stop();
 
@@ -318,8 +423,18 @@ int main(int Argc, char **Argv) {
                (unsigned long long)Profiler.allocationsTracked(),
                (unsigned long long)Profiler.samplesHandled(),
                Profiler.memoryFootprint() / 1024);
+  if (Profiler.samplesDropped() > 0)
+    std::fprintf(stderr,
+                 "djxperf: %llu samples dropped, %llu forced ring drains\n",
+                 (unsigned long long)Profiler.samplesDropped(),
+                 (unsigned long long)Profiler.ringOverflowDrains());
 
   MergedProfile P = Profiler.analyze();
+  if (Failure)
+    std::fputs(renderDegradedBanner(*Failure, Profiler.samplesHandled(),
+                                    Profiler.samplesDropped())
+                   .c_str(),
+               stdout);
   ReportOptions Opts;
   Opts.SortKind = Kind;
   Opts.TopGroups = Top;
@@ -340,6 +455,11 @@ int main(int Argc, char **Argv) {
     unsigned N = Profiler.writeProfiles(ProfileDir);
     std::fprintf(stderr, "djxperf: wrote %u profile file(s) to %s\n", N,
                  ProfileDir.c_str());
+  }
+  if (Failure) {
+    std::fprintf(stderr, "djxperf: FAILED: %s\n",
+                 Failure->describe().c_str());
+    return vmErrorExitCode(Failure->Kind);
   }
   return 0;
 }
