@@ -71,7 +71,7 @@ void keepBest(PhaseResult &Best, uint64_t Units, double Seconds) {
 /// a primitive-array store loop, and GC churn, i.e. every interpreter
 /// hot path at once.
 PhaseResult interpPhase(bool Profiled, int Reps, int64_t Iters,
-                        int64_t Nlen) {
+                        int64_t Nlen, bool Super = false) {
   PhaseResult Best;
   for (int R = 0; R < Reps; ++R) {
     VmConfig Cfg;
@@ -81,6 +81,11 @@ PhaseResult interpPhase(bool Profiled, int Reps, int64_t Iters,
     Program.load(Vm);
     JavaThread &T = Vm.startThread("simspeed", 0);
     Interpreter Interp(Vm, Program, T);
+    if (Super) {
+      TierConfig Tc;
+      Tc.Tier = ExecTier::Super;
+      Interp.setTier(Tc);
+    }
 
     std::unique_ptr<DjxPerf> Prof;
     if (Profiled) {
@@ -196,6 +201,22 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(InterpProf.Units),
               InterpProf.Seconds);
 
+  PhaseResult SuperNative =
+      interpPhase(false, Reps, Iters, Nlen, /*Super=*/true);
+  std::printf("super tier (native):     %12.0f steps/s   (%llu steps, "
+              "%.3f s)\n",
+              SuperNative.PerSec,
+              static_cast<unsigned long long>(SuperNative.Units),
+              SuperNative.Seconds);
+
+  PhaseResult SuperProf = interpPhase(true, Reps, Iters, Nlen,
+                                      /*Super=*/true);
+  std::printf("super tier (profiled):   %12.0f steps/s   (%llu steps, "
+              "%.3f s)\n",
+              SuperProf.PerSec,
+              static_cast<unsigned long long>(SuperProf.Units),
+              SuperProf.Seconds);
+
   PhaseResult AccessNative = accessPhase(false, Reps, Accesses);
   std::printf("sim access (native):     %12.0f accesses/s (%llu accesses, "
               "%.3f s)\n",
@@ -220,6 +241,19 @@ int main(int Argc, char **Argv) {
                Quick ? "true" : "false");
   jsonPhase(Out, "interp_steps_per_sec", InterpNative);
   jsonPhase(Out, "interp_steps_per_sec_profiled", InterpProf);
+  jsonPhase(Out, "super_steps_per_sec", SuperNative);
+  jsonPhase(Out, "super_steps_per_sec_profiled", SuperProf);
+  // Tier speedup on the same workload/host/run: the tiered compiler's
+  // whole reason to exist, gated like any throughput metric (the leaf is
+  // named per_sec so perf_diff.py bands it; it is really a ratio).
+  {
+    double Ratio = InterpNative.PerSec > 0
+                       ? SuperNative.PerSec / InterpNative.PerSec
+                       : 0;
+    std::fprintf(Out,
+                 "    \"super_vs_interp\": { \"per_sec\": %.4f },\n",
+                 Ratio);
+  }
   jsonPhase(Out, "sim_accesses_per_sec", AccessNative);
   jsonPhase(Out, "sim_accesses_per_sec_profiled", AccessProf);
   // Sample drop rate across the profiled phases. Not a rate despite the
@@ -228,8 +262,10 @@ int main(int Argc, char **Argv) {
   // bench/perf_gates.json pins at ~1.0 — a regression that sheds
   // samples under load fails the gate even if throughput improves.
   {
-    uint64_t Handled = InterpProf.Samples + AccessProf.Samples;
-    uint64_t Dropped = InterpProf.Dropped + AccessProf.Dropped;
+    uint64_t Handled =
+        InterpProf.Samples + SuperProf.Samples + AccessProf.Samples;
+    uint64_t Dropped =
+        InterpProf.Dropped + SuperProf.Dropped + AccessProf.Dropped;
     double Keep =
         Handled > 0
             ? static_cast<double>(Handled - std::min(Handled, Dropped)) /

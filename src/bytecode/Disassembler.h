@@ -15,6 +15,7 @@
 #define DJX_BYTECODE_DISASSEMBLER_H
 
 #include "bytecode/ClassFile.h"
+#include "bytecode/TraceCompiler.h"
 
 #include <string>
 
@@ -22,6 +23,13 @@ namespace djx {
 
 /// Renders one method as a text listing.
 std::string disassemble(const BytecodeMethod &M);
+
+/// Renders one compiled trace: entry pc, shape facts, then one
+/// superinstruction per line with its constituent run and exit kind
+/// (side-exit / exit / fall-through). Backs the `--dump-traces` CLI
+/// flag, for debugging tier-parity failures.
+std::string disassembleTrace(const BytecodeMethod &M,
+                             const CompiledTrace &T);
 
 } // namespace djx
 

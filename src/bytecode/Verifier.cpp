@@ -19,17 +19,7 @@ static void addError(VerifyResult &R, size_t Bci, const std::string &Msg) {
   R.Errors.push_back(Buf + Msg);
 }
 
-namespace {
-
-/// Static stack effect of one instruction: operands popped and results
-/// pushed. Invoke is the one opcode whose push count depends on the
-/// callee (void vs value return) and is handled by the caller.
-struct StackEffect {
-  unsigned Pops = 0;
-  unsigned Pushes = 0;
-};
-
-StackEffect stackEffect(const Instruction &Inst) {
+StackEffect djx::instructionStackEffect(const Instruction &Inst) {
   switch (Inst.Op) {
   case Opcode::Nop:
   case Opcode::Goto:
@@ -102,6 +92,8 @@ StackEffect stackEffect(const Instruction &Inst) {
   return {0, 0};
 }
 
+namespace {
+
 bool isTerminal(Opcode Op) {
   return Op == Opcode::Return || Op == Opcode::IReturn ||
          Op == Opcode::AReturn;
@@ -138,7 +130,7 @@ void verifyStackDepths(const BytecodeMethod &M,
     Work.pop_front();
     const Instruction &Inst = M.Code[I];
     DepthRange Cur = At[I];
-    StackEffect E = stackEffect(Inst);
+    StackEffect E = instructionStackEffect(Inst);
     if (Cur.Hi < E.Pops) {
       addError(R, I,
                "stack underflow: pops " + std::to_string(E.Pops) +

@@ -183,6 +183,13 @@ void DjxPerf::attachInterpreter(Interpreter &Interp) {
 }
 
 unsigned DjxPerf::instrument(BytecodeProgram &Program, Interpreter &Interp) {
+  // Launch mode: the profiler config carries the execution tier, applied
+  // here before any instruction has run. (Executor-driven interpreters
+  // get theirs from ExecutorConfig; attachInterpreter cannot retier an
+  // interpreter whose call is already pending.)
+  if (Config.Tier.Tier == ExecTier::Super &&
+      Interp.tier() != ExecTier::Super)
+    Interp.setTier(Config.Tier);
   unsigned Count = instrument(Program);
   attachInterpreter(Interp);
   return Count;

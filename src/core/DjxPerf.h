@@ -103,6 +103,13 @@ struct DjxPerfConfig {
   /// can evict stale intervals mid-window, which would make deferred
   /// lookups diverge from inline ones.
   bool BatchedSampleResolution = true;
+  /// Execution tier for interpreters this profiler launches with
+  /// (`--tier`): instrument(Program, Interp) applies it before the first
+  /// instruction runs. Executor-driven interpreters take their tier from
+  /// ExecutorConfig/ParallelConfig instead (the CLI forwards this field
+  /// there). Never changes results — super-tier profiles are
+  /// byte-identical to interp-tier ones.
+  TierConfig Tier;
 
   // --- Measurement cost model (cycles) ----------------------------------
   /// Dispatch of an allocation hook, paid even when the size filter

@@ -41,9 +41,11 @@
 #define DJX_INTERP_INTERPRETER_H
 
 #include "bytecode/ClassFile.h"
+#include "interp/TraceCache.h"
 #include "jvm/JavaVm.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -125,6 +127,35 @@ public:
   /// Enforced in every build mode; exceeding it is a fatal error.
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
 
+  // --- Tiered execution ---------------------------------------------------
+  /// Selects the execution tier. The super tier installs a per-interpreter
+  /// TraceCache: hot straight-line regions compile into superinstruction
+  /// traces executed without per-opcode dispatch, deopting back to the
+  /// flat loop at side exits, calls, hooks and allocation faults — with
+  /// observably identical semantics (profiles are byte-identical). Must be
+  /// selected before any instruction executes.
+  void setTier(const TierConfig &Cfg);
+
+  ExecTier tier() const {
+    return Traces ? ExecTier::Super : ExecTier::Interp;
+  }
+
+  /// Safepoint hook: drops compiled traces so the flat loop owns every
+  /// resumed frame (mirrors JVM deopt-at-safepoint). Hot sites recompile
+  /// on their next flat visit. No-op in the interp tier.
+  void invalidateTraces() {
+    if (Traces)
+      Traces->invalidate();
+  }
+
+  /// Null in the interp tier.
+  const TraceCache *traceCache() const { return Traces.get(); }
+
+  /// Text listing of every live compiled trace (--dump-traces).
+  std::string renderTraces() const {
+    return Traces ? Traces->renderAll(Program) : std::string();
+  }
+
   uint64_t stepsExecuted() const { return Steps; }
 
   JavaThread &thread() { return Thread; }
@@ -166,6 +197,13 @@ private:
   /// Grows the arena to hold at least \p Needed slots (geometric).
   void growArena(size_t Needed);
 
+  /// Executes one compiled trace end-to-end or to an exit. Entry
+  /// contract: the caller synced the top frame and admitted the trace's
+  /// full NumSteps against QuantumEnd and StepDeadline. Exit contract:
+  /// frame state (Pc, Sp, ArenaTop) is synced and Steps/cycles charged
+  /// for exactly the constituents retired.
+  void execTrace(const CompiledTrace &T, uint64_t QuantumEnd);
+
   [[noreturn]] void fatalStepLimit() const;
 
   JavaVm &Vm;
@@ -186,6 +224,13 @@ private:
   uint64_t StepDeadline = ~0ULL;
   /// Result of the last completed startCall() session.
   std::optional<Value> SessionResult;
+  /// Super tier only (null in the interp tier).
+  std::unique_ptr<TraceCache> Traces;
+  /// Set when a GcRequest unwound resume(): the next flat dispatch
+  /// re-executes the faulting instruction, and its hot-site counter must
+  /// not be bumped again — double-counting would make trace selection
+  /// GC-timing-dependent and break --jobs invariance.
+  bool GcRetryPending = false;
 };
 
 } // namespace djx

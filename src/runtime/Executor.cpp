@@ -77,7 +77,13 @@ void Executor::maybeFuzzForcedGc(uint64_t Round) {
   if (!F.Enabled || fuzzUnit(fuzzMix(F.Seed, Round, 0, 2)) >= F.ForcedGcChance)
     return;
   Safepoint.stopTheWorldGc(Vm, {});
+  invalidateTraces();
   applyNumaPlacement();
+}
+
+void Executor::invalidateTraces() {
+  for (auto &T : Tasks)
+    T->Interp->invalidateTraces();
 }
 
 Executor::~Executor() {
@@ -120,6 +126,7 @@ size_t Executor::addThread(BytecodeProgram &Program,
   T->Thread->setMachine(T->Machine.get());
   T->Thread->setHeapShard(static_cast<unsigned>(T->Index));
   T->Interp = std::make_unique<Interpreter>(Vm, Program, *T->Thread);
+  T->Interp->setTier(Config.Tier);
   T->Interp->startCall(Entry, Args);
   Tasks.push_back(std::move(T));
   return Tasks.size() - 1;
@@ -335,6 +342,9 @@ void Executor::closeIteration() {
     // full stop-the-world safepoint, run right here on the last
     // finisher.
     Safepoint.stopTheWorldGc(Vm, Requesters);
+    // Deopt-at-safepoint: compiled traces die with the pause; the flat
+    // loop owns every resumed frame (hot sites recompile on next visit).
+    invalidateTraces();
     // Re-bind after compaction: objects slid within their shard, and a
     // future heap recycle may have released pages — placement must be
     // restored before any post-GC access.
@@ -472,6 +482,7 @@ void Executor::runSerialLoop() {
         continue;
       }
       Safepoint.stopTheWorldGc(Vm, Requesters);
+      invalidateTraces();
       applyNumaPlacement();
       for (auto &T : Tasks)
         T->Parked = false;

@@ -119,6 +119,12 @@ struct ExecutorConfig {
   /// changes simulated placement (and therefore remote-access counts),
   /// never the schedule, and results stay independent of Jobs.
   NumaPolicy Policy = NumaPolicy::FirstTouch;
+  /// Execution tier for every task's interpreter (`--tier`). Like Jobs it
+  /// may never change results: the super tier's traces are observationally
+  /// identical to flat dispatch, and compiled traces are invalidated at
+  /// every safepoint (deopt-at-safepoint) so the flat loop owns all
+  /// resumed frames after a stop-the-world pause.
+  TierConfig Tier;
   /// Schedule fuzzing (tests only). When enabled, QuantumSteps is
   /// superseded by per-round seed draws; see FuzzSchedule.
   FuzzSchedule Fuzz;
@@ -215,6 +221,12 @@ private:
     /// (Round, Index) so injections stay jobs-invariant.
     uint64_t Round = 0;
   };
+
+  /// Deopt-at-safepoint: drops every task's compiled traces after a
+  /// stop-the-world pause (hot sites recompile on their next flat visit).
+  /// Runs in the safepoint's single-threaded window, so the sweep is
+  /// race-free by the same happens-before as the collection itself.
+  void invalidateTraces();
 
   /// Imposes Config.Policy on every attached hierarchy (the VM's shared
   /// machine and each task's worker-private one): each heap shard's page

@@ -46,6 +46,7 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Jobs = Config.Jobs;
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
+  Ec.Tier = Config.Tier;
   Ec.Fuzz = Config.Fuzz;
   Ec.StallTimeoutMs = Config.StallTimeoutMs;
   Executor Ex(Vm, Ec);
@@ -75,6 +76,10 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Out.Safepoints = Ex.safepoints();
   Out.Rounds = Ex.rounds();
   Out.Machine = Ex.mergedMachineStats();
+  if (Config.DumpTraces)
+    for (size_t I = 0; I < Ex.numTasks(); ++I)
+      Out.TraceDump += "== task " + std::to_string(I) + " ==\n" +
+                       Ex.interpreter(I).renderTraces();
   // End threads in task (= thread-id) order, deterministically.
   for (size_t I = 0; I < Ex.numTasks(); ++I)
     Vm.endThread(Ex.thread(I));
@@ -115,6 +120,7 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Jobs = Config.Jobs;
   Ec.QuantumSteps = Config.QuantumSteps;
   Ec.Policy = Config.Policy;
+  Ec.Tier = Config.Tier;
   Ec.Fuzz = Config.Fuzz;
   Ec.StallTimeoutMs = Config.StallTimeoutMs;
   Executor Ex(Vm, Ec);
@@ -142,6 +148,10 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   Out.Safepoints = Ex.safepoints();
   Out.Rounds = Ex.rounds();
   Out.Machine = Ex.mergedMachineStats();
+  if (Config.DumpTraces)
+    for (size_t I = 0; I < Ex.numTasks(); ++I)
+      Out.TraceDump += "== task " + std::to_string(I) + " ==\n" +
+                       Ex.interpreter(I).renderTraces();
   for (size_t I = 0; I < Ex.numTasks(); ++I)
     Vm.endThread(Ex.thread(I));
   return Out;

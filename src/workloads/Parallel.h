@@ -25,6 +25,7 @@
 #include "sim/MemoryHierarchy.h"
 
 #include <cstdint>
+#include <string>
 
 namespace djx {
 
@@ -60,6 +61,14 @@ struct ParallelConfig {
   FuzzSchedule Fuzz;
   /// Forwarded to ExecutorConfig.StallTimeoutMs (stall watchdog).
   uint64_t StallTimeoutMs = 120000;
+  /// Execution tier for every simulated thread's interpreter (`--tier`),
+  /// forwarded to ExecutorConfig.Tier. Like Jobs it never changes
+  /// results: super-tier profiles are byte-identical to interp-tier ones
+  /// (the tier tests' oracle).
+  TierConfig Tier;
+  /// Render every compiled trace into ParallelOutcome.TraceDump after the
+  /// run (`--dump-traces`; super tier only).
+  bool DumpTraces = false;
 };
 
 /// VM configuration matching \p Config: sharded heap (one shard per
@@ -86,6 +95,9 @@ struct ParallelOutcome {
   uint64_t Safepoints = 0;  ///< Stop-the-world pauses taken.
   uint64_t Rounds = 0;      ///< Executor rounds (quantum barriers).
   HierarchyStats Machine;   ///< Deterministic merge across hierarchies.
+  /// Per-task compiled-trace listings (Config.DumpTraces; empty
+  /// otherwise — including in the interp tier, which compiles nothing).
+  std::string TraceDump;
 };
 
 /// Runs SimThreads interpreted batik instances to completion under the

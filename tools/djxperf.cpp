@@ -172,6 +172,14 @@ void usage(const char *Argv0) {
       "  --numa-policy <p>      shard placement for mt workloads: "
       "first-touch|bind|interleave (default: the workload's own; "
       "first-touch unless noted)\n"
+      "  --tier <t>             execution tier: interp|super (default "
+      "interp; results are byte-identical for either)\n"
+      "  --hot-threshold <n>    dispatches before a pc compiles to a "
+      "trace (super tier; default 16)\n"
+      "  --max-trace-len <n>    max interpreter steps fused into one "
+      "trace (super tier; default 64)\n"
+      "  --dump-traces          print compiled traces to stderr after "
+      "the run (super tier, mt workloads)\n"
       "  --heap-bytes <n>       override the workload's heap size (mt "
       "workloads: bytes per simulated thread)\n"
       "  --stall-timeout-ms <n> watchdog timeout for mt workloads "
@@ -229,6 +237,8 @@ int main(int Argc, char **Argv) {
   FaultPlan Faults;
   bool AnyFaultRate = false;
   std::optional<uint64_t> FaultSeed;
+  TierConfig Tier;
+  bool DumpTraces = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -299,6 +309,30 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       PolicyOverride = P;
+    } else if (A == "--tier") {
+      std::string V = NeedsValue("--tier");
+      ExecTier T;
+      if (!parseExecTier(V, T)) {
+        std::fprintf(stderr, "error: unknown tier '%s'\n", V.c_str());
+        return 2;
+      }
+      Tier.Tier = T;
+    } else if (A == "--hot-threshold") {
+      Tier.HotThreshold = static_cast<uint32_t>(
+          std::strtoul(NeedsValue("--hot-threshold"), nullptr, 10));
+      if (Tier.HotThreshold == 0) {
+        std::fprintf(stderr, "error: --hot-threshold must be positive\n");
+        return 2;
+      }
+    } else if (A == "--max-trace-len") {
+      Tier.MaxTraceLength = static_cast<uint32_t>(
+          std::strtoul(NeedsValue("--max-trace-len"), nullptr, 10));
+      if (Tier.MaxTraceLength == 0) {
+        std::fprintf(stderr, "error: --max-trace-len must be positive\n");
+        return 2;
+      }
+    } else if (A == "--dump-traces") {
+      DumpTraces = true;
     } else if (A == "--heap-bytes") {
       uint64_t V = std::strtoull(NeedsValue("--heap-bytes"), nullptr, 10);
       if (V == 0) {
@@ -386,6 +420,9 @@ int main(int Argc, char **Argv) {
   }
   if (StallTimeoutOverride)
     Pc.StallTimeoutMs = *StallTimeoutOverride;
+  Pc.Tier = Tier;
+  Pc.DumpTraces = DumpTraces;
+  Agent.Tier = Tier;
 
   Agent.Events = {PerfEventAttr{Kind, Period, 64}};
   if (Chosen->MultiThreaded)
@@ -403,10 +440,11 @@ int main(int Argc, char **Argv) {
       Pc.Jobs = Jobs;
       if (PolicyOverride)
         Pc.Policy = *PolicyOverride;
-      if (Chosen->NumaRemote)
-        runNumaRemoteWorkload(Vm, &Profiler, Pc);
-      else
-        runParallelWorkload(Vm, &Profiler, Pc);
+      ParallelOutcome Out = Chosen->NumaRemote
+                                ? runNumaRemoteWorkload(Vm, &Profiler, Pc)
+                                : runParallelWorkload(Vm, &Profiler, Pc);
+      if (!Out.TraceDump.empty())
+        std::fputs(Out.TraceDump.c_str(), stderr);
     } else {
       (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
     }
