@@ -1,0 +1,59 @@
+//===- Liveness.h - Backward liveness of locals and stack slots -*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward dataflow computing, for every pc, which local slots and
+/// which operand-stack slots hold values that may still be observed
+/// before being overwritten or discarded. A slot feeding only a Pop is
+/// dead; a local rewritten before its next load is dead. Runs on the
+/// same CFG/solver as type-state inference and uses its per-pc stack
+/// depths to size the stack bit-vectors.
+///
+/// Consumers: the TraceCompiler's fusion gate (a side-exit fusion is
+/// admitted when every stack slot the fused form fails to materialise
+/// is dead at the exit target) and the analysis test oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_ANALYSIS_LIVENESS_H
+#define DJX_ANALYSIS_LIVENESS_H
+
+#include "analysis/TypeState.h"
+
+#include <vector>
+
+namespace djx {
+
+struct LivenessResult {
+  /// Per pc (before the instruction executes): bit per local slot.
+  std::vector<std::vector<bool>> LocalsAt;
+  /// Per pc: bit per operand-stack slot, bottom up (size = stack depth
+  /// entering the pc).
+  std::vector<std::vector<bool>> StackAt;
+  /// False where the backward fixpoint has no information (pc
+  /// unreachable, or no path to any return).
+  std::vector<bool> Known;
+
+  bool knownAt(uint32_t Pc) const { return Pc < Known.size() && Known[Pc]; }
+  bool localLiveAt(uint32_t Pc, uint32_t Slot) const {
+    return knownAt(Pc) && Slot < LocalsAt[Pc].size() && LocalsAt[Pc][Slot];
+  }
+  bool stackLiveAt(uint32_t Pc, uint32_t Slot) const {
+    return knownAt(Pc) && Slot < StackAt[Pc].size() && StackAt[Pc][Slot];
+  }
+  /// Number of live stack slots at or above \p FromDepth entering \p Pc
+  /// (0 when the pc is unknown). The fusion gate asks for 0 here.
+  unsigned liveStackSlotsAbove(uint32_t Pc, uint32_t FromDepth) const;
+};
+
+/// Computes liveness over \p M; \p TS supplies per-pc stack depths (and
+/// reachability), so run type-state inference first.
+LivenessResult computeLiveness(const BytecodeMethod &M, const Cfg &G,
+                               const TypeStateResult &TS);
+
+} // namespace djx
+
+#endif // DJX_ANALYSIS_LIVENESS_H

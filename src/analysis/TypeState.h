@@ -1,0 +1,155 @@
+//===- TypeState.h - Abstract stack/locals type inference -------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward dataflow over an abstract interpreter state: per-pc operand
+/// stack and locals, each slot an AbsValue over the Int/Ref/ArrayRef/Top
+/// lattice (refined with null/zero knowledge so the checks exactly
+/// mirror the flat dispatch loop's runtime asserts). References also
+/// carry the set of in-method allocation sites that may have produced
+/// them, which makes allocation-site escape analysis a by-product of
+/// the same fixpoint: a site escapes its method when one of its values
+/// is stored into the heap, returned, or passed to a callee.
+///
+/// Error policy is *definite misuse only*: an operand is flagged when no
+/// possible concrete value it abstracts satisfies the opcode (zero
+/// false positives on valid code by construction — Top is never an
+/// error). This is what upgrades the Verifier from underflow-only to
+/// full type-state checking, and what the TraceCompiler consults to
+/// prove fusions and hook-spanning traces safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_ANALYSIS_TYPESTATE_H
+#define DJX_ANALYSIS_TYPESTATE_H
+
+#include "analysis/Cfg.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One abstract slot: the set of runtime tag shapes the value may have,
+/// plus the allocation sites (bit N = the method's Nth allocation
+/// instruction) that may have produced it when it can be a reference.
+struct AbsValue {
+  // A slot's concrete runtime shape is one of: an int-tagged zero (also
+  // legal for aload — the interpreter treats it as null), an int-tagged
+  // nonzero, a ref-tagged null, a plain object ref, or an array ref.
+  static constexpr uint8_t kIntZero = 1;
+  static constexpr uint8_t kIntNZ = 2;
+  static constexpr uint8_t kNull = 4;
+  static constexpr uint8_t kObj = 8;
+  static constexpr uint8_t kArr = 16;
+  static constexpr uint8_t kIntAny = kIntZero | kIntNZ;
+  static constexpr uint8_t kRefAny = kNull | kObj | kArr;
+  static constexpr uint8_t kTop = kIntAny | kRefAny;
+
+  uint8_t Tags = 0; ///< Empty set = bottom (unreachable).
+  uint64_t Sites = 0;
+
+  static AbsValue top() { return {kTop, 0}; }
+  static AbsValue intAny() { return {kIntAny, 0}; }
+  static AbsValue intConst(int64_t V) {
+    return {V == 0 ? kIntZero : kIntNZ, 0};
+  }
+  static AbsValue refAny() { return {kRefAny, 0}; }
+  static AbsValue make(uint8_t Tags, uint64_t Sites = 0) {
+    return {Tags, Sites};
+  }
+
+  bool mayInt() const { return (Tags & kIntAny) != 0; }
+  bool mayRefTagged() const { return (Tags & kRefAny) != 0; }
+  bool mayObject() const { return (Tags & (kObj | kArr)) != 0; }
+  bool mayArray() const { return (Tags & kArr) != 0; }
+  /// May this slot satisfy the interpreter's aload assert
+  /// (IsRef || Bits == 0)?
+  bool mayALoad() const { return (Tags & (kRefAny | kIntZero)) != 0; }
+
+  bool join(const AbsValue &O) {
+    uint8_t T = Tags | O.Tags;
+    uint64_t S = Sites | O.Sites;
+    bool Changed = T != Tags || S != Sites;
+    Tags = T;
+    Sites = S;
+    return Changed;
+  }
+
+  /// Compact rendering for diagnostics: "int", "null", "obj@{1}",
+  /// "arr", "int|null", "top", ...
+  std::string str() const;
+};
+
+/// Abstract frame at one pc: locals and the operand stack (bottom up).
+struct AbsFrame {
+  std::vector<AbsValue> Locals;
+  std::vector<AbsValue> Stack;
+  bool Reachable = false;
+};
+
+/// How an allocation site's object leaves its allocating method.
+enum EscapeRoute : uint8_t {
+  kEscStore = 1,  ///< Stored into the heap (putreffield / aastore).
+  kEscReturn = 2, ///< Returned (areturn).
+  kEscCall = 4,   ///< Passed as an Invoke argument.
+};
+
+/// "none" or a "+"-joined route list ("store+call").
+std::string escapeRoutesStr(uint8_t Routes);
+
+/// Static facts about one allocation instruction, in code order.
+struct AllocSiteFact {
+  uint32_t Pc = 0; ///< Pc of the allocation opcode itself.
+  Opcode Op = Opcode::Nop;
+  uint8_t Routes = 0;
+  /// False when the method has more sites than the 64-bit site mask
+  /// tracks; such a site is conservatively treated as escaping.
+  bool Tracked = true;
+  bool escapes() const { return !Tracked || Routes != 0; }
+};
+
+struct TypeStateError {
+  uint32_t Pc = 0;
+  std::string Msg; ///< Includes the rendered inferred state.
+};
+
+/// Resolves an Invoke instruction to its callee, or null when unknown.
+using CalleeResolver =
+    std::function<const BytecodeMethod *(const Instruction &)>;
+
+struct TypeStateResult {
+  /// An Invoke could not be resolved: states downstream of it are
+  /// missing and reachability is partial (no unreachable-code claims).
+  bool Incomplete = false;
+  /// In-state (before execution) per pc; Reachable=false where the
+  /// fixpoint never arrived.
+  std::vector<AbsFrame> AtPc;
+  std::vector<TypeStateError> Errors;
+  /// Per allocation instruction, in code order (bit N of a value's site
+  /// mask refers to Sites[N]).
+  std::vector<AllocSiteFact> Sites;
+
+  bool reachable(uint32_t Pc) const {
+    return Pc < AtPc.size() && AtPc[Pc].Reachable;
+  }
+  /// Operand-stack depth entering \p Pc; -1 when unreachable/unknown.
+  int depthAt(uint32_t Pc) const {
+    return reachable(Pc) ? static_cast<int>(AtPc[Pc].Stack.size()) : -1;
+  }
+  /// The site fact whose allocation opcode sits at \p Pc, if any.
+  const AllocSiteFact *siteAtPc(uint32_t Pc) const;
+};
+
+/// Runs the type-state fixpoint over \p M. \p Resolve may be null: any
+/// Invoke then marks the result Incomplete (facts before it are valid).
+TypeStateResult inferTypeStates(const BytecodeMethod &M, const Cfg &G,
+                                const CalleeResolver &Resolve = nullptr);
+
+} // namespace djx
+
+#endif // DJX_ANALYSIS_TYPESTATE_H

@@ -54,6 +54,12 @@ const char *superOpName(SuperOp K) {
     return "pa_load_ll";
   case SuperOp::PAStoreLLL:
     return "pa_store_lll";
+  case SuperOp::CmpBranchLI:
+    return "cmp_branch_li";
+  case SuperOp::HookPre:
+    return "hook_pre";
+  case SuperOp::HookPost:
+    return "hook_post";
   }
   return "?";
 }
@@ -163,6 +169,14 @@ std::string djx::disassembleTrace(const BytecodeMethod &M,
     case SuperOp::CmpBranchLL:
       OS << " (" << opcodeName(O.Src) << ") L" << O.A << ", L" << O.B
          << " -> " << O.C << " [side exit]";
+      break;
+    case SuperOp::CmpBranchLI:
+      OS << " (" << opcodeName(O.Src) << ") L" << O.A << ", #" << O.B
+         << " -> " << O.C << " [side exit]";
+      break;
+    case SuperOp::HookPre:
+    case SuperOp::HookPost:
+      OS << " site=" << O.A;
       break;
     case SuperOp::IncLocal:
       OS << " L" << O.A << " += " << O.B;

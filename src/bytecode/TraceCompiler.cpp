@@ -6,6 +6,7 @@
 
 #include "bytecode/TraceCompiler.h"
 
+#include "analysis/MethodAnalysis.h"
 #include "bytecode/Verifier.h"
 
 #include <algorithm>
@@ -88,7 +89,8 @@ constexpr uint32_t kMinTraceSteps = 3;
 
 std::optional<CompiledTrace> djx::compileTrace(const BytecodeMethod &M,
                                                uint32_t EntryPc,
-                                               const TierConfig &Cfg) {
+                                               const TierConfig &Cfg,
+                                               const MethodAnalysis *MA) {
   const std::vector<Instruction> &Code = M.Code;
   const uint32_t N = static_cast<uint32_t>(Code.size());
   CompiledTrace T;
@@ -117,9 +119,32 @@ std::optional<CompiledTrace> djx::compileTrace(const BytecodeMethod &M,
 
   while (!Ended && Pc < N && Steps < Cfg.MaxTraceLength) {
     const Instruction &I = Code[Pc];
+    const uint32_t Left = Cfg.MaxTraceLength - Steps;
+
+    // Analysis-proven superblock extension: an instrumented allocation
+    // (allochook_pre; alloc; allochook_post) whose site the escape
+    // analysis proves never leaves this method keeps the trace going
+    // instead of ending it. The hook superops dispatch the agent
+    // callbacks with full frame sync, so the profile is byte-identical
+    // to flat dispatch; escape is the admission predicate (an escaping
+    // object may be relocated or observed concurrently mid-trace, so
+    // those sites stay in the flat loop).
+    if (I.Op == Opcode::AllocHookPre && MA && Left >= 3 && Pc + 2 < N &&
+        isAllocation(Code[Pc + 1].Op) &&
+        Code[Pc + 2].Op == Opcode::AllocHookPost && !MA->Types.Incomplete &&
+        MA->Types.reachable(Pc + 1)) {
+      const AllocSiteFact *Site = MA->Types.siteAtPc(Pc + 1);
+      if (Site && !Site->escapes()) {
+        emit(SuperOp::HookPre, Opcode::AllocHookPre, 1, I.A);
+        const Instruction &AI = Code[Pc]; // emit() advanced to the alloc.
+        emit(SuperOp::Alloc, AI.Op, 1, AI.A,
+             AI.Op == Opcode::MultiANewArray ? AI.B : 0);
+        emit(SuperOp::HookPost, Opcode::AllocHookPost, 1, Code[Pc].A);
+        continue;
+      }
+    }
     if (endsTrace(I.Op))
       break;
-    const uint32_t Left = Cfg.MaxTraceLength - Steps;
 
     // Fused idioms first, longest match wins; a pattern that does not fit
     // the remaining length budget falls back to its base encodings.
@@ -152,6 +177,26 @@ std::optional<CompiledTrace> djx::compileTrace(const BytecodeMethod &M,
       emit(SuperOp::CmpBranchLL, Code[Pc + 2].Op, 3, I.A, Code[Pc + 1].A,
            Code[Pc + 2].A);
       continue;
+    }
+    // Local-vs-immediate compare: admitted only under the analysis
+    // proof that the side exit elides no observable stack traffic —
+    // the type-state depth at the taken target equals the depth
+    // entering the pattern, and liveness shows nothing live above the
+    // materialised depth there. (Holds for every well-formed loop
+    // guard; the proof is what lets the fused form skip the two pushes
+    // without a flat-state mismatch at the deopt point.)
+    if (I.Op == Opcode::ILoad && MA && Left >= 3 && Pc + 2 < N &&
+        Code[Pc + 1].Op == Opcode::IConst && isICmpBranch(Code[Pc + 2].Op)) {
+      uint32_t Target = static_cast<uint32_t>(Code[Pc + 2].A);
+      int D0 = MA->Types.depthAt(Pc);
+      if (D0 >= 0 && MA->Types.depthAt(Target) == D0 &&
+          MA->Live.knownAt(Target) &&
+          MA->Live.liveStackSlotsAbove(Target,
+                                       static_cast<uint32_t>(D0)) == 0) {
+        emit(SuperOp::CmpBranchLI, Code[Pc + 2].Op, 3, I.A, Code[Pc + 1].A,
+             Target);
+        continue;
+      }
     }
     if (I.Op == Opcode::ILoad && Left >= 3 && Pc + 2 < N &&
         Code[Pc + 1].Op == Opcode::IAdd &&

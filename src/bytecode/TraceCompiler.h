@@ -45,7 +45,7 @@ enum class ExecTier : uint8_t {
   Super,  ///< Hot-region detection + superinstruction traces.
 };
 
-/// Tier selection plus the two tuning knobs the CLI exposes.
+/// Tier selection plus the tuning knobs the CLI exposes.
 struct TierConfig {
   ExecTier Tier = ExecTier::Interp;
   /// Flat dispatches of a trace-head pc before it compiles
@@ -53,6 +53,11 @@ struct TierConfig {
   uint32_t HotThreshold = 16;
   /// Cap on constituent instructions per trace (`--max-trace-len`).
   uint32_t MaxTraceLength = 64;
+  /// Consult the src/analysis/ passes for analysis-proven fusions:
+  /// side-exit fusions gated on liveness/depth proofs and superblocks
+  /// spanning non-escaping allocation sites (`--no-analysis-fusion`
+  /// reverts to the purely syntactic compiler).
+  bool AnalysisFusion = true;
 };
 
 /// "interp" / "super".
@@ -88,6 +93,12 @@ enum class SuperOp : uint8_t {
   AccumLocal,  ///< iload A; iadd; istore A  => L[A] += pop().
   PALoadLL,    ///< aload A; iload B; paload  (one simulated access).
   PAStoreLLL,  ///< aload A; iload B; iload C; pastore  (one access).
+  // --- Analysis-proven forms (emitted only with a MethodAnalysis) -------
+  CmpBranchLI, ///< iload A; iconst B; if_icmp<Src> C  (side exit);
+               ///< admitted via the liveness/depth proof at C.
+  HookPre,     ///< allochook_pre, A = site id; dispatches the agent
+               ///< hook with full frame sync, exactly as flat dispatch.
+  HookPost,    ///< allochook_post, A = site id (peeks the fresh ref).
 };
 
 /// One compiled superinstruction.
@@ -126,12 +137,24 @@ struct CompiledTrace {
   std::vector<TraceOp> Ops;
 };
 
+struct MethodAnalysis;
+
 /// Compiles the superblock starting at \p EntryPc in \p M. Returns
 /// nullopt when the region is too short to pay for trace entry (the
 /// site is dead — e.g. the pc sits right before an Invoke).
+///
+/// \p MA, when given, unlocks the analysis-proven forms: superblocks
+/// extend across allocation sites the escape analysis proves
+/// non-escaping (HookPre/Alloc/HookPost instead of ending the trace),
+/// and CmpBranchLI side exits are admitted where the type-state depth
+/// at the target matches the pattern entry and liveness shows no live
+/// stack slot above the materialised depth. Null \p MA (or a proof
+/// that does not hold) falls back to the base encodings, so traces
+/// stay observationally identical to flat dispatch either way.
 std::optional<CompiledTrace> compileTrace(const BytecodeMethod &M,
                                           uint32_t EntryPc,
-                                          const TierConfig &Cfg);
+                                          const TierConfig &Cfg,
+                                          const MethodAnalysis *MA = nullptr);
 
 } // namespace djx
 

@@ -6,6 +6,8 @@
 
 #include "bytecode/Verifier.h"
 
+#include "analysis/TypeState.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -199,15 +201,6 @@ struct ProgramContext {
   }
 };
 
-/// Does \p M return a value? Its terminal convention: any IReturn /
-/// AReturn in the body means the caller receives one stack slot.
-bool returnsValue(const BytecodeMethod &M) {
-  for (const Instruction &I : M.Code)
-    if (I.Op == Opcode::IReturn || I.Op == Opcode::AReturn)
-      return true;
-  return false;
-}
-
 } // namespace
 
 VerifyResult djx::verifyMethod(const BytecodeMethod &M) {
@@ -305,18 +298,21 @@ VerifyResult djx::verifyProgram(const BytecodeProgram &P) {
         }
       }
       if (R.ok() && InvokesOk) {
-        struct Bound {
-          const ProgramContext *Ctx;
-          const BytecodeMethod *Caller;
-        } B{&Ctx, &M};
-        verifyStackDepths(
-            M,
-            [](const void *Opaque, const Instruction &Inst) -> int {
-              const Bound *B = static_cast<const Bound *>(Opaque);
-              const BytecodeMethod *Callee = B->Ctx->callee(*B->Caller, Inst);
-              return Callee ? (returnsValue(*Callee) ? 1 : 0) : -1;
-            },
-            &B, R);
+        // Full type-state pass (src/analysis/): exact stack depths with
+        // callee return kinds resolved, plus type-confusion checks
+        // mirroring the dispatch loop's runtime asserts, merge-depth
+        // conflicts, and unreachable-code detection. Subsumes the old
+        // exact depth-only second pass; verifyMethod's conservative
+        // interval pass already rejected definite underflow, so this
+        // only runs on structurally sound methods.
+        Cfg G = Cfg::build(M);
+        CalleeResolver Resolve =
+            [&Ctx, &M](const Instruction &Inst) -> const BytecodeMethod * {
+          return Ctx.callee(M, Inst);
+        };
+        TypeStateResult TS = inferTypeStates(M, G, Resolve);
+        for (const TypeStateError &E : TS.Errors)
+          addError(R, E.Pc, E.Msg);
       }
       for (const std::string &E : R.Errors)
         All.Errors.push_back(M.qualifiedName() + ": " + E);

@@ -413,6 +413,7 @@ unsigned DjxPerf::writeProfiles(const std::string &Dir) const {
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   unsigned Written = 0;
+  SpinLockGuard G(ProfilesLock);
   for (const auto &[Tid, P] : Profiles) {
     std::ofstream Out(Dir + "/thread_" + std::to_string(Tid) + ".djxprof");
     if (!Out)
@@ -425,6 +426,7 @@ unsigned DjxPerf::writeProfiles(const std::string &Dir) const {
 
 size_t DjxPerf::memoryFootprint() const {
   size_t Bytes = const_cast<LiveObjectIndex &>(Index).memoryFootprint();
+  SpinLockGuard G(ProfilesLock);
   for (const auto &[Tid, P] : Profiles) {
     (void)Tid;
     Bytes += P->memoryFootprint();

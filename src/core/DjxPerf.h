@@ -52,6 +52,7 @@
 #include "jvm/JavaVm.h"
 #include "pmu/SampleRing.h"
 #include "support/SpinLock.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <deque>
@@ -253,9 +254,10 @@ private:
   DjxPerfConfig Config;
   LiveObjectIndex Index;
   AllocationSiteTable Sites;
-  std::deque<SampleCtx> SampleCtxs;
-  std::map<uint64_t, std::unique_ptr<ThreadProfile>> Profiles;
-  std::set<uint64_t> PmuProgrammed;
+  std::deque<SampleCtx> SampleCtxs DJX_GUARDED_BY(AgentLock);
+  std::map<uint64_t, std::unique_ptr<ThreadProfile>> Profiles
+      DJX_GUARDED_BY(ProfilesLock);
+  std::set<uint64_t> PmuProgrammed DJX_GUARDED_BY(AgentLock);
   // Locking order (innermost last; a thread never holds two of these):
   //   1. LiveObjectIndex shard locks (leaf; applyRelocations takes all
   //      shard locks in index order, and is the only multi-lock site),

@@ -43,6 +43,7 @@
 #include "jvm/ObjectModel.h"
 #include "support/IntervalSplayTree.h"
 #include "support/SpinLock.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstdint>
@@ -91,8 +92,11 @@ public:
   /// start address and lookups fall back to exactly one preceding shard
   /// on a miss, so an interval spanning more than two shards would be
   /// unfindable for its tail addresses (DjxPerf derives the span from
-  /// the heap, where no object can exceed a shard).
-  void configureShards(unsigned NumShards, uint64_t SpanBytes);
+  /// the heap, where no object can exceed a shard). Runs before any
+  /// concurrent use (and asserts the shards are empty), so it touches
+  /// guarded members lock-free by design.
+  void configureShards(unsigned NumShards,
+                       uint64_t SpanBytes) DJX_NO_THREAD_SAFETY_ANALYSIS;
 
   unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
 
@@ -122,9 +126,13 @@ public:
   /// all shards (moves may cross shard boundaries). Objects missing from
   /// the trees (allocations the attach mode missed, §4.5) are inserted
   /// fresh with \p UnknownIdentity. Takes every shard lock in index order
-  /// and republishes every shard's epoch snapshot before releasing them.
+  /// and republishes every shard's epoch snapshot before releasing them —
+  /// a dynamic lock set the static analysis cannot model, hence the
+  /// opt-out.
   /// \returns the number of relocations applied.
-  unsigned applyRelocations(const LiveObject &UnknownIdentity);
+  unsigned
+  applyRelocations(const LiveObject &UnknownIdentity)
+      DJX_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Drops any pending relocations without applying (ablation support).
   void discardRelocations();
@@ -194,22 +202,24 @@ private:
   /// published epoch snapshot.
   struct Shard {
     SpinLock Lock;
-    IntervalSplayTree<LiveObject> Tree;
-    std::unordered_map<uint64_t, Relocation> RelocationMap;
-    uint64_t Inserts = 0;
-    uint64_t Lookups = 0;
-    uint64_t LookupMisses = 0;
-    uint64_t Erases = 0;
+    IntervalSplayTree<LiveObject> Tree DJX_GUARDED_BY(Lock);
+    std::unordered_map<uint64_t, Relocation> RelocationMap
+        DJX_GUARDED_BY(Lock);
+    uint64_t Inserts DJX_GUARDED_BY(Lock) = 0;
+    uint64_t Lookups DJX_GUARDED_BY(Lock) = 0;
+    uint64_t LookupMisses DJX_GUARDED_BY(Lock) = 0;
+    uint64_t Erases DJX_GUARDED_BY(Lock) = 0;
 
-    /// Published epoch (acquire-loaded by lock-free readers). Storage
-    /// keeps every epoch ever published alive until clear/reconfigure so
-    /// a reader holding an old pointer stays safe.
+    /// Published epoch (acquire-loaded by lock-free readers — Snap itself
+    /// is deliberately *not* guarded; its pointee is mutated only by the
+    /// lock holder). Storage keeps every epoch ever published alive until
+    /// clear/reconfigure so a reader holding an old pointer stays safe.
     std::atomic<Snapshot *> Snap{nullptr};
-    std::vector<std::unique_ptr<Snapshot>> SnapStorage;
+    std::vector<std::unique_ptr<Snapshot>> SnapStorage DJX_GUARDED_BY(Lock);
     /// Largest Start in the current snapshot (writer-side bookkeeping:
     /// detects out-of-order inserts that would break the sorted-append
     /// invariant and force a rebuild).
-    uint64_t LastSnapStart = 0;
+    uint64_t LastSnapStart DJX_GUARDED_BY(Lock) = 0;
 
     /// Atomic mirrors for the lock-free diagnostics / op totals.
     std::atomic<size_t> LiveEntries{0};
@@ -232,13 +242,14 @@ private:
   /// (overlap eviction, out-of-order address, capacity). Caller holds the
   /// shard lock and has already updated the tree.
   void snapshotAppendLocked(Shard &S, uint64_t Start, uint64_t End,
-                            const LiveObject &Obj, bool ForceRebuild);
+                            const LiveObject &Obj, bool ForceRebuild)
+      DJX_REQUIRES(S.Lock);
   /// Republishes the shard's snapshot from its tree (sorted, live-only).
   /// Caller holds the shard lock.
-  void rebuildSnapshotLocked(Shard &S);
+  void rebuildSnapshotLocked(Shard &S) DJX_REQUIRES(S.Lock);
   /// Tombstones \p Start's entry in the published snapshot, if present.
   /// Caller holds the shard lock.
-  void snapshotEraseLocked(Shard &S, uint64_t Start);
+  void snapshotEraseLocked(Shard &S, uint64_t Start) DJX_REQUIRES(S.Lock);
   /// Lock-free search of one published snapshot.
   static std::optional<LiveObject>
   snapshotFind(const Snapshot *Sn, uint64_t Addr, SnapshotHint *Hint);

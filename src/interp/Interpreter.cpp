@@ -35,7 +35,7 @@ void Interpreter::setTier(const TierConfig &Cfg) {
          "the tier must be selected before any instruction executes");
   Traces.reset();
   if (Cfg.Tier == ExecTier::Super)
-    Traces = std::make_unique<TraceCache>(Cfg);
+    Traces = std::make_unique<TraceCache>(Cfg, &Program);
 }
 
 void Interpreter::collectRoots(std::vector<ObjectRef *> &Slots) {
@@ -1097,6 +1097,77 @@ void Interpreter::execTrace(const CompiledTrace &T, uint64_t QuantumEnd) {
           Steps + O.StepsAfter > StepDeadline) {
         Exit(O.Pc + 1);
         return;
+      }
+      break;
+    }
+    case SuperOp::CmpBranchLI: {
+      assert(!L[O.A].IsRef && "icmp branch of a reference slot");
+      int64_t A = L[O.A].asInt();
+      int64_t B = O.B;
+      bool Taken = false;
+      switch (O.Src) {
+      case Opcode::IfICmpEq:
+        Taken = A == B;
+        break;
+      case Opcode::IfICmpNe:
+        Taken = A != B;
+        break;
+      case Opcode::IfICmpLt:
+        Taken = A < B;
+        break;
+      case Opcode::IfICmpGe:
+        Taken = A >= B;
+        break;
+      case Opcode::IfICmpGt:
+        Taken = A > B;
+        break;
+      case Opcode::IfICmpLe:
+        Taken = A <= B;
+        break;
+      default:
+        assert(false && "unreachable");
+      }
+      if (Taken) {
+        Flush();
+        Exit(static_cast<uint32_t>(O.C));
+        return;
+      }
+      break;
+    }
+    case SuperOp::HookPre:
+    case SuperOp::HookPost: {
+      // Agent hook dispatch mid-trace, exactly as the flat loop: flush
+      // the batched steps (the flat loop ticks before dispatching), set
+      // the bci and sync the frame (the hook records contexts and may
+      // re-enter run()), then re-derive the cached pointers.
+      const bool IsPost = O.Kind == SuperOp::HookPost;
+      if (IsPost ? Hooks.Post != nullptr : Hooks.Pre != nullptr) {
+        ObjectRef Fresh = kNullRef;
+        if (IsPost) {
+          assert(Sp > 0 && "operand stack underflow");
+          assert(S[Sp - 1].IsRef &&
+                 "allochook_post expects the fresh ref on TOS");
+          Fresh = S[Sp - 1].asRef();
+        }
+        Flush();
+        Thread.setBci(O.Pc);
+        F->Pc = O.Pc;
+        F->Sp = Sp;
+        ArenaTop = F->StackBase + Sp;
+        if (IsPost)
+          Hooks.Post(static_cast<uint64_t>(O.A), Fresh);
+        else
+          Hooks.Pre(static_cast<uint64_t>(O.A));
+        F = &CallStack.back();
+        L = Arena.data() + F->LocalsBase;
+        S = Arena.data() + F->StackBase;
+        // A hook re-entry burns shared Steps, like an allocation
+        // observer: deopt when the trace remainder no longer fits.
+        if (Steps + O.StepsAfter > QuantumEnd ||
+            Steps + O.StepsAfter > StepDeadline) {
+          Exit(O.Pc + 1);
+          return;
+        }
       }
       break;
     }

@@ -22,6 +22,8 @@
 #ifndef DJX_SUPPORT_SPINLOCK_H
 #define DJX_SUPPORT_SPINLOCK_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <cstdint>
 
@@ -39,22 +41,22 @@ inline void cpuRelax() {
 }
 
 /// Test-and-set spin lock with acquisition accounting.
-class SpinLock {
+class DJX_CAPABILITY("mutex") SpinLock {
 public:
-  void lock() {
+  void lock() DJX_ACQUIRE() {
     while (Flag.test_and_set(std::memory_order_acquire))
       cpuRelax();
     Acquisitions.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool tryLock() {
+  bool tryLock() DJX_TRY_ACQUIRE(true) {
     if (Flag.test_and_set(std::memory_order_acquire))
       return false;
     Acquisitions.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
-  void unlock() { Flag.clear(std::memory_order_release); }
+  void unlock() DJX_RELEASE() { Flag.clear(std::memory_order_release); }
 
   /// Total successful acquisitions since construction.
   uint64_t acquisitions() const {
@@ -67,10 +69,10 @@ private:
 };
 
 /// RAII guard for SpinLock.
-class SpinLockGuard {
+class DJX_SCOPED_CAPABILITY SpinLockGuard {
 public:
-  explicit SpinLockGuard(SpinLock &L) : Lock(L) { Lock.lock(); }
-  ~SpinLockGuard() { Lock.unlock(); }
+  explicit SpinLockGuard(SpinLock &L) DJX_ACQUIRE(L) : Lock(L) { Lock.lock(); }
+  ~SpinLockGuard() DJX_RELEASE() { Lock.unlock(); }
 
   SpinLockGuard(const SpinLockGuard &) = delete;
   SpinLockGuard &operator=(const SpinLockGuard &) = delete;

@@ -1,0 +1,70 @@
+//===- ThreadAnnotations.h - Clang Thread Safety Analysis macros *- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wrappers for clang's Thread Safety Analysis attributes
+/// (-Wthread-safety), applied to the profiler's lock hierarchy: SpinLock
+/// and its guard, the LiveObjectIndex shard locks, and DjxPerf's
+/// agent/profiles locks. Under any other compiler (the default gcc
+/// build) every macro expands to nothing; the dedicated clang CI job
+/// compiles with -Wthread-safety -Werror so a guarded member touched
+/// without its capability fails the build.
+///
+/// The locking-order comments in core/DjxPerf.h remain the authoritative
+/// design document; the annotations make the per-structure half of that
+/// contract machine-checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_SUPPORT_THREADANNOTATIONS_H
+#define DJX_SUPPORT_THREADANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DJX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DJX_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that acts as a lock (capability).
+#define DJX_CAPABILITY(name) DJX_THREAD_ANNOTATION(capability(name))
+
+/// An RAII type that acquires in its constructor, releases in its
+/// destructor.
+#define DJX_SCOPED_CAPABILITY DJX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding \p x.
+#define DJX_GUARDED_BY(x) DJX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by \p x.
+#define DJX_PT_GUARDED_BY(x) DJX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define DJX_ACQUIRE(...) DJX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success value.
+#define DJX_TRY_ACQUIRE(...)                                                   \
+  DJX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define DJX_RELEASE(...) DJX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Caller must hold the capability across the call.
+#define DJX_REQUIRES(...)                                                      \
+  DJX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define DJX_EXCLUDES(...) DJX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to the named capability.
+#define DJX_RETURN_CAPABILITY(x) DJX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis. Used where the locking pattern is
+/// beyond the analysis (e.g. LiveObjectIndex::applyRelocations, which
+/// takes a dynamic set of shard locks in index order).
+#define DJX_NO_THREAD_SAFETY_ANALYSIS                                          \
+  DJX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // DJX_SUPPORT_THREADANNOTATIONS_H

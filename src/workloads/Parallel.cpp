@@ -39,8 +39,11 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
                                          const ParallelConfig &Config) {
   BytecodeProgram Program = buildParallelWorkerProgram(Vm.types());
   Program.load(Vm);
-  if (Prof && Config.Instrumented)
+  std::vector<StaticSiteFacts> StaticSites;
+  if (Prof && Config.Instrumented) {
     Prof->instrument(Program);
+    StaticSites = collectStaticSiteFacts(Program, Prof->sites());
+  }
 
   ExecutorConfig Ec;
   Ec.Jobs = Config.Jobs;
@@ -76,6 +79,7 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Out.Safepoints = Ex.safepoints();
   Out.Rounds = Ex.rounds();
   Out.Machine = Ex.mergedMachineStats();
+  Out.StaticSites = std::move(StaticSites);
   if (Config.DumpTraces)
     for (size_t I = 0; I < Ex.numTasks(); ++I)
       Out.TraceDump += "== task " + std::to_string(I) + " ==\n" +

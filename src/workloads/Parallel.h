@@ -19,6 +19,7 @@
 #ifndef DJX_WORKLOADS_PARALLEL_H
 #define DJX_WORKLOADS_PARALLEL_H
 
+#include "analysis/StaticReport.h"
 #include "core/DjxPerf.h"
 #include "jvm/JavaVm.h"
 #include "runtime/Executor.h"
@@ -26,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace djx {
 
@@ -98,6 +100,11 @@ struct ParallelOutcome {
   /// Per-task compiled-trace listings (Config.DumpTraces; empty
   /// otherwise — including in the interp tier, which compiles nothing).
   std::string TraceDump;
+  /// Static analysis facts per instrumented allocation site (populated
+  /// only on instrumented runs; the CLI's --static-report joins these
+  /// against the merged dynamic profile). Deterministic: derived from
+  /// the instrumented bytecode alone.
+  std::vector<StaticSiteFacts> StaticSites;
 };
 
 /// Runs SimThreads interpreted batik instances to completion under the

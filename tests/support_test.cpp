@@ -30,7 +30,8 @@ DJX_TEST_MODULE(support_test, 86.0, 66.0,
     "src/support/Statistics.cpp",
     "src/support/Statistics.h",
     "src/support/TextTable.cpp",
-    "src/support/TextTable.h");
+    "src/support/TextTable.h",
+    "src/support/ThreadAnnotations.h");
 
 // --- IntervalSplayTree ------------------------------------------------------
 

@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticReport.h"
 #include "core/DjxPerf.h"
 #include "core/HtmlReport.h"
 #include "core/Report.h"
@@ -180,6 +181,11 @@ void usage(const char *Argv0) {
       "trace (super tier; default 64)\n"
       "  --dump-traces          print compiled traces to stderr after "
       "the run (super tier, mt workloads)\n"
+      "  --no-analysis-fusion   disable analysis-proven trace fusions "
+      "(super tier; results are byte-identical either way)\n"
+      "  --static-report        append a static allocation-site section "
+      "(escape class, loop depth) joined against the profile; mt "
+      "workloads run bytecode-instrumented\n"
       "  --heap-bytes <n>       override the workload's heap size (mt "
       "workloads: bytes per simulated thread)\n"
       "  --stall-timeout-ms <n> watchdog timeout for mt workloads "
@@ -239,6 +245,7 @@ int main(int Argc, char **Argv) {
   std::optional<uint64_t> FaultSeed;
   TierConfig Tier;
   bool DumpTraces = false;
+  bool StaticReport = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -333,6 +340,10 @@ int main(int Argc, char **Argv) {
       }
     } else if (A == "--dump-traces") {
       DumpTraces = true;
+    } else if (A == "--no-analysis-fusion") {
+      Tier.AnalysisFusion = false;
+    } else if (A == "--static-report") {
+      StaticReport = true;
     } else if (A == "--heap-bytes") {
       uint64_t V = std::strtoull(NeedsValue("--heap-bytes"), nullptr, 10);
       if (V == 0) {
@@ -435,14 +446,20 @@ int main(int Argc, char **Argv) {
   // profiles collected before the failure, and emit a report explicitly
   // marked degraded, then exit with the kind's documented code.
   std::optional<VmError> Failure;
+  std::vector<StaticSiteFacts> StaticSites;
   try {
     if (Chosen->MultiThreaded) {
       Pc.Jobs = Jobs;
       if (PolicyOverride)
         Pc.Policy = *PolicyOverride;
+      // The static report needs instrumented bytecode to analyse: route
+      // allocations through the ASM-style rewriting instead of VM events.
+      if (StaticReport && !Chosen->NumaRemote)
+        Pc.Instrumented = true;
       ParallelOutcome Out = Chosen->NumaRemote
                                 ? runNumaRemoteWorkload(Vm, &Profiler, Pc)
                                 : runParallelWorkload(Vm, &Profiler, Pc);
+      StaticSites = std::move(Out.StaticSites);
       if (!Out.TraceDump.empty())
         std::fputs(Out.TraceDump.c_str(), stderr);
     } else {
@@ -481,6 +498,10 @@ int main(int Argc, char **Argv) {
     std::fputs(renderObjectCentric(P, Vm.methods(), Opts).c_str(), stdout);
   if (Report == "code" || Report == "both")
     std::fputs(renderCodeCentric(P, Vm.methods(), Opts).c_str(), stdout);
+  if (StaticReport)
+    std::fputs(
+        renderStaticReport(StaticSites, P, Vm.methods(), Kind).c_str(),
+        stdout);
   if (!HtmlPath.empty()) {
     if (!writeHtmlReport(P, Vm.methods(), HtmlPath, Opts,
                          "DJXPerf: " + Chosen->Name)) {
