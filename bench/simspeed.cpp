@@ -19,7 +19,9 @@
 #include "Harness.h"
 
 #include "bytecode/MethodBuilder.h"
+#include "io/ProfileJournal.h"
 #include "workloads/BytecodePrograms.h"
+#include "workloads/Parallel.h"
 
 #include <algorithm>
 #include <chrono>
@@ -155,6 +157,45 @@ PhaseResult accessPhase(bool Profiled, int Reps, uint64_t Accesses) {
   return Best;
 }
 
+/// Journaled parallel phase: the executor workload with --journal wired
+/// exactly as the CLI wires it (a full epoch flushed at every round
+/// barrier). Journaling is an observer; this metric pins its overhead
+/// inside the same perf band as the other step rates.
+PhaseResult journalPhase(int Reps, int64_t Iters) {
+  PhaseResult Best;
+  const std::string Path = "BENCH_journal.djxj.tmp";
+  for (int R = 0; R < Reps; ++R) {
+    ParallelConfig Pc;
+    Pc.SimThreads = 2;
+    Pc.Jobs = 2;
+    Pc.Iters = Iters;
+    Pc.Nlen = 128;
+    Pc.HeapBytesPerThread = 512 << 10;
+    JavaVm Vm(parallelVmConfig(Pc));
+    DjxPerf Prof(Vm, parallelAgentConfig(Pc));
+    Prof.start();
+    JournalMeta Meta;
+    Meta.Workload = "bench-journal";
+    auto Journal = ProfileJournal::open(Path, Meta);
+    Pc.OnRoundEnd = [&](uint64_t Round) {
+      if (Journal)
+        Journal->flush(Prof, Vm.methods(), Round);
+      return false;
+    };
+    Clock::time_point Start = Clock::now();
+    ParallelOutcome Run = runParallelWorkload(Vm, &Prof, Pc);
+    double Seconds = secondsSince(Start);
+    Prof.stop();
+    if (Journal)
+      Journal->closeClean(Prof, Vm.methods());
+    Best.Samples += Prof.samplesHandled();
+    Best.Dropped += Prof.samplesDropped();
+    keepBest(Best, Run.Steps, Seconds);
+  }
+  std::remove(Path.c_str());
+  return Best;
+}
+
 void jsonPhase(std::FILE *Out, const char *Name, const PhaseResult &P,
                bool Last = false) {
   std::fprintf(Out,
@@ -231,6 +272,13 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(AccessProf.Units),
               AccessProf.Seconds);
 
+  PhaseResult Journaled = journalPhase(Reps, Quick ? 100 : 300);
+  std::printf("journaled mt (profiled): %12.0f steps/s   (%llu steps, "
+              "%.3f s)\n",
+              Journaled.PerSec,
+              static_cast<unsigned long long>(Journaled.Units),
+              Journaled.Seconds);
+
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
@@ -256,6 +304,7 @@ int main(int Argc, char **Argv) {
   }
   jsonPhase(Out, "sim_accesses_per_sec", AccessNative);
   jsonPhase(Out, "sim_accesses_per_sec_profiled", AccessProf);
+  jsonPhase(Out, "journal_steps_per_sec", Journaled);
   // Sample drop rate across the profiled phases. Not a rate despite the
   // leaf name: "per_sec" is the key perf_diff.py treats as a gateable
   // leaf, and the ratio (kept / handled) is what the tight band in

@@ -6,12 +6,14 @@
 
 #include "core/DjxPerf.h"
 
+#include "io/AtomicFile.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 using namespace djx;
 
@@ -415,11 +417,13 @@ unsigned DjxPerf::writeProfiles(const std::string &Dir) const {
   unsigned Written = 0;
   SpinLockGuard G(ProfilesLock);
   for (const auto &[Tid, P] : Profiles) {
-    std::ofstream Out(Dir + "/thread_" + std::to_string(Tid) + ".djxprof");
-    if (!Out)
-      continue;
-    P->writeTo(Out);
-    ++Written;
+    std::ostringstream OS;
+    P->writeTo(OS);
+    // Atomic replacement: a reader (or a crash) never sees a torn
+    // .djxprof file.
+    if (writeFileAtomic(Dir + "/thread_" + std::to_string(Tid) + ".djxprof",
+                        OS.str()))
+      ++Written;
   }
   return Written;
 }

@@ -6,6 +6,8 @@
 
 #include "core/HtmlReport.h"
 
+#include "io/AtomicFile.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -204,9 +206,7 @@ bool djx::writeHtmlReport(const MergedProfile &P,
                           const std::string &Path,
                           const ReportOptions &Opts,
                           const std::string &Title) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << renderHtmlReport(P, Methods, Opts, Title);
-  return static_cast<bool>(Out);
+  // Atomic replacement (tmp + fsync + rename): an interrupted CLI never
+  // leaves a truncated HTML report behind.
+  return writeFileAtomic(Path, renderHtmlReport(P, Methods, Opts, Title));
 }

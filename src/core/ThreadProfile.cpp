@@ -22,6 +22,7 @@ void ThreadProfile::recordAllocation(CctNodeId AllocNode,
     G.TypeName = TypeName;
   ++G.AllocCount;
   G.AllocBytes += Bytes;
+  ++Version;
 }
 
 void ThreadProfile::recordObjectSample(const AllocKey &Key,
@@ -43,16 +44,19 @@ void ThreadProfile::recordObjectSample(const AllocKey &Key,
   if (CpuNode != kInvalidNode)
     ++G.AccessNodeSamples[CpuNode];
   Totals.add(Kind);
+  ++Version;
 }
 
 void ThreadProfile::recordCodeSample(CctNodeId AccessNode,
                                      PerfEventKind Kind) {
   CodeCentric[AccessNode].add(Kind);
+  ++Version;
 }
 
 void ThreadProfile::recordUnattributed(PerfEventKind Kind) {
   Totals.add(Kind);
   ++Unattributed;
+  ++Version;
 }
 
 size_t ThreadProfile::memoryFootprint() const {

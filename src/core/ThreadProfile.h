@@ -114,6 +114,11 @@ public:
   const MetricCounts &totals() const { return Totals; }
   uint64_t unattributedSamples() const { return Unattributed; }
 
+  /// Monotonic change counter, bumped by every record* call. The profile
+  /// journal snapshots a thread only when its version moved since the
+  /// last flush, so idle threads cost no journal bytes per epoch.
+  uint64_t version() const { return Version; }
+
   size_t memoryFootprint() const;
 
   /// Serialises to the line-oriented profile format.
@@ -131,6 +136,7 @@ private:
   std::map<CctNodeId, MetricCounts> CodeCentric;
   MetricCounts Totals;
   uint64_t Unattributed = 0;
+  uint64_t Version = 0;
 };
 
 } // namespace djx

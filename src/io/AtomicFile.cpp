@@ -1,0 +1,75 @@
+//===- io/AtomicFile.cpp - Atomic whole-file replacement -------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/AtomicFile.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace djx;
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::write(Fd, Data + Done, Len - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void setError(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+bool djx::writeFileAtomic(const std::string &Path, const std::string &Contents,
+                          std::string *Error) {
+  const std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    setError(Error, "open " + Tmp);
+    return false;
+  }
+  if (!writeAll(Fd, Contents.data(), Contents.size()) || ::fsync(Fd) != 0) {
+    setError(Error, "write " + Tmp);
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    setError(Error, "close " + Tmp);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "rename " + Tmp + " -> " + Path);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  // Durability of the rename itself: fsync the containing directory,
+  // best-effort (some filesystems refuse O_RDONLY directory fsync).
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}

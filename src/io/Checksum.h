@@ -1,0 +1,57 @@
+//===- io/Checksum.h - CRC32C for journal segments --------------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the
+/// checksum guarding every profile-journal segment. Table-driven, one
+/// byte per step: plenty for flush-sized buffers, and dependency-free so
+/// the recovery path works in any build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_IO_CHECKSUM_H
+#define DJX_IO_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace djx {
+
+class Crc32c {
+public:
+  /// CRC32C of \p Len bytes at \p Data. \p Seed chains computations:
+  /// compute(B, n, compute(A, m)) == compute(AB, m + n).
+  static uint32_t compute(const void *Data, size_t Len, uint32_t Seed = 0) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    uint32_t Crc = ~Seed;
+    const uint32_t *T = table();
+    for (size_t I = 0; I < Len; ++I)
+      Crc = T[(Crc ^ P[I]) & 0xffu] ^ (Crc >> 8);
+    return ~Crc;
+  }
+
+private:
+  struct Table {
+    uint32_t Entries[256];
+    Table() {
+      for (uint32_t I = 0; I < 256; ++I) {
+        uint32_t C = I;
+        for (int K = 0; K < 8; ++K)
+          C = (C & 1) ? (0x82f63b78u ^ (C >> 1)) : (C >> 1);
+        Entries[I] = C;
+      }
+    }
+  };
+
+  static const uint32_t *table() {
+    static const Table T;
+    return T.Entries;
+  }
+};
+
+} // namespace djx
+
+#endif // DJX_IO_CHECKSUM_H

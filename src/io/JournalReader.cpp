@@ -1,0 +1,327 @@
+//===- io/JournalReader.cpp - Journal scan/verify/recover ------------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/JournalReader.h"
+
+#include "io/Checksum.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace djx;
+
+namespace {
+
+uint32_t readU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | static_cast<uint8_t>(P[I]);
+  return V;
+}
+
+uint64_t readU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | static_cast<uint8_t>(P[I]);
+  return V;
+}
+
+/// Bounded cursor over one payload; every read checks remaining bytes.
+struct PayloadCursor {
+  const char *P;
+  size_t Len;
+  size_t Off = 0;
+
+  bool u32(uint32_t &V) {
+    if (Len - Off < 4)
+      return false;
+    V = readU32(P + Off);
+    Off += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Len - Off < 8)
+      return false;
+    V = readU64(P + Off);
+    Off += 8;
+    return true;
+  }
+  bool bytes(std::string &S, size_t N) {
+    if (Len - Off < N)
+      return false;
+    S.assign(P + Off, N);
+    Off += N;
+    return true;
+  }
+  std::string rest() {
+    std::string S(P + Off, Len - Off);
+    Off = Len;
+    return S;
+  }
+};
+
+} // namespace
+
+JournalRecovery djx::readJournal(const std::string &Path) {
+  JournalRecovery R;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    R.HeaderError = "cannot open file";
+    return R;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Data = Buf.str();
+
+  if (Data.size() < kJournalFileHeaderBytes) {
+    R.HeaderError = "file shorter than the journal header";
+    return R;
+  }
+  if (std::memcmp(Data.data(), kJournalFileMagic,
+                  sizeof(kJournalFileMagic)) != 0) {
+    R.HeaderError = "bad file magic";
+    return R;
+  }
+  if (readU32(Data.data() + 8) != kJournalFormatVersion) {
+    R.HeaderError = "unsupported journal version";
+    return R;
+  }
+  if (readU32(Data.data() + 12) != Crc32c::compute(Data.data(), 12)) {
+    R.HeaderError = "file header checksum mismatch";
+    return R;
+  }
+  R.HeaderValid = true;
+  R.BytesKept = kJournalFileHeaderBytes;
+
+  // Pending state: promoted to committed only by a Commit/Close
+  // sentinel, so a tear between a snapshot and its commit drops the
+  // snapshot — the state is always the one at the last sentinel.
+  std::vector<MethodInfo> PendingMethods;
+  std::map<uint64_t, std::string> PendingSnapshots;
+  uint64_t NextSeq = 1;
+  size_t Off = kJournalFileHeaderBytes;
+  size_t LastValidEnd = Off;
+
+  auto Truncate = [&](const std::string &Why) { R.TruncationReason = Why; };
+
+  auto Promote = [&](size_t EndOff) {
+    for (auto &M : PendingMethods)
+      R.Methods.push_back(std::move(M));
+    PendingMethods.clear();
+    for (auto &[Tid, Text] : PendingSnapshots)
+      R.Snapshots[Tid] = std::move(Text);
+    PendingSnapshots.clear();
+    R.SegmentsCommitted = R.Segments.size();
+    R.BytesKept = EndOff;
+  };
+
+  while (Off < Data.size() && !R.Closed) {
+    if (Data.size() - Off < kJournalSegmentHeaderBytes) {
+      Truncate("truncated segment header");
+      break;
+    }
+    const char *H = Data.data() + Off;
+    if (readU32(H) != kJournalSegmentMagic) {
+      Truncate("bad segment magic");
+      break;
+    }
+    uint32_t Type = readU32(H + 4);
+    uint64_t Seq = readU64(H + 8);
+    uint64_t Epoch = readU64(H + 16);
+    uint32_t PayloadLen = readU32(H + 24);
+    uint32_t Crc = readU32(H + 28);
+    if (PayloadLen > kJournalMaxPayloadBytes ||
+        PayloadLen > Data.size() - Off - kJournalSegmentHeaderBytes) {
+      Truncate("segment length out of bounds");
+      break;
+    }
+    const char *Payload = H + kJournalSegmentHeaderBytes;
+    uint32_t Want = Crc32c::compute(H + 4, kJournalSegmentHeaderBytes - 8);
+    Want = Crc32c::compute(Payload, PayloadLen, Want);
+    if (Want != Crc) {
+      Truncate("segment checksum mismatch");
+      break;
+    }
+    if (Seq != NextSeq) {
+      Truncate("sequence break");
+      break;
+    }
+
+    PayloadCursor C{Payload, PayloadLen};
+    bool Ok = true;
+    switch (static_cast<SegmentType>(Type)) {
+    case SegmentType::Meta: {
+      JournalMeta M;
+      Ok = decodeJournalMeta(C.rest(), M);
+      if (Ok) {
+        R.Meta = M;
+        R.HasMeta = true;
+      }
+      break;
+    }
+    case SegmentType::MethodTable: {
+      uint32_t First = 0, Count = 0;
+      Ok = C.u32(First) && C.u32(Count) &&
+           First == R.Methods.size() + PendingMethods.size();
+      for (uint32_t I = 0; Ok && I < Count; ++I) {
+        uint32_t ClassLen = 0, MethodLen = 0, LineCount = 0;
+        Ok = C.u32(ClassLen) && C.u32(MethodLen) && C.u32(LineCount);
+        if (!Ok)
+          break;
+        MethodInfo M;
+        Ok = C.bytes(M.ClassName, ClassLen) &&
+             C.bytes(M.MethodName, MethodLen);
+        for (uint32_t L = 0; Ok && L < LineCount; ++L) {
+          LineEntry E{0, 0};
+          Ok = C.u32(E.Bci) && C.u32(E.Line);
+          if (Ok)
+            M.LineTable.push_back(E);
+        }
+        if (Ok)
+          PendingMethods.push_back(std::move(M));
+      }
+      break;
+    }
+    case SegmentType::Snapshot: {
+      uint64_t Tid = 0;
+      Ok = C.u64(Tid);
+      if (Ok)
+        PendingSnapshots[Tid] = C.rest();
+      break;
+    }
+    case SegmentType::Commit: {
+      uint64_t Round = 0;
+      Ok = C.u64(Round) && C.Off == C.Len;
+      if (Ok) {
+        R.Segments.push_back({Off, kJournalSegmentHeaderBytes + PayloadLen,
+                              Type, Seq, Epoch});
+        R.LastEpoch = Epoch;
+        R.LastRound = Round;
+        Promote(Off + kJournalSegmentHeaderBytes + PayloadLen);
+      }
+      break;
+    }
+    case SegmentType::Close: {
+      uint32_t Failed = 0, Kind = 0, Shard = 0, MsgLen = 0;
+      uint64_t Tid = 0, Steps = 0;
+      std::string Msg;
+      Ok = C.u32(Failed) && C.u32(Kind) && C.u64(Tid) && C.u64(Steps) &&
+           C.u32(Shard) && C.u32(MsgLen) && C.bytes(Msg, MsgLen) &&
+           C.u64(R.CloseSamplesHandled) && C.u64(R.CloseSamplesDropped);
+      if (Ok) {
+        R.Segments.push_back({Off, kJournalSegmentHeaderBytes + PayloadLen,
+                              Type, Seq, Epoch});
+        R.Closed = true;
+        R.CloseClean = Failed == 0;
+        if (Failed) {
+          R.CloseError.Kind = static_cast<VmErrorKind>(Kind);
+          R.CloseError.Message = std::move(Msg);
+          R.CloseError.ThreadId = Tid;
+          R.CloseError.Steps = Steps;
+          R.CloseError.Shard = Shard;
+        }
+        Promote(Off + kJournalSegmentHeaderBytes + PayloadLen);
+      }
+      break;
+    }
+    default:
+      Ok = false;
+      break;
+    }
+    if (!Ok) {
+      Truncate("malformed segment payload");
+      break;
+    }
+    if (Type != static_cast<uint32_t>(SegmentType::Commit) &&
+        Type != static_cast<uint32_t>(SegmentType::Close))
+      R.Segments.push_back({Off, kJournalSegmentHeaderBytes + PayloadLen,
+                            Type, Seq, Epoch});
+    Off += kJournalSegmentHeaderBytes + PayloadLen;
+    LastValidEnd = Off;
+    ++NextSeq;
+  }
+
+  R.SegmentsUncommitted = R.Segments.size() - R.SegmentsCommitted;
+  R.TrailingBytes = Data.size() - LastValidEnd;
+  if (R.Closed && R.TrailingBytes != 0 && R.TruncationReason.empty())
+    R.TruncationReason = "bytes after the Close sentinel";
+
+  // Materialize the committed snapshots. A CRC-valid but unparseable
+  // snapshot means a writer bug or hash collision; drop that thread and
+  // record it, never crash.
+  for (const auto &[Tid, Text] : R.Snapshots) {
+    ThreadProfile P;
+    std::istringstream IS(Text);
+    if (!P.readFrom(IS)) {
+      if (R.TruncationReason.empty())
+        R.TruncationReason =
+            "unparseable snapshot for thread " + std::to_string(Tid);
+      continue;
+    }
+    R.Profiles.push_back(std::move(P));
+  }
+  return R;
+}
+
+MethodRegistry djx::buildJournalMethodRegistry(const JournalRecovery &R) {
+  MethodRegistry Reg;
+  for (const MethodInfo &M : R.Methods)
+    Reg.registerMethod(M.ClassName, M.MethodName, M.LineTable);
+  return Reg;
+}
+
+std::string djx::remapSnapshotText(const std::string &Text,
+                                   uint64_t ThreadOffset,
+                                   const std::vector<MethodId> &MethodMap) {
+  // Rewrites the line-oriented djxprofile format in place of a field-by-
+  // field rebuild: thread ids live in fixed token positions per tag, and
+  // method ids only appear in "node" lines. CCT node ids are indices
+  // into the owning profile's tree and need no remapping.
+  auto MapTid = [&](uint64_t Tid) {
+    return Tid == 0 ? 0 : Tid + ThreadOffset;
+  };
+  auto MapMethod = [&](MethodId M) {
+    return M < MethodMap.size() ? MethodMap[M] : M;
+  };
+  std::istringstream IS(Text);
+  std::ostringstream OS;
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "thread") {
+      uint64_t Tid;
+      std::string Name;
+      if (LS >> Tid >> Name) {
+        OS << "thread " << MapTid(Tid) << ' ' << Name << '\n';
+        continue;
+      }
+    } else if (Tag == "node") {
+      uint64_t Id, Parent;
+      MethodId Method;
+      uint32_t Bci;
+      if (LS >> Id >> Parent >> Method >> Bci) {
+        OS << "node " << Id << ' ' << Parent << ' ' << MapMethod(Method)
+           << ' ' << Bci << '\n';
+        continue;
+      }
+    } else if (Tag == "group" || Tag == "access" || Tag == "homenode" ||
+               Tag == "cpunode") {
+      uint64_t AllocThread, AllocNode;
+      if (LS >> AllocThread >> AllocNode) {
+        std::string Rest;
+        std::getline(LS, Rest);
+        OS << Tag << ' ' << MapTid(AllocThread) << ' ' << AllocNode << Rest
+           << '\n';
+        continue;
+      }
+    }
+    OS << Line << '\n';
+  }
+  return OS.str();
+}

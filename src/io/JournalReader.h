@@ -1,0 +1,109 @@
+//===- io/JournalReader.h - Journal scan/verify/recover ---------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovery side of the profile journal (`djxperf recover` / `merge`):
+/// scan the byte stream front to back, verify every segment's magic,
+/// CRC32C, bounds and sequence number, and stop at the first violation —
+/// the truncation rule is "salvage exactly the valid prefix", never
+/// resynchronize past damage. Recovered state is the state at the last
+/// valid Commit (or Close) sentinel; structurally valid segments after
+/// it are uncommitted and reported as dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_IO_JOURNALREADER_H
+#define DJX_IO_JOURNALREADER_H
+
+#include "core/ThreadProfile.h"
+#include "io/ProfileJournal.h"
+#include "jvm/MethodRegistry.h"
+#include "support/VmError.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace djx {
+
+/// One structurally valid segment, as the scanner saw it.
+struct JournalSegmentInfo {
+  uint64_t Offset = 0; ///< File offset of the segment header.
+  uint64_t Length = 0; ///< Header + payload bytes.
+  uint32_t Type = 0;   ///< SegmentType value.
+  uint64_t Seq = 0;
+  uint64_t Epoch = 0;
+};
+
+/// Everything salvageable from one journal file.
+struct JournalRecovery {
+  /// File header present and checksummed; when false nothing below is
+  /// meaningful and the CLI reports JournalCorrupt.
+  bool HeaderValid = false;
+  std::string HeaderError;
+
+  JournalMeta Meta;
+  bool HasMeta = false;
+
+  /// Rebuilt method registry content; index == original MethodId.
+  std::vector<MethodInfo> Methods;
+  /// Committed snapshot text per thread (last writer wins), and the
+  /// parsed profiles, in thread-id order.
+  std::map<uint64_t, std::string> Snapshots;
+  std::vector<ThreadProfile> Profiles;
+
+  /// Structurally valid segments, in file order (committed or not).
+  std::vector<JournalSegmentInfo> Segments;
+  uint64_t SegmentsCommitted = 0;
+  /// Valid segments after the last Commit/Close — appended but never
+  /// made durable; dropped by the truncation rule.
+  uint64_t SegmentsUncommitted = 0;
+  /// File bytes contributing to the recovered state (header + committed
+  /// segments).
+  uint64_t BytesKept = 0;
+  /// Bytes after the last structurally valid segment (torn/corrupt
+  /// tail).
+  uint64_t TrailingBytes = 0;
+  /// Why the scan stopped before EOF; empty when the file ended exactly
+  /// at a segment boundary.
+  std::string TruncationReason;
+
+  uint64_t LastEpoch = 0; ///< Epoch of the last valid Commit.
+  uint64_t LastRound = 0; ///< Executor round stamped in that Commit.
+
+  /// Close sentinel, when the journal is complete.
+  bool Closed = false;
+  bool CloseClean = false;
+  VmError CloseError;
+  uint64_t CloseSamplesHandled = 0;
+  uint64_t CloseSamplesDropped = 0;
+
+  /// True when the recovered report does not cover the full run: no
+  /// clean Close, or data was dropped getting here.
+  bool degraded() const {
+    return !Closed || SegmentsUncommitted != 0 || TrailingBytes != 0;
+  }
+};
+
+/// Scans \p Path and salvages the valid prefix. Never throws; an
+/// unreadable or unrecognizable file comes back with HeaderValid ==
+/// false.
+JournalRecovery readJournal(const std::string &Path);
+
+/// Registry whose MethodIds equal the journal's original ids.
+MethodRegistry buildJournalMethodRegistry(const JournalRecovery &R);
+
+/// Merge support: rewrites one snapshot's text, adding \p ThreadOffset
+/// to every real thread id (id 0 — unknown provenance — is preserved)
+/// and mapping method ids through \p MethodMap (index = original id).
+/// Ids absent from \p MethodMap pass through unchanged.
+std::string remapSnapshotText(const std::string &Text, uint64_t ThreadOffset,
+                              const std::vector<MethodId> &MethodMap);
+
+} // namespace djx
+
+#endif // DJX_IO_JOURNALREADER_H

@@ -1,0 +1,188 @@
+//===- io/ProfileJournal.h - Crash-durable profile journal ------*- C++ -*-===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only, checksummed journal of profile state: `djxperf --journal`
+/// streams per-epoch profile deltas to disk so a killed or wedged
+/// profiler still yields a usable report (`djxperf recover`), and many
+/// single-VM journals fold into one fleet report (`djxperf merge`).
+///
+/// On-disk format (all integers little-endian):
+///
+///   file header (16 bytes)
+///     +0  magic    "DJXJRNL1"                                (8 bytes)
+///     +8  version  u32 = 1
+///     +12 crc      u32 CRC32C of bytes [0, 12)
+///
+///   segment (32-byte header + payload), repeated to EOF
+///     +0  magic    u32 = kJournalSegmentMagic
+///     +4  type     u32 SegmentType
+///     +8  seq      u64 monotonic sequence number, 1-based
+///     +16 epoch    u64 flush ordinal (0 for Meta)
+///     +24 len      u32 payload byte count
+///     +28 crc      u32 CRC32C of bytes [4, 28) + payload
+///
+/// Segment types:
+///   Meta        — run/render options (text key-value lines); first
+///                 segment of every journal.
+///   MethodTable — delta of newly registered methods since the last
+///                 flush (binary; ids are assigned contiguously so the
+///                 reader rebuilds the registry by position).
+///   Snapshot    — one thread's full profile (u64 thread id + the
+///                 djxprofile v1 text), written only when the profile
+///                 changed since its last snapshot; last-writer-wins.
+///   Commit      — epoch sentinel (u64 executor round): everything up
+///                 to and including this segment is a consistent
+///                 snapshot. Recovery state = state at the last valid
+///                 Commit.
+///   Close       — terminal sentinel carrying the run's outcome (clean,
+///                 or the VmError that degraded it plus the sample
+///                 accounting), so `recover` on a complete journal
+///                 reproduces the run's report — degraded banner
+///                 included — byte for byte.
+///
+/// Epochs are flushed at executor round barriers (single-threaded
+/// windows, so snapshots are race-free and --jobs-invariant), at
+/// GC-finish for serial workloads, and on the VmError unwind path after
+/// the profiler drained its rings. Writes are buffered per epoch and
+/// flushed with plain append write()s: everything the kernel accepted
+/// survives SIGKILL, and the CRC + Commit discipline makes the valid
+/// prefix a consistent snapshot no matter where the byte stream tears.
+///
+/// I/O fault sites (FaultInjector, keyed on logical ordinals so plans
+/// stay --jobs-invariant): JournalShortWrite (torn tail, journaling then
+/// off), JournalWriteError (transient EIO, bounded backoff then
+/// journaling off; the run always continues), JournalCorruptByte (bit
+/// flip in a buffered segment, caught by CRC on read-back).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DJX_IO_PROFILEJOURNAL_H
+#define DJX_IO_PROFILEJOURNAL_H
+
+#include "support/VmError.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace djx {
+
+class DjxPerf;
+class MethodRegistry;
+
+/// "DJXJRNL1"
+inline constexpr char kJournalFileMagic[8] = {'D', 'J', 'X', 'J',
+                                              'R', 'N', 'L', '1'};
+inline constexpr uint32_t kJournalFormatVersion = 1;
+/// "DJSG" little-endian.
+inline constexpr uint32_t kJournalSegmentMagic = 0x47534a44u;
+inline constexpr size_t kJournalFileHeaderBytes = 16;
+inline constexpr size_t kJournalSegmentHeaderBytes = 32;
+/// Upper bound a reader accepts for one payload; a length field above
+/// this is corruption, not a big segment.
+inline constexpr uint32_t kJournalMaxPayloadBytes = 64u << 20;
+
+enum class SegmentType : uint32_t {
+  Meta = 1,
+  MethodTable = 2,
+  Snapshot = 3,
+  Commit = 4,
+  Close = 5,
+};
+
+/// Run metadata captured at journal open, enough for `recover`/`merge`
+/// to render the exact same report without a VM.
+struct JournalMeta {
+  std::string Workload;
+  std::string Title; ///< HTML report title.
+  unsigned EventKind = 1; ///< PerfEventKind ordinal of the sort metric.
+  unsigned ReportMode = 0; ///< 0 = object, 1 = code, 2 = both.
+  unsigned TopGroups = 10;
+  unsigned TopAccessContexts = 5;
+  double MinShare = 0.0;
+  bool ShowNuma = true;
+};
+
+/// The journal writer. Degrades to inert (active() == false) after an
+/// unrecoverable I/O failure — journaling is an observer; it never fails
+/// the run it is recording.
+class ProfileJournal {
+public:
+  /// Creates/truncates \p Path and writes the file header + Meta
+  /// segment. \returns null (with \p Error set) when the file cannot be
+  /// opened.
+  static std::unique_ptr<ProfileJournal>
+  open(const std::string &Path, const JournalMeta &Meta,
+       std::string *Error = nullptr);
+
+  ~ProfileJournal();
+
+  ProfileJournal(const ProfileJournal &) = delete;
+  ProfileJournal &operator=(const ProfileJournal &) = delete;
+
+  /// False once the journal degraded to off (I/O failure).
+  bool active() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+  /// Writes one durable epoch: the method-table delta, a snapshot of
+  /// every profile whose version changed, then a Commit sentinel for
+  /// \p Round; physically flushed before returning. Must be called at a
+  /// quiescent point (round barrier / GC finish / after stop()).
+  void flush(const DjxPerf &Prof, const MethodRegistry &Methods,
+             uint64_t Round);
+
+  /// Final flush + clean Close sentinel. Idempotent once closed.
+  void closeClean(const DjxPerf &Prof, const MethodRegistry &Methods);
+
+  /// Final flush + Close sentinel carrying the failure \p E and sample
+  /// accounting, mirroring the degraded report the CLI prints. Call
+  /// after the profiler drained its rings (stop()), so salvaged samples
+  /// reach the journal.
+  void closeFailed(const DjxPerf &Prof, const MethodRegistry &Methods,
+                   const VmError &E, uint64_t SamplesHandled,
+                   uint64_t SamplesDropped);
+
+  uint64_t epochsCommitted() const { return Epoch; }
+  uint64_t segmentsWritten() const { return Seq; }
+  uint64_t bytesWritten() const { return BytesOut; }
+
+private:
+  ProfileJournal(int Fd, std::string Path);
+
+  void appendSegment(SegmentType Type, uint64_t EpochNo,
+                     const std::string &Payload);
+  /// Delta + snapshots + Commit into the pending buffer (no I/O).
+  void bufferEpoch(const DjxPerf &Prof, const MethodRegistry &Methods,
+                   uint64_t Round);
+  void bufferClose(const VmError *E, uint64_t SamplesHandled,
+                   uint64_t SamplesDropped);
+  /// Writes the pending buffer through the fault-injection sites.
+  /// \returns false when the journal degraded to off.
+  bool physFlush();
+  void degrade(const std::string &Reason);
+
+  int Fd = -1;
+  std::string Path;
+  std::string Pending;
+  bool Closed = false;
+  uint64_t Seq = 0;   ///< Last sequence number appended.
+  uint64_t Epoch = 0; ///< Last committed epoch.
+  uint64_t BytesOut = 0;
+  uint64_t WriteOrdinal = 0; ///< Logical key for write fault draws.
+  size_t MethodsFlushed = 0;
+  std::map<uint64_t, uint64_t> SnapshotVersions; ///< tid -> version.
+};
+
+/// Serialises \p Meta to the Meta segment's text payload.
+std::string encodeJournalMeta(const JournalMeta &Meta);
+/// Parses a Meta payload. \returns false on malformed input.
+bool decodeJournalMeta(const std::string &Payload, JournalMeta &Meta);
+
+} // namespace djx
+
+#endif // DJX_IO_PROFILEJOURNAL_H

@@ -264,6 +264,19 @@ void Executor::runChunk(Task &T, uint64_t Budget, bool &Parked) {
   // addresses).
 }
 
+bool Executor::roundBarrierStop() {
+  // Runs on the single thread driving the barrier (serial driver or MT
+  // closer with peers quiesced), so the hook may read every task's
+  // profile race-free. Hook first, then MaxRounds: a journal flush for
+  // round N must land even when N is the last round.
+  bool Stop = false;
+  if (Config.OnRoundEnd)
+    Stop = Config.OnRoundEnd(Rounds);
+  if (Config.MaxRounds != 0 && Rounds >= Config.MaxRounds)
+    Stop = true;
+  return Stop;
+}
+
 std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
   auto Batch = std::make_unique<IterBatch>();
   // Continue the current round: parked tasks that still owe quantum
@@ -273,8 +286,13 @@ std::unique_ptr<Executor::IterBatch> Executor::nextIteration() {
     if (!T->Done && T->StepsLeft > 0)
       Batch->Tasks.push_back(T.get());
   if (Batch->Tasks.empty()) {
-    // Round barrier crossed: open the next round. (Budgets are drawn
-    // against the pre-increment Rounds value, matching runSerial.)
+    // Round barrier crossed (also true for the final barrier, where no
+    // task has budget left): fire the hook before opening the next
+    // round, at the same logical point as runSerialLoop's barrier.
+    if (Rounds > 0 && roundBarrierStop())
+      return nullptr; // Clean early end (hook request or MaxRounds).
+    // Open the next round. (Budgets are drawn against the
+    // pre-increment Rounds value, matching runSerial.)
     for (auto &T : Tasks)
       if (!T->Done) {
         T->StepsLeft = quantumFor(T->Index);
@@ -487,7 +505,10 @@ void Executor::runSerialLoop() {
       for (auto &T : Tasks)
         T->Parked = false;
     }
-    // Round barrier: every task is Done or out of budget.
+    // Round barrier: every task is Done or out of budget. Same logical
+    // point as the MT closer's empty continue-batch.
+    if (roundBarrierStop())
+      return;
   }
 }
 

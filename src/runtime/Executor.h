@@ -57,6 +57,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -136,6 +137,18 @@ struct ExecutorConfig {
   /// disables it (and disarms the QuantumClaim fault-injection site,
   /// which needs the watchdog to unwind the stall it creates).
   uint64_t StallTimeoutMs = 120000;
+  /// Round-barrier hook: fired once per completed round, on the single
+  /// thread driving the barrier (the serial driver, or the MT closer
+  /// with every peer quiesced on the ticket — a safe point to read
+  /// profiles or flush a journal). The argument is the just-completed
+  /// round (1-based). Return true to end the session cleanly after
+  /// this round. Fires at identical logical points for any Jobs value.
+  std::function<bool(uint64_t)> OnRoundEnd;
+  /// End the session cleanly once this many rounds completed (0 =
+  /// unlimited). The reference oracle for journal recovery: a run
+  /// truncated at round N must match `recover` of a journal whose last
+  /// durable commit is round N.
+  uint64_t MaxRounds = 0;
 };
 
 /// Drives simulated threads to completion on host workers.
@@ -250,6 +263,10 @@ private:
   /// Wraps runSerialLoop in the same first-error capture as the MT path.
   void runSerial();
   void runSerialLoop();
+  /// Round-barrier bookkeeping shared by both schedules: fires
+  /// Config.OnRoundEnd for the just-completed round and evaluates
+  /// MaxRounds. \returns true when the session should end cleanly.
+  bool roundBarrierStop();
 
   // --- Failure capture and the stall watchdog ----------------------------
   /// Captures \p E first-error-wins and ends the session: SessionDone is

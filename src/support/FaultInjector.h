@@ -27,6 +27,21 @@
 //                  host-time watchdog converts it into a WorkerStall
 //                  error. Keyed on (round, task). Only armed while a
 //                  watchdog is running (StallTimeoutMs > 0).
+//   JournalShortWrite — torn journal tail: a physical journal flush
+//                  writes only a prefix of its buffer, then journaling
+//                  degrades to off (the model of a crash mid-write).
+//                  Keyed on the journal's write ordinal.
+//   JournalWriteError — transient EIO on a journal flush: retried with
+//                  bounded backoff, then journaling degrades to off
+//                  with a stderr warning; the run continues. Keyed on
+//                  (write ordinal, attempt).
+//   JournalCorruptByte — one bit flipped in a buffered journal segment
+//                  after its CRC was computed; recovery must catch it
+//                  on read-back. Keyed on the segment sequence number.
+//
+// The journal keys are logical ordinals (flushes happen at round
+// barriers), so like every other site the injected set is identical
+// across --jobs values.
 //
 // The injector is process-global (installed by tests or the CLI before
 // a run; runs never install concurrently). When disabled the hot-path
@@ -46,9 +61,12 @@ enum class FaultSite : unsigned {
   RingPush = 1,
   GcCollect = 2,
   QuantumClaim = 3,
+  JournalShortWrite = 4,
+  JournalWriteError = 5,
+  JournalCorruptByte = 6,
 };
 
-inline constexpr unsigned kNumFaultSites = 4;
+inline constexpr unsigned kNumFaultSites = 7;
 
 inline const char *faultSiteName(FaultSite S) {
   switch (S) {
@@ -60,6 +78,12 @@ inline const char *faultSiteName(FaultSite S) {
     return "gc-collect";
   case FaultSite::QuantumClaim:
     return "quantum-claim";
+  case FaultSite::JournalShortWrite:
+    return "journal-short-write";
+  case FaultSite::JournalWriteError:
+    return "journal-write-error";
+  case FaultSite::JournalCorruptByte:
+    return "journal-corrupt-byte";
   }
   return "unknown";
 }
@@ -67,7 +91,7 @@ inline const char *faultSiteName(FaultSite S) {
 struct FaultPlan {
   uint64_t Seed = 0;
   /// Per-site injection probability in [0, 1]; 0 disarms the site.
-  double Rate[kNumFaultSites] = {0.0, 0.0, 0.0, 0.0};
+  double Rate[kNumFaultSites] = {};
 
   double &rate(FaultSite S) { return Rate[static_cast<unsigned>(S)]; }
   double rate(FaultSite S) const { return Rate[static_cast<unsigned>(S)]; }

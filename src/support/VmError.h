@@ -24,6 +24,8 @@ enum class VmErrorKind {
   InvalidBytecode, ///< Verifier rejected a malformed program.
   WorkerStall,     ///< Watchdog declared a stalled worker/safepoint.
   Internal,        ///< Configuration or invariant violation.
+  JournalCorrupt,  ///< recover/merge input is not a usable journal.
+  Interrupted,     ///< SIGINT/SIGTERM ended the run at a round barrier.
 };
 
 inline const char *vmErrorKindName(VmErrorKind K) {
@@ -38,13 +40,18 @@ inline const char *vmErrorKindName(VmErrorKind K) {
     return "WorkerStall";
   case VmErrorKind::Internal:
     return "Internal";
+  case VmErrorKind::JournalCorrupt:
+    return "JournalCorrupt";
+  case VmErrorKind::Interrupted:
+    return "Interrupted";
   }
   return "Unknown";
 }
 
 /// CLI exit-code contract (documented in docs/ARCHITECTURE.md and the
 /// djxperf usage text): 0 = success, 2 = usage error, then one code
-/// per failure kind. Internal errors share the generic 1.
+/// per failure kind. Internal errors share the generic 1; Interrupted
+/// uses the shell convention 128 + SIGINT.
 inline int vmErrorExitCode(VmErrorKind K) {
   switch (K) {
   case VmErrorKind::OutOfMemory:
@@ -55,6 +62,10 @@ inline int vmErrorExitCode(VmErrorKind K) {
     return 5;
   case VmErrorKind::WorkerStall:
     return 6;
+  case VmErrorKind::JournalCorrupt:
+    return 7;
+  case VmErrorKind::Interrupted:
+    return 130;
   case VmErrorKind::Internal:
     return 1;
   }

@@ -52,6 +52,8 @@ ParallelOutcome djx::runParallelWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Tier = Config.Tier;
   Ec.Fuzz = Config.Fuzz;
   Ec.StallTimeoutMs = Config.StallTimeoutMs;
+  Ec.OnRoundEnd = Config.OnRoundEnd;
+  Ec.MaxRounds = Config.MaxRounds;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     size_t Task = Ex.addThread(
@@ -127,6 +129,8 @@ ParallelOutcome djx::runNumaRemoteWorkload(JavaVm &Vm, DjxPerf *Prof,
   Ec.Tier = Config.Tier;
   Ec.Fuzz = Config.Fuzz;
   Ec.StallTimeoutMs = Config.StallTimeoutMs;
+  Ec.OnRoundEnd = Config.OnRoundEnd;
+  Ec.MaxRounds = Config.MaxRounds;
   Executor Ex(Vm, Ec);
   for (unsigned I = 0; I < Config.SimThreads; ++I) {
     // Worker I sweeps its neighbour's array: the producer/consumer handoff

@@ -26,6 +26,7 @@
 #include "sim/MemoryHierarchy.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,12 @@ struct ParallelConfig {
   /// Render every compiled trace into ParallelOutcome.TraceDump after the
   /// run (`--dump-traces`; super tier only).
   bool DumpTraces = false;
+  /// Round-barrier hook forwarded to ExecutorConfig.OnRoundEnd (the
+  /// CLI's journal flush point; see Executor.h for the contract).
+  std::function<bool(uint64_t)> OnRoundEnd;
+  /// Forwarded to ExecutorConfig.MaxRounds: end the run cleanly after
+  /// this many rounds (`--max-rounds`; 0 = unlimited).
+  uint64_t MaxRounds = 0;
 };
 
 /// VM configuration matching \p Config: sharded heap (one shard per

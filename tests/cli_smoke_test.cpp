@@ -16,6 +16,8 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -151,6 +153,193 @@ TEST(CliSmoke, ParallelReportIsByteIdenticalAcrossJobs) {
   EXPECT_EQ(Out1, Out2);
   EXPECT_EQ(Out1, Out4);
   EXPECT_NE(Out1.find("#1 object"), std::string::npos) << Out1;
+}
+
+// --- Crash-durable journaling (--journal / recover / merge) ----------------
+
+std::string tmpFile(const std::string &Name) {
+  return testing::TempDir() + "djx_cli_" + Name;
+}
+
+std::string slurpBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+void spitBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+// Stdout-only capture (subshell keeps the inner 2>/dev/null effective).
+std::pair<int, std::string> runStdout(const std::string &Args) {
+  return run("( '" + DjxperfPath + "' " + Args + " 2>/dev/null )");
+}
+
+// A journaled run's stdout is byte-identical to a plain run's, and
+// `recover` of the complete journal reproduces those bytes again —
+// journaling is an observer, and a clean Close means nothing was lost.
+TEST(CliJournal, JournaledRunAndRecoverMatchPlainRunExactly) {
+  std::string J = tmpFile("clean.djxj");
+  auto [PlainExit, Plain] = runStdout("--jobs 2 parallel2");
+  auto [JrExit, Journaled] =
+      runStdout("--jobs 2 --journal '" + J + "' parallel2");
+  ASSERT_EQ(PlainExit, 0) << Plain;
+  ASSERT_EQ(JrExit, 0) << Journaled;
+  EXPECT_EQ(Plain, Journaled);
+  auto [RecExit, Recovered] = runStdout("recover '" + J + "'");
+  ASSERT_EQ(RecExit, 0) << Recovered;
+  EXPECT_EQ(Plain, Recovered);
+  std::remove(J.c_str());
+}
+
+// The journal file itself is --jobs-invariant: flushes happen at logical
+// round barriers, never at host-time points.
+TEST(CliJournal, JournalFileBytesAreJobsInvariant) {
+  std::string J1 = tmpFile("jobs1.djxj");
+  std::string J4 = tmpFile("jobs4.djxj");
+  auto [E1, O1] = runStdout("--jobs 1 --journal '" + J1 + "' parallel2");
+  auto [E4, O4] = runStdout("--jobs 4 --journal '" + J4 + "' parallel2");
+  ASSERT_EQ(E1, 0) << O1;
+  ASSERT_EQ(E4, 0) << O4;
+  std::string B1 = slurpBytes(J1);
+  EXPECT_FALSE(B1.empty());
+  EXPECT_EQ(B1, slurpBytes(J4));
+  std::remove(J1.c_str());
+  std::remove(J4.c_str());
+}
+
+// Torn journals (the SIGKILL shape) recover with exit 0, a DEGRADED
+// banner, and truthful kept/dropped accounting.
+TEST(CliJournal, RecoverOfTruncatedJournalIsDegradedButExitsZero) {
+  std::string J = tmpFile("torn.djxj");
+  auto [RunExit, RunOut] =
+      runStdout("--jobs 2 --journal '" + J + "' parallel2");
+  ASSERT_EQ(RunExit, 0) << RunOut;
+  std::string Full = slurpBytes(J);
+  ASSERT_GT(Full.size(), 4000u);
+  spitBytes(J, Full.substr(0, Full.size() / 2));
+  auto [Exit, Out] = run("'" + DjxperfPath + "' recover '" + J + "'");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("DEGRADED"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("last durable epoch"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("kept"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+  std::remove(J.c_str());
+}
+
+// A file that is not a journal at all exits with the documented
+// JournalCorrupt code (7) — distinct from a salvageable torn journal.
+TEST(CliJournal, RecoverOfGarbageExitsJournalCorruptCode) {
+  std::string J = tmpFile("garbage.djxj");
+  spitBytes(J, "this is not a journal\n");
+  auto [Exit, Out] = run("'" + DjxperfPath + "' recover '" + J + "'");
+  EXPECT_EQ(Exit, 7) << Out;
+  EXPECT_NE(Out.find("FAILED"), std::string::npos) << Out;
+  std::remove(J.c_str());
+}
+
+// merge folds N journals into one aggregate report with per-file
+// accounting; unusable inputs are skipped, not fatal.
+TEST(CliJournal, MergeAggregatesJournalsAndSkipsGarbage) {
+  std::string J1 = tmpFile("m1.djxj");
+  std::string J2 = tmpFile("m2.djxj");
+  std::string Bad = tmpFile("mbad.djxj");
+  runStdout("--jobs 2 --journal '" + J1 + "' parallel2");
+  runStdout("--jobs 2 --journal '" + J2 + "' parallel2");
+  spitBytes(Bad, "junk");
+  auto [Exit, Out] = run("'" + DjxperfPath + "' merge '" + J1 + "' '" +
+                         J2 + "' '" + Bad + "'");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("skipped"), std::string::npos) << Out;
+  // Two 2-thread journals fold into one 4-thread aggregate.
+  EXPECT_NE(Out.find("4 thread(s)"), std::string::npos) << Out;
+  auto [BadExit, BadOut] =
+      run("'" + DjxperfPath + "' merge '" + Bad + "'");
+  EXPECT_EQ(BadExit, 7) << BadOut;
+  std::remove(J1.c_str());
+  std::remove(J2.c_str());
+  std::remove(Bad.c_str());
+}
+
+// Journal I/O failure degrades journaling to off with a warning; the
+// run itself still succeeds with its normal report.
+TEST(CliJournal, WriteErrorDegradesJournalNotTheRun) {
+  std::string J = tmpFile("werror.djxj");
+  auto [Exit, Out] =
+      run("'" + DjxperfPath + "' --jobs 2 --journal '" + J +
+          "' --fault-rate journal-error=1.0 --fault-seed 7 parallel2");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("degraded to off"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+  std::remove(J.c_str());
+}
+
+// SIGTERM mid-run: the executor ends the session at the next round
+// barrier, the journal is flushed and closed, and the exit code is the
+// shell convention 130. Tolerates the race where the run finishes
+// before the signal lands (exit 0); either way the journal recovers.
+TEST(CliJournal, SigtermFlushesAndClosesTheJournal) {
+  std::string J = tmpFile("sigterm.djxj");
+  auto [Exit, Out] = run("( '" + DjxperfPath + "' --jobs 2 --journal '" +
+                         J + "' parallel8 >/dev/null 2>&1 & P=$!; "
+                         "sleep 0.3; kill -TERM $P 2>/dev/null; wait $P; "
+                         "echo RC=$? )");
+  ASSERT_EQ(Exit, 0) << Out;
+  bool Interrupted = Out.find("RC=130") != std::string::npos;
+  bool Finished = Out.find("RC=0") != std::string::npos;
+  EXPECT_TRUE(Interrupted || Finished) << Out;
+  auto [RecExit, RecOut] = run("'" + DjxperfPath + "' recover '" + J + "'");
+  EXPECT_EQ(RecExit, 0) << RecOut;
+  if (Interrupted)
+    EXPECT_NE(RecOut.find("Interrupted"), std::string::npos) << RecOut;
+  std::remove(J.c_str());
+}
+
+// Atomic report writing: SIGKILL at arbitrary points can abandon the
+// run, but the --html target is either absent or a complete document —
+// never a torn prefix (tmp + fsync + rename).
+TEST(CliJournal, KillDuringRunNeverLeavesTornHtmlReport) {
+  for (const char *Delay : {"0.05", "0.15", "0.3", "0.6"}) {
+    std::string H = tmpFile(std::string("kill_") + Delay + ".html");
+    std::remove(H.c_str());
+    run("( '" + DjxperfPath + "' --jobs 2 --html '" + H +
+        "' parallel2 >/dev/null 2>&1 & P=$!; sleep " + Delay +
+        "; kill -KILL $P 2>/dev/null; wait $P 2>/dev/null; true )");
+    std::string Bytes = slurpBytes(H);
+    if (!Bytes.empty())
+      EXPECT_NE(Bytes.find("</html>"), std::string::npos)
+          << H << ": torn report (" << Bytes.size() << " bytes)";
+    std::remove(H.c_str());
+    std::remove((H + ".tmp").c_str());
+  }
+}
+
+// --max-rounds ends an mt run cleanly after N barriers: the documented
+// reference oracle for truncated-journal recovery.
+TEST(CliJournal, MaxRoundsStopsCleanly) {
+  auto [Exit, Out] = runStdout("--jobs 2 --max-rounds 5 parallel2");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("=== DJXPerf object-centric profile ==="),
+            std::string::npos)
+      << Out;
+}
+
+// The help text documents the verbs and the extended exit-code table.
+TEST(CliJournal, UsageDocumentsJournalVerbsAndExitCodes) {
+  auto [Exit, Out] = run("'" + DjxperfPath + "' --help");
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("recover <journal>"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("merge <journal>"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("--journal"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("7 unusable journal"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("130 interrupted"), std::string::npos) << Out;
 }
 
 } // namespace

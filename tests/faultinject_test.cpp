@@ -40,6 +40,7 @@
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "harness/TestModule.h"
 
@@ -195,7 +196,54 @@ TEST(VmErrorContract, ExitCodesAreDocumented) {
   EXPECT_EQ(vmErrorExitCode(VmErrorKind::StepLimit), 4);
   EXPECT_EQ(vmErrorExitCode(VmErrorKind::InvalidBytecode), 5);
   EXPECT_EQ(vmErrorExitCode(VmErrorKind::WorkerStall), 6);
+  EXPECT_EQ(vmErrorExitCode(VmErrorKind::JournalCorrupt), 7);
+  // Shell convention 128 + SIGINT for signal-interrupted runs.
+  EXPECT_EQ(vmErrorExitCode(VmErrorKind::Interrupted), 130);
   EXPECT_EQ(vmErrorExitCode(VmErrorKind::Internal), 1);
+}
+
+TEST(VmErrorContract, JournalKindsHaveNames) {
+  EXPECT_STREQ(vmErrorKindName(VmErrorKind::JournalCorrupt),
+               "JournalCorrupt");
+  EXPECT_STREQ(vmErrorKindName(VmErrorKind::Interrupted), "Interrupted");
+}
+
+// The journal I/O sites are full citizens of the injector: named,
+// counted, and drawn from the same stateless splitmix keys — so a
+// journal fault plan is as replayable and --jobs-invariant as the
+// original four sites.
+TEST(FaultSiteContract, JournalSitesAreRegistered) {
+  ASSERT_EQ(kNumFaultSites, 7u);
+  EXPECT_STREQ(faultSiteName(FaultSite::JournalShortWrite),
+               "journal-short-write");
+  EXPECT_STREQ(faultSiteName(FaultSite::JournalWriteError),
+               "journal-write-error");
+  EXPECT_STREQ(faultSiteName(FaultSite::JournalCorruptByte),
+               "journal-corrupt-byte");
+}
+
+TEST(FaultSiteContract, JournalDrawsAreStatelessAndSeedDeterministic) {
+  InjectorGuard Guard;
+  FaultPlan Plan;
+  Plan.Seed = 0xfeedULL;
+  Plan.rate(FaultSite::JournalShortWrite) = 0.5;
+  Plan.rate(FaultSite::JournalCorruptByte) = 0.5;
+  FaultInjector::install(Plan);
+  // Record a draw sequence, interleave other draws, re-draw: stateless
+  // hashing means the answers depend only on (seed, site, keys).
+  std::vector<bool> First;
+  for (uint64_t K = 0; K < 64; ++K)
+    First.push_back(FaultInjector::shouldFail(FaultSite::JournalShortWrite,
+                                              K));
+  for (uint64_t K = 0; K < 16; ++K)
+    FaultInjector::shouldFail(FaultSite::JournalCorruptByte, K);
+  for (uint64_t K = 0; K < 64; ++K)
+    EXPECT_EQ(FaultInjector::shouldFail(FaultSite::JournalShortWrite, K),
+              First[K])
+        << K;
+  // A disarmed site never fires regardless of the armed ones.
+  for (uint64_t K = 0; K < 64; ++K)
+    EXPECT_FALSE(FaultInjector::shouldFail(FaultSite::JournalWriteError, K));
 }
 
 TEST(VmErrorContract, KindNamesAreStable) {

@@ -1,0 +1,574 @@
+//===- journal_test.cpp - Crash-durable journal round trips -----------------===//
+//
+// Part of the DJXPerf reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durability contract of src/io: a journaled run salvages exactly
+/// the valid prefix, no matter where the byte stream tears.
+///
+///  - CRC32C known-answer and chaining vectors; atomic file replacement.
+///  - Clean round trip: journal -> readJournal reproduces the run's
+///    per-thread profile texts and merged report byte for byte, across
+///    --jobs values (the journal file itself is jobs-invariant).
+///  - Truncation: cutting the file after commit R recovers the same
+///    state as a reference run stopped at MaxRounds = R.
+///  - Fuzz corpus: seeded truncations, bit flips and segment swaps.
+///    Recovery never crashes, never trusts bytes past a bad CRC, and
+///    keeps exactly the commits that precede the damage. Failures
+///    print DJX_JOURNAL_FUZZ_SEED for replay.
+///  - Injected I/O faults: write errors degrade journaling to off
+///    without touching the run; short writes leave a recoverable torn
+///    prefix; corrupt bits never survive read-back.
+///  - Merge: remapped snapshots from N journals fold into keyed sums.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/DjxPerf.h"
+#include "core/Report.h"
+#include "io/AtomicFile.h"
+#include "io/Checksum.h"
+#include "io/JournalReader.h"
+#include "io/ProfileJournal.h"
+#include "support/FaultInjector.h"
+#include "support/VmError.h"
+#include "workloads/Parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/TestModule.h"
+
+using namespace djx;
+
+namespace {
+
+DJX_TEST_MODULE(journal_test, 80.0, 50.0,
+    "src/io/AtomicFile.cpp",
+    "src/io/AtomicFile.h",
+    "src/io/Checksum.h",
+    "src/io/JournalReader.cpp",
+    "src/io/JournalReader.h",
+    "src/io/ProfileJournal.cpp",
+    "src/io/ProfileJournal.h");
+
+/// Fuzz iterations per mutation kind.
+constexpr int kFuzzCases = 40;
+
+uint64_t mixSeed(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// Fuzz base seed: DJX_JOURNAL_FUZZ_SEED when set (replay), fresh
+/// entropy otherwise. Printed exactly once per binary run.
+uint64_t fuzzSeed() {
+  static uint64_t Seed = [] {
+    uint64_t S;
+    if (const char *Env = std::getenv("DJX_JOURNAL_FUZZ_SEED")) {
+      S = std::strtoull(Env, nullptr, 0);
+    } else {
+      std::random_device Rd;
+      S = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+    }
+    std::printf("[journal] DJX_JOURNAL_FUZZ_SEED=0x%016" PRIx64
+                " (export to reproduce)\n",
+                S);
+    return S;
+  }();
+  return Seed;
+}
+
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::clear(); }
+};
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "djx_journal_" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+/// Small-but-real journaling workload: enough rounds for many epochs,
+/// churn for safepoint GCs, hot arrays past L1 so samples flow.
+ParallelConfig journalWorkload() {
+  ParallelConfig Pc;
+  Pc.SimThreads = 2;
+  Pc.Iters = 60;
+  Pc.Nlen = 96;
+  Pc.HotElems = 8192;
+  Pc.HeapBytesPerThread = 256 << 10;
+  return Pc;
+}
+
+JournalMeta testMeta() {
+  JournalMeta M;
+  M.Workload = "journal-test";
+  M.Title = "DJXPerf: journal-test";
+  M.EventKind = static_cast<unsigned>(PerfEventKind::L1Miss);
+  return M;
+}
+
+/// Everything observable from one journaled in-process run.
+struct JournaledRun {
+  bool JournalActive = false; ///< Still on at close (no degrade).
+  uint64_t Rounds = 0;
+  std::string Report; ///< Merged object-centric report text.
+  std::vector<std::string> ProfileTexts; ///< writeTo per thread.
+};
+
+/// Runs the journal workload with the CLI's wiring (flush at round
+/// barriers, closeClean at the end) and returns the live-side state the
+/// journal must reproduce. MaxRounds = 0 runs to completion.
+JournaledRun runJournaled(const std::string &Path, unsigned Jobs,
+                          uint64_t MaxRounds = 0) {
+  ParallelConfig Pc = journalWorkload();
+  Pc.Jobs = Jobs;
+  Pc.MaxRounds = MaxRounds;
+  JavaVm Vm(parallelVmConfig(Pc));
+  DjxPerf Prof(Vm, parallelAgentConfig(Pc));
+  Prof.start();
+  std::string Err;
+  auto Journal = ProfileJournal::open(Path, testMeta(), &Err);
+  EXPECT_NE(Journal, nullptr) << Err;
+  Pc.OnRoundEnd = [&](uint64_t Round) {
+    if (Journal)
+      Journal->flush(Prof, Vm.methods(), Round);
+    return false;
+  };
+  JournaledRun R;
+  ParallelOutcome Out = runParallelWorkload(Vm, &Prof, Pc);
+  R.Rounds = Out.Rounds;
+  Prof.stop();
+  if (Journal) {
+    Journal->closeClean(Prof, Vm.methods());
+    R.JournalActive = Journal->active();
+  }
+  MergedProfile P = Prof.analyze();
+  R.Report = renderObjectCentric(P, Vm.methods());
+  for (const ThreadProfile *T : Prof.profiles()) {
+    std::ostringstream OS;
+    T->writeTo(OS);
+    R.ProfileTexts.push_back(OS.str());
+  }
+  return R;
+}
+
+/// Renders the recovered state the same way the live side did.
+std::string recoveredReport(const JournalRecovery &R) {
+  MethodRegistry Methods = buildJournalMethodRegistry(R);
+  std::vector<const ThreadProfile *> Parts;
+  for (const ThreadProfile &P : R.Profiles)
+    Parts.push_back(&P);
+  return renderObjectCentric(mergeProfiles(Parts), Methods);
+}
+
+// --- Checksum --------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B).
+  EXPECT_EQ(Crc32c::compute("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c::compute("", 0), 0u);
+  // 32 zero bytes, a common iSCSI test vector.
+  unsigned char Zeros[32] = {};
+  EXPECT_EQ(Crc32c::compute(Zeros, sizeof(Zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChainsAcrossSplits) {
+  const char *Data = "the quick brown fox jumps over the lazy dog";
+  size_t Len = std::strlen(Data);
+  uint32_t Whole = Crc32c::compute(Data, Len);
+  for (size_t Cut = 0; Cut <= Len; ++Cut) {
+    uint32_t Head = Crc32c::compute(Data, Cut);
+    EXPECT_EQ(Crc32c::compute(Data + Cut, Len - Cut, Head), Whole) << Cut;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  std::string Data = "journal segment payload";
+  uint32_t Good = Crc32c::compute(Data.data(), Data.size());
+  for (size_t I = 0; I < Data.size() * 8; ++I) {
+    std::string Bad = Data;
+    Bad[I / 8] = static_cast<char>(Bad[I / 8] ^ (1u << (I % 8)));
+    EXPECT_NE(Crc32c::compute(Bad.data(), Bad.size()), Good) << I;
+  }
+}
+
+// --- Atomic file replacement -----------------------------------------------
+
+TEST(AtomicFile, WritesAndReplaces) {
+  std::string Path = tempPath("atomic.txt");
+  ASSERT_TRUE(writeFileAtomic(Path, "first\n"));
+  EXPECT_EQ(slurp(Path), "first\n");
+  ASSERT_TRUE(writeFileAtomic(Path, "second\n"));
+  EXPECT_EQ(slurp(Path), "second\n");
+  // The staging file never survives a successful replacement.
+  EXPECT_FALSE(std::ifstream(Path + ".tmp").good());
+  std::remove(Path.c_str());
+}
+
+TEST(AtomicFile, ReportsUnwritableTargets) {
+  std::string Error;
+  EXPECT_FALSE(writeFileAtomic("/nonexistent-dir/x/y.txt", "data", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+// --- Meta codec ------------------------------------------------------------
+
+TEST(JournalMetaCodec, RoundTripsEveryField) {
+  JournalMeta M;
+  M.Workload = "parallel4 with spaces";
+  M.Title = "DJXPerf: a title";
+  M.EventKind = static_cast<unsigned>(PerfEventKind::TlbMiss);
+  M.ReportMode = 2;
+  M.TopGroups = 17;
+  M.TopAccessContexts = 3;
+  M.MinShare = 0.015625;
+  M.ShowNuma = false;
+  JournalMeta Back;
+  ASSERT_TRUE(decodeJournalMeta(encodeJournalMeta(M), Back));
+  EXPECT_EQ(Back.Workload, M.Workload);
+  EXPECT_EQ(Back.Title, M.Title);
+  EXPECT_EQ(Back.EventKind, M.EventKind);
+  EXPECT_EQ(Back.ReportMode, M.ReportMode);
+  EXPECT_EQ(Back.TopGroups, M.TopGroups);
+  EXPECT_EQ(Back.TopAccessContexts, M.TopAccessContexts);
+  EXPECT_EQ(Back.MinShare, M.MinShare);
+  EXPECT_EQ(Back.ShowNuma, M.ShowNuma);
+}
+
+TEST(JournalMetaCodec, RejectsMalformedPayloads) {
+  JournalMeta M;
+  EXPECT_FALSE(decodeJournalMeta("event notanumber\n", M));
+}
+
+// --- Clean round trip ------------------------------------------------------
+
+TEST(JournalRoundTrip, RecoversCompleteRunExactly) {
+  std::string Path = tempPath("clean.djxj");
+  JournaledRun Live = runJournaled(Path, 2);
+  EXPECT_TRUE(Live.JournalActive);
+
+  JournalRecovery R = readJournal(Path);
+  ASSERT_TRUE(R.HeaderValid) << R.HeaderError;
+  EXPECT_TRUE(R.HasMeta);
+  EXPECT_EQ(R.Meta.Workload, "journal-test");
+  EXPECT_TRUE(R.Closed);
+  EXPECT_TRUE(R.CloseClean);
+  EXPECT_FALSE(R.degraded());
+  EXPECT_EQ(R.TrailingBytes, 0u);
+  EXPECT_EQ(R.SegmentsUncommitted, 0u);
+  EXPECT_EQ(R.LastRound, Live.Rounds);
+
+  // Per-thread snapshots reproduce the live profiles byte for byte.
+  ASSERT_EQ(R.Profiles.size(), Live.ProfileTexts.size());
+  for (size_t I = 0; I < R.Profiles.size(); ++I) {
+    std::ostringstream OS;
+    R.Profiles[I].writeTo(OS);
+    EXPECT_EQ(OS.str(), Live.ProfileTexts[I]) << "thread " << I;
+  }
+  EXPECT_EQ(recoveredReport(R), Live.Report);
+  std::remove(Path.c_str());
+}
+
+TEST(JournalRoundTrip, FileBytesAreJobsInvariant) {
+  std::string P1 = tempPath("jobs1.djxj");
+  std::string P2 = tempPath("jobs2.djxj");
+  std::string P4 = tempPath("jobs4.djxj");
+  runJournaled(P1, 1);
+  runJournaled(P2, 2);
+  runJournaled(P4, 4);
+  std::string B1 = slurp(P1);
+  EXPECT_FALSE(B1.empty());
+  EXPECT_EQ(B1, slurp(P2));
+  EXPECT_EQ(B1, slurp(P4));
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+  std::remove(P4.c_str());
+}
+
+// --- Truncation rule -------------------------------------------------------
+
+TEST(JournalTruncation, CutAtCommitMatchesMaxRoundsReference) {
+  std::string Path = tempPath("full.djxj");
+  runJournaled(Path, 2);
+  std::string Full = slurp(Path);
+  JournalRecovery Whole = readJournal(Path);
+  ASSERT_TRUE(Whole.Closed);
+
+  // Pick a Commit sentinel mid-run and cut the file right after it;
+  // recovery must equal a reference run stopped at that round.
+  const JournalSegmentInfo *Cut = nullptr;
+  for (const JournalSegmentInfo &S : Whole.Segments)
+    if (S.Type == static_cast<uint32_t>(SegmentType::Commit) &&
+        S.Epoch * 2 <= Whole.LastEpoch)
+      Cut = &S;
+  ASSERT_NE(Cut, nullptr);
+  uint64_t Round = Cut->Epoch; // flush(Round) stamps Epoch == Round here.
+
+  std::string Torn = Full.substr(0, Cut->Offset + Cut->Length);
+  std::string TornPath = tempPath("torn.djxj");
+  spit(TornPath, Torn);
+  JournalRecovery R = readJournal(TornPath);
+  ASSERT_TRUE(R.HeaderValid);
+  EXPECT_FALSE(R.Closed);
+  EXPECT_TRUE(R.degraded());
+  EXPECT_EQ(R.LastRound, Round);
+  EXPECT_EQ(R.TrailingBytes, 0u);
+  EXPECT_TRUE(R.TruncationReason.empty());
+
+  std::string RefPath = tempPath("ref.djxj");
+  JournaledRun Ref = runJournaled(RefPath, 2, Round);
+  EXPECT_EQ(Ref.Rounds, Round);
+  EXPECT_EQ(recoveredReport(R), Ref.Report);
+
+  std::remove(Path.c_str());
+  std::remove(TornPath.c_str());
+  std::remove(RefPath.c_str());
+}
+
+// --- Fuzz corpus -----------------------------------------------------------
+
+/// Oracle for damage at byte offset \p Damage: the epoch of the last
+/// Commit/Close whose bytes end at or before the damage point. The
+/// scanner stops at the first violation and never resynchronizes, so it
+/// must recover exactly this epoch.
+uint64_t lastDurableEpochBefore(const JournalRecovery &Whole,
+                                uint64_t Damage) {
+  uint64_t Epoch = 0;
+  for (const JournalSegmentInfo &S : Whole.Segments)
+    if ((S.Type == static_cast<uint32_t>(SegmentType::Commit) ||
+         S.Type == static_cast<uint32_t>(SegmentType::Close)) &&
+        S.Offset + S.Length <= Damage)
+      Epoch = S.Epoch;
+  return Epoch;
+}
+
+TEST(JournalFuzz, SalvagesExactlyTheValidPrefix) {
+  std::string Path = tempPath("fuzz.djxj");
+  runJournaled(Path, 2);
+  std::string Full = slurp(Path);
+  JournalRecovery Whole = readJournal(Path);
+  ASSERT_TRUE(Whole.Closed);
+  ASSERT_GE(Whole.Segments.size(), 8u);
+
+  uint64_t Base = fuzzSeed();
+  std::string MutPath = tempPath("fuzz_mut.djxj");
+  for (int Case = 0; Case < kFuzzCases; ++Case) {
+    uint64_t S = mixSeed(Base + static_cast<uint64_t>(Case));
+    std::string Label = "fuzz case " + std::to_string(Case);
+    std::string Mut = Full;
+    uint64_t Damage;
+    switch (Case % 3) {
+    case 0: { // Truncate at an arbitrary byte.
+      Damage = S % Full.size();
+      Mut.resize(Damage);
+      break;
+    }
+    case 1: { // Flip one bit. CRC32C catches every 1-bit error, so the
+              // segment containing it can never be trusted.
+      uint64_t Bit = S % (Full.size() * 8);
+      Damage = Bit / 8;
+      Mut[Damage] = static_cast<char>(Mut[Damage] ^ (1u << (Bit % 8)));
+      // The damaged *segment* starts before the damaged byte: commits
+      // inside it are gone too. Walk back to its header offset.
+      for (const JournalSegmentInfo &Seg : Whole.Segments)
+        if (Seg.Offset <= Damage && Damage < Seg.Offset + Seg.Length)
+          Damage = Seg.Offset;
+      break;
+    }
+    default: { // Swap two adjacent segments: a sequence break.
+      size_t I = S % (Whole.Segments.size() - 1);
+      const JournalSegmentInfo &A = Whole.Segments[I];
+      const JournalSegmentInfo &B = Whole.Segments[I + 1];
+      std::string Swapped = Full.substr(0, A.Offset);
+      Swapped += Full.substr(B.Offset, B.Length);
+      Swapped += Full.substr(A.Offset, A.Length);
+      Swapped += Full.substr(B.Offset + B.Length);
+      Mut = std::move(Swapped);
+      Damage = A.Offset;
+      break;
+    }
+    }
+    spit(MutPath, Mut);
+    JournalRecovery R = readJournal(MutPath); // Must never crash.
+    if (Damage < kJournalFileHeaderBytes) {
+      EXPECT_FALSE(R.HeaderValid) << Label;
+      continue;
+    }
+    ASSERT_TRUE(R.HeaderValid) << Label;
+    EXPECT_EQ(R.LastEpoch, lastDurableEpochBefore(Whole, Damage)) << Label;
+    EXPECT_LE(R.BytesKept, Mut.size()) << Label;
+    // Salvaged profiles always parse back (readJournal drops the
+    // unparseable), and the report renders without crashing.
+    EXPECT_EQ(R.Profiles.size(), R.Snapshots.size()) << Label;
+    recoveredReport(R);
+  }
+  std::remove(Path.c_str());
+  std::remove(MutPath.c_str());
+}
+
+// --- Injected I/O faults ---------------------------------------------------
+
+TEST(JournalFaults, WriteErrorDegradesToOffRunUnaffected) {
+  InjectorGuard Guard;
+  std::string Plain = tempPath("plainref.djxj");
+  JournaledRun Ref = runJournaled(Plain, 2);
+
+  FaultPlan Plan;
+  Plan.Seed = 0x77;
+  Plan.rate(FaultSite::JournalWriteError) = 1.0;
+  FaultInjector::install(Plan);
+  std::string Path = tempPath("werror.djxj");
+  JournaledRun Run = runJournaled(Path, 2);
+  EXPECT_GE(FaultInjector::firedCount(FaultSite::JournalWriteError), 1u);
+  FaultInjector::clear();
+
+  // Journaling is an observer: the run's own results never change.
+  EXPECT_FALSE(Run.JournalActive);
+  EXPECT_EQ(Run.Report, Ref.Report);
+  std::remove(Plain.c_str());
+  std::remove(Path.c_str());
+}
+
+TEST(JournalFaults, ShortWriteLeavesRecoverableTornPrefix) {
+  InjectorGuard Guard;
+  FaultPlan Plan;
+  Plan.Seed = 0x99;
+  // Spare the first flush (header + Meta) on this seed; fail soon after.
+  Plan.rate(FaultSite::JournalShortWrite) = 0.2;
+  FaultInjector::install(Plan);
+  std::string Path = tempPath("short.djxj");
+  JournaledRun Run = runJournaled(Path, 2);
+  FaultInjector::clear();
+  EXPECT_FALSE(Run.JournalActive);
+
+  JournalRecovery R = readJournal(Path); // Must never crash.
+  if (R.HeaderValid) {
+    EXPECT_TRUE(R.degraded());
+    EXPECT_FALSE(R.Closed);
+    recoveredReport(R);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(JournalFaults, CorruptBitsNeverSurviveReadBack) {
+  InjectorGuard Guard;
+  FaultPlan Plan;
+  Plan.Seed = 0x42;
+  Plan.rate(FaultSite::JournalCorruptByte) = 1.0;
+  FaultInjector::install(Plan);
+  std::string Path = tempPath("corrupt.djxj");
+  runJournaled(Path, 2);
+  FaultInjector::clear();
+
+  // Every segment with a payload was corrupted after its CRC was
+  // computed; the scanner must reject the very first one.
+  JournalRecovery R = readJournal(Path);
+  ASSERT_TRUE(R.HeaderValid);
+  EXPECT_EQ(R.SegmentsCommitted, 0u);
+  EXPECT_EQ(R.LastEpoch, 0u);
+  EXPECT_FALSE(R.HasMeta);
+  EXPECT_EQ(R.TruncationReason, "segment checksum mismatch");
+  std::remove(Path.c_str());
+}
+
+// --- Merge -----------------------------------------------------------------
+
+TEST(JournalMerge, TwoIdenticalJournalsSumToDouble) {
+  std::string P1 = tempPath("merge1.djxj");
+  std::string P2 = tempPath("merge2.djxj");
+  JournaledRun Live = runJournaled(P1, 2);
+  runJournaled(P2, 2);
+
+  MethodRegistry Union;
+  std::vector<ThreadProfile> All;
+  uint64_t TidOffset = 0;
+  for (const std::string &Path : {P1, P2}) {
+    JournalRecovery R = readJournal(Path);
+    ASSERT_TRUE(R.Closed && R.CloseClean) << Path;
+    std::vector<MethodId> Map;
+    for (const MethodInfo &M : R.Methods)
+      Map.push_back(Union.getOrRegister(M.ClassName, M.MethodName,
+                                        M.LineTable));
+    uint64_t MaxTid = TidOffset;
+    for (const auto &[Tid, Text] : R.Snapshots) {
+      (void)Tid;
+      std::istringstream IS(remapSnapshotText(Text, TidOffset, Map));
+      ThreadProfile P;
+      ASSERT_TRUE(P.readFrom(IS)) << Path;
+      MaxTid = std::max(MaxTid, P.threadId());
+      All.push_back(std::move(P));
+    }
+    TidOffset = MaxTid;
+  }
+
+  std::vector<const ThreadProfile *> Parts;
+  for (const ThreadProfile &P : All)
+    Parts.push_back(&P);
+  MergedProfile Merged = mergeProfiles(Parts);
+
+  JournalRecovery Single = readJournal(P1);
+  std::vector<const ThreadProfile *> OneParts;
+  for (const ThreadProfile &P : Single.Profiles)
+    OneParts.push_back(&P);
+  MergedProfile One = mergeProfiles(OneParts);
+
+  EXPECT_EQ(Merged.ThreadsMerged, 2 * One.ThreadsMerged);
+  EXPECT_EQ(Merged.UnattributedSamples, 2 * One.UnattributedSamples);
+  for (size_t K = 0; K < kNumPerfEventKinds; ++K)
+    EXPECT_EQ(Merged.Totals.Counts[K], 2 * One.Totals.Counts[K]) << K;
+  (void)Live;
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+}
+
+TEST(JournalMerge, RemapRewritesThreadAndMethodIds) {
+  // A tiny handwritten djxprofile: one node, one group, an unknown-tid
+  // homenode line. Offset 10, map method 0 -> 7.
+  std::string Text =
+      "djxprofile v1\n"
+      "thread 2 worker-1\n"
+      "cct 2\n"
+      "node 1 0 0 4\n"
+      "group 2 1 long[] 1 64 0 0 1 0 0 0 0 0 0\n"
+      "homenode 0 1 0 3\n"
+      "homenode 2 1 0 5\n"
+      "totals 1 0 0 0 0 0 0\n"
+      "unattributed 0\n"
+      "end\n";
+  std::vector<MethodId> Map = {7};
+  std::string Out = remapSnapshotText(Text, 10, Map);
+  EXPECT_NE(Out.find("thread 12 worker-1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("node 1 0 7 4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("group 12 1 long[]"), std::string::npos) << Out;
+  // Alloc-thread 0 (unknown provenance) is preserved; 2 is offset.
+  EXPECT_NE(Out.find("homenode 0 1 0 3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("homenode 12 1 0 5"), std::string::npos) << Out;
+}
+
+} // namespace

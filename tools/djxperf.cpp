@@ -17,6 +17,9 @@
 ///   djxperf --event tlbmiss --period 128 "SPECjvm2008: Scimark.fft.large"
 ///   djxperf --optimized --html /tmp/druid.html "Apache Druid"
 ///   djxperf --size-threshold 0 --write-profiles /tmp/prof figure1
+///   djxperf --journal /tmp/run.djxj parallel4
+///   djxperf recover /tmp/run.djxj
+///   djxperf merge /tmp/a.djxj /tmp/b.djxj
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,8 @@
 #include "core/DjxPerf.h"
 #include "core/HtmlReport.h"
 #include "core/Report.h"
+#include "io/JournalReader.h"
+#include "io/ProfileJournal.h"
 #include "support/FaultInjector.h"
 #include "support/VmError.h"
 #include "workloads/AccuracyCases.h"
@@ -34,11 +39,14 @@
 #include "workloads/Suites.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -156,6 +164,8 @@ std::optional<PerfEventKind> parseEvent(const std::string &S) {
 void usage(const char *Argv0) {
   std::printf(
       "usage: %s [options] <workload>\n"
+      "       %s recover <journal> [--html <file>]\n"
+      "       %s merge <journal>... [--html <file>]\n"
       "  --list                 list available workloads\n"
       "  --optimized            run the workload's optimized variant\n"
       "  --event <kind>         access|l1miss|l2miss|l3miss|tlbmiss|"
@@ -190,18 +200,27 @@ void usage(const char *Argv0) {
       "workloads: bytes per simulated thread)\n"
       "  --stall-timeout-ms <n> watchdog timeout for mt workloads "
       "(default 120000; 0 disables)\n"
-      "  --fault-rate <s>=<p>   inject faults: site alloc|ring|gc|stall, "
-      "probability p in [0,1]; repeatable\n"
+      "  --fault-rate <s>=<p>   inject faults: site alloc|ring|gc|stall|"
+      "journal-short|journal-error|journal-corrupt, probability p in "
+      "[0,1]; repeatable\n"
       "  --fault-seed <n>       seed for fault injection (default: "
       "$DJX_FAULT_SEED, else random; printed to stderr)\n"
+      "  --journal <file>       stream checksummed profile epochs to a "
+      "crash-durable journal (recover/merge read it back)\n"
+      "  --max-rounds <n>       end an mt workload cleanly after n "
+      "executor rounds (0 = run to completion; the reference oracle for "
+      "truncated-journal recovery)\n"
       "  --html <file>          also write a self-contained HTML report\n"
       "  --write-profiles <dir> dump one .djxprof file per thread\n"
       "exit codes: 0 success, 2 usage error, 3 out-of-memory, 4 step "
       "limit,\n"
-      "  5 invalid bytecode, 6 worker stall, 1 internal error. On any VM\n"
+      "  5 invalid bytecode, 6 worker stall, 7 unusable journal "
+      "(recover/merge),\n"
+      "  130 interrupted (SIGINT/SIGTERM), 1 internal error. On any VM\n"
       "  failure a partial profile is salvaged and the report is marked\n"
-      "  DEGRADED.\n",
-      Argv0);
+      "  DEGRADED; with --journal the salvaged state is also made durable\n"
+      "  before exit.\n",
+      Argv0, Argv0, Argv0);
 }
 
 /// Parses "alloc=0.5" style --fault-rate operands into \p Plan.
@@ -221,14 +240,266 @@ bool parseFaultRate(const std::string &V, FaultPlan &Plan) {
     Plan.Rate[static_cast<int>(FaultSite::GcCollect)] = Rate;
   else if (Site == "stall")
     Plan.Rate[static_cast<int>(FaultSite::QuantumClaim)] = Rate;
+  else if (Site == "journal-short")
+    Plan.Rate[static_cast<int>(FaultSite::JournalShortWrite)] = Rate;
+  else if (Site == "journal-error")
+    Plan.Rate[static_cast<int>(FaultSite::JournalWriteError)] = Rate;
+  else if (Site == "journal-corrupt")
+    Plan.Rate[static_cast<int>(FaultSite::JournalCorruptByte)] = Rate;
   else
     return false;
   return true;
 }
 
+/// First termination signal caught (0 = none). The handler only sets the
+/// flag; the executor ends the session at the next round barrier and the
+/// normal unwind path flushes and closes the journal. A second signal
+/// restores the default disposition and re-raises, so a wedged run can
+/// still be killed.
+volatile std::sig_atomic_t GSignal = 0;
+
+void onTermSignal(int Sig) {
+  if (GSignal != 0) {
+    std::signal(Sig, SIG_DFL);
+    std::raise(Sig);
+    return;
+  }
+  GSignal = Sig;
+}
+
+/// Render options a journal's Meta segment pins down, so recover/merge
+/// reproduce the original run's report bytes.
+ReportOptions optionsFromMeta(const JournalMeta &M) {
+  ReportOptions O;
+  if (M.EventKind < kNumPerfEventKinds)
+    O.SortKind = static_cast<PerfEventKind>(M.EventKind);
+  O.TopGroups = M.TopGroups;
+  O.TopAccessContexts = M.TopAccessContexts;
+  O.MinShare = M.MinShare;
+  O.ShowNuma = M.ShowNuma;
+  return O;
+}
+
+std::string renderMetaReport(const MergedProfile &P,
+                             const MethodRegistry &Methods,
+                             const JournalMeta &M) {
+  ReportOptions O = optionsFromMeta(M);
+  std::string Out;
+  if (M.ReportMode == 0 || M.ReportMode == 2)
+    Out += renderObjectCentric(P, Methods, O);
+  if (M.ReportMode == 1 || M.ReportMode == 2)
+    Out += renderCodeCentric(P, Methods, O);
+  return Out;
+}
+
+/// Banner for a journal whose tail was lost (no clean Close, or valid
+/// segments dropped as uncommitted): states exactly what was kept and
+/// what was dropped, like renderDegradedBanner does for failed runs.
+std::string journalTruncationBanner(const std::string &Path,
+                                    const JournalRecovery &R) {
+  std::ostringstream OS;
+  OS << "=== DJXPerf DEGRADED report: journal truncated, salvaged prefix "
+        "only ===\n";
+  OS << "journal:  " << Path << '\n';
+  OS << "kept:     " << R.SegmentsCommitted << " committed segment(s), "
+     << R.BytesKept << " bytes, last durable epoch " << R.LastEpoch
+     << " (round " << R.LastRound << ")\n";
+  OS << "dropped:  " << R.SegmentsUncommitted
+     << " uncommitted segment(s), " << R.TrailingBytes
+     << " trailing byte(s)\n";
+  std::string Reason = R.TruncationReason;
+  if (Reason.empty())
+    Reason = R.Closed ? "bytes after the Close sentinel"
+                      : "journal ends without a Close sentinel (crash "
+                        "or kill before the run finished)";
+  OS << "reason:   " << Reason << '\n';
+  OS << "The profile below reflects the last durable epoch only; "
+        "everything after it was lost.\n\n";
+  return OS.str();
+}
+
+/// Per-file stderr accounting shared by recover and merge.
+void printJournalAccounting(const std::string &Path,
+                            const JournalRecovery &R) {
+  std::fprintf(stderr,
+               "djxperf: %s: kept %llu committed segment(s) (%llu bytes) "
+               "through epoch %llu (round %llu); dropped %llu "
+               "uncommitted segment(s), %llu trailing byte(s)%s%s\n",
+               Path.c_str(), (unsigned long long)R.SegmentsCommitted,
+               (unsigned long long)R.BytesKept,
+               (unsigned long long)R.LastEpoch,
+               (unsigned long long)R.LastRound,
+               (unsigned long long)R.SegmentsUncommitted,
+               (unsigned long long)R.TrailingBytes,
+               R.TruncationReason.empty() ? "" : "; stopped at: ",
+               R.TruncationReason.c_str());
+}
+
+/// `djxperf recover <journal> [--html <file>]`: salvage the valid prefix
+/// and render the report the journaled run would have produced. A
+/// complete journal reproduces the run's stdout byte for byte (degraded
+/// banner included, for failed runs); a torn journal gets a truncation
+/// banner stating what was kept and dropped. Exit 0 unless the file is
+/// not a usable journal at all (exit code of JournalCorrupt).
+int runRecover(int Argc, char **Argv) {
+  std::string Path, HtmlPath;
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--html" && I + 1 < Argc) {
+      HtmlPath = Argv[++I];
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown recover flag '%s'\n", A.c_str());
+      return 2;
+    } else if (Path.empty()) {
+      Path = A;
+    } else {
+      std::fprintf(stderr, "error: recover takes one journal\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s recover <journal> [--html <file>]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  JournalRecovery R = readJournal(Path);
+  if (!R.HeaderValid) {
+    std::fprintf(stderr, "djxperf: FAILED: %s: %s\n", Path.c_str(),
+                 R.HeaderError.c_str());
+    return vmErrorExitCode(VmErrorKind::JournalCorrupt);
+  }
+  printJournalAccounting(Path, R);
+
+  MethodRegistry Methods = buildJournalMethodRegistry(R);
+  std::vector<const ThreadProfile *> Parts;
+  Parts.reserve(R.Profiles.size());
+  for (const ThreadProfile &P : R.Profiles)
+    Parts.push_back(&P);
+  MergedProfile P = mergeProfiles(Parts);
+
+  if (R.Closed && !R.CloseClean)
+    std::fputs(renderDegradedBanner(R.CloseError, R.CloseSamplesHandled,
+                                    R.CloseSamplesDropped)
+                   .c_str(),
+               stdout);
+  else if (R.degraded())
+    std::fputs(journalTruncationBanner(Path, R).c_str(), stdout);
+  std::fputs(renderMetaReport(P, Methods, R.Meta).c_str(), stdout);
+
+  if (!HtmlPath.empty()) {
+    std::string Title =
+        R.Meta.Title.empty() ? "DJXPerf: recovered " + Path : R.Meta.Title;
+    if (!writeHtmlReport(P, Methods, HtmlPath, optionsFromMeta(R.Meta),
+                         Title)) {
+      std::fprintf(stderr, "error: cannot write %s\n", HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "djxperf: wrote %s\n", HtmlPath.c_str());
+  }
+  return 0;
+}
+
+/// `djxperf merge <j1> <j2> ... [--html <file>]`: fold many journals
+/// into one aggregate report. Thread ids are offset per input so every
+/// simulated thread stays distinct (keyed-sum semantics: the merged
+/// totals are the sums of the per-journal reports); method ids are
+/// remapped through one union registry. Unusable inputs are skipped with
+/// per-file accounting; exit is 0 if at least one input contributed.
+int runMerge(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  std::string HtmlPath;
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--html" && I + 1 < Argc) {
+      HtmlPath = Argv[++I];
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown merge flag '%s'\n", A.c_str());
+      return 2;
+    } else {
+      Paths.push_back(A);
+    }
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s merge <journal>... [--html <file>]\n", Argv[0]);
+    return 2;
+  }
+
+  MethodRegistry Union;
+  std::vector<ThreadProfile> Merged;
+  JournalMeta Meta;
+  bool HaveMeta = false;
+  uint64_t TidOffset = 0;
+  unsigned Usable = 0;
+  for (const std::string &Path : Paths) {
+    JournalRecovery R = readJournal(Path);
+    if (!R.HeaderValid) {
+      std::fprintf(stderr, "djxperf: %s: skipped (%s)\n", Path.c_str(),
+                   R.HeaderError.c_str());
+      continue;
+    }
+    ++Usable;
+    printJournalAccounting(Path, R);
+    if (!HaveMeta && R.HasMeta) {
+      Meta = R.Meta;
+      HaveMeta = true;
+    }
+    std::vector<MethodId> Map;
+    Map.reserve(R.Methods.size());
+    for (const MethodInfo &M : R.Methods)
+      Map.push_back(Union.getOrRegister(M.ClassName, M.MethodName,
+                                        M.LineTable));
+    uint64_t MaxTid = TidOffset;
+    for (const auto &[Tid, Text] : R.Snapshots) {
+      (void)Tid;
+      std::istringstream IS(remapSnapshotText(Text, TidOffset, Map));
+      ThreadProfile P;
+      if (!P.readFrom(IS)) {
+        std::fprintf(stderr,
+                     "djxperf: %s: dropped one unparseable snapshot\n",
+                     Path.c_str());
+        continue;
+      }
+      MaxTid = std::max(MaxTid, P.threadId());
+      Merged.push_back(std::move(P));
+    }
+    TidOffset = MaxTid;
+  }
+  if (Usable == 0) {
+    std::fprintf(stderr, "djxperf: FAILED: no usable journals\n");
+    return vmErrorExitCode(VmErrorKind::JournalCorrupt);
+  }
+
+  std::vector<const ThreadProfile *> Parts;
+  Parts.reserve(Merged.size());
+  for (const ThreadProfile &P : Merged)
+    Parts.push_back(&P);
+  MergedProfile P = mergeProfiles(Parts);
+  std::fputs(renderMetaReport(P, Union, Meta).c_str(), stdout);
+
+  if (!HtmlPath.empty()) {
+    std::string Title =
+        "DJXPerf: merge of " + std::to_string(Usable) + " journal(s)";
+    if (!writeHtmlReport(P, Union, HtmlPath, optionsFromMeta(Meta),
+                         Title)) {
+      std::fprintf(stderr, "error: cannot write %s\n", HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "djxperf: wrote %s\n", HtmlPath.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Journal verbs run without a VM: dispatch before the flag loop.
+  if (Argc >= 2 && std::strcmp(Argv[1], "recover") == 0)
+    return runRecover(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "merge") == 0)
+    return runMerge(Argc, Argv);
+
   DjxPerfConfig Agent;
   PerfEventKind Kind = PerfEventKind::L1Miss;
   uint64_t Period = 64;
@@ -246,6 +517,8 @@ int main(int Argc, char **Argv) {
   TierConfig Tier;
   bool DumpTraces = false;
   bool StaticReport = false;
+  std::string JournalPath;
+  uint64_t MaxRounds = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -359,13 +632,18 @@ int main(int Argc, char **Argv) {
       if (!parseFaultRate(V, Faults)) {
         std::fprintf(stderr,
                      "error: bad --fault-rate '%s' (want alloc|ring|gc|"
-                     "stall=<p in [0,1]>)\n",
+                     "stall|journal-short|journal-error|journal-corrupt"
+                     "=<p in [0,1]>)\n",
                      V.c_str());
         return 2;
       }
       AnyFaultRate = true;
     } else if (A == "--fault-seed") {
       FaultSeed = std::strtoull(NeedsValue("--fault-seed"), nullptr, 0);
+    } else if (A == "--journal") {
+      JournalPath = NeedsValue("--journal");
+    } else if (A == "--max-rounds") {
+      MaxRounds = std::strtoull(NeedsValue("--max-rounds"), nullptr, 10);
     } else if (A == "--html") {
       HtmlPath = NeedsValue("--html");
     } else if (A == "--write-profiles") {
@@ -438,6 +716,33 @@ int main(int Argc, char **Argv) {
   Agent.Events = {PerfEventAttr{Kind, Period, 64}};
   if (Chosen->MultiThreaded)
     Agent = parallelAgentConfig(Pc, Agent);
+
+  // Open the journal before the VM exists so even a failure during
+  // class loading leaves a well-formed (if empty) journal behind.
+  std::unique_ptr<ProfileJournal> Journal;
+  if (!JournalPath.empty()) {
+    JournalMeta JMeta;
+    JMeta.Workload = Chosen->Name;
+    JMeta.Title = "DJXPerf: " + Chosen->Name;
+    JMeta.EventKind = static_cast<unsigned>(Kind);
+    JMeta.ReportMode = Report == "code" ? 1u : Report == "both" ? 2u : 0u;
+    JMeta.TopGroups = Top;
+    JMeta.ShowNuma = Agent.TrackNuma;
+    std::string Err;
+    Journal = ProfileJournal::open(JournalPath, JMeta, &Err);
+    if (!Journal) {
+      std::fprintf(stderr, "error: cannot open journal %s: %s\n",
+                   JournalPath.c_str(), Err.c_str());
+      return 1;
+    }
+  }
+
+  // SIGINT/SIGTERM end the run at the next quiescent point (round
+  // barrier for mt workloads, workload return otherwise), so the journal
+  // is flushed and closed before exit 130. A second signal kills.
+  std::signal(SIGINT, onTermSignal);
+  std::signal(SIGTERM, onTermSignal);
+
   JavaVm Vm(VmCfg);
   DjxPerf Profiler(Vm, Agent);
   Profiler.start();
@@ -456,6 +761,15 @@ int main(int Argc, char **Argv) {
       // allocations through the ASM-style rewriting instead of VM events.
       if (StaticReport && !Chosen->NumaRemote)
         Pc.Instrumented = true;
+      // Round barriers are the journal's epoch points: the barrier
+      // thread runs alone, so snapshots are race-free, and the logical
+      // round sequence is --jobs-invariant — so are the journal bytes.
+      Pc.MaxRounds = MaxRounds;
+      Pc.OnRoundEnd = [&](uint64_t Round) {
+        if (Journal)
+          Journal->flush(Profiler, Vm.methods(), Round);
+        return GSignal != 0;
+      };
       ParallelOutcome Out = Chosen->NumaRemote
                                 ? runNumaRemoteWorkload(Vm, &Profiler, Pc)
                                 : runParallelWorkload(Vm, &Profiler, Pc);
@@ -463,12 +777,46 @@ int main(int Argc, char **Argv) {
       if (!Out.TraceDump.empty())
         std::fputs(Out.TraceDump.c_str(), stderr);
     } else {
+      // Serial workloads have no executor rounds; GC finish is their
+      // quiescent flush point (the epoch counter is the GC ordinal).
+      if (Journal) {
+        auto GcEpoch = std::make_shared<uint64_t>(0);
+        Vm.jvmti().onGcFinish([&Journal, &Profiler, &Vm,
+                               GcEpoch](const GcStats &) {
+          Journal->flush(Profiler, Vm.methods(), ++*GcEpoch);
+        });
+      }
       (RunOptimized ? Chosen->Optimized : Chosen->Baseline)(Vm);
     }
   } catch (VmError &E) {
     Failure = std::move(E);
   }
+  if (GSignal != 0 && !Failure)
+    Failure = VmError(VmErrorKind::Interrupted,
+                      std::string("caught ") +
+                          (GSignal == SIGTERM ? "SIGTERM" : "SIGINT") +
+                          ", ended run at a quiescent point");
   Profiler.stop();
+
+  // Close the journal after stop() so the ring drains land in the final
+  // epoch; a failed run's Close carries the same accounting the banner
+  // below prints, which is what lets `recover` reproduce it exactly.
+  if (Journal) {
+    if (Failure)
+      Journal->closeFailed(Profiler, Vm.methods(), *Failure,
+                           Profiler.samplesHandled(),
+                           Profiler.samplesDropped());
+    else
+      Journal->closeClean(Profiler, Vm.methods());
+    if (Journal->active())
+      std::fprintf(stderr,
+                   "djxperf: journal %s: %llu epoch(s), %llu segment(s), "
+                   "%llu bytes\n",
+                   Journal->path().c_str(),
+                   (unsigned long long)Journal->epochsCommitted(),
+                   (unsigned long long)Journal->segmentsWritten(),
+                   (unsigned long long)Journal->bytesWritten());
+  }
 
   std::fprintf(stderr,
                "djxperf: %llu cycles, %llu allocation callbacks, %llu"
